@@ -1,0 +1,129 @@
+// Section V-C textual claims:
+//   (1) instruction-skip vulnerabilities fully resolved by both approaches;
+//   (2) single-bit-flip vulnerable points reduced by >= 50%;
+//   (3) naive full duplication costs >= 300% code size.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "harden/hybrid.h"
+#include "patch/pipeline.h"
+
+namespace {
+
+using namespace r2r;
+
+void print_skip_claim() {
+  std::printf("claim 1: all instruction-skip vulnerabilities resolved\n");
+  harden::TextTable table;
+  table.add_row({"case study", "approach", "skip vulns before", "skip vulns after"});
+  for (const guests::Guest* guest : {&guests::pincheck(), &guests::bootloader()}) {
+    const elf::Image input = guests::build_image(*guest);
+    fault::CampaignConfig skip_only;
+    skip_only.model_bit_flip = false;
+    const fault::CampaignResult baseline =
+        fault::run_campaign(input, guest->good_input, guest->bad_input, skip_only);
+
+    patch::PipelineConfig fp_config;
+    fp_config.campaign = skip_only;
+    const patch::PipelineResult fp =
+        patch::faulter_patcher(input, guest->good_input, guest->bad_input, fp_config);
+    table.add_row({guest->name, "Faulter+Patcher",
+                   std::to_string(baseline.vulnerable_addresses().size()),
+                   std::to_string(fp.final_campaign.vulnerable_addresses().size())});
+
+    const harden::HybridResult hybrid = harden::hybrid_harden(input);
+    const fault::CampaignResult hybrid_campaign = fault::run_campaign(
+        hybrid.hardened, guest->good_input, guest->bad_input, skip_only);
+    table.add_row({guest->name, "Hybrid",
+                   std::to_string(baseline.vulnerable_addresses().size()),
+                   std::to_string(hybrid_campaign.vulnerable_addresses().size())});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void print_bitflip_claim() {
+  std::printf("claim 2: single-bit-flip vulnerable points reduced by >= 50%%\n");
+  harden::TextTable table;
+  table.add_row({"case study", "points before", "points after F+P", "reduction"});
+  // The paper reports a 50% reduction; bit-flip campaigns are quadratic in
+  // trace length, so this claim is evaluated on pincheck (the bootloader's
+  // copy/hash loops make its bit-flip campaign minutes-long).
+  for (const guests::Guest* guest : {&guests::pincheck()}) {
+    const elf::Image input = guests::build_image(*guest);
+    fault::CampaignConfig flips;
+    flips.model_skip = false;
+    const fault::CampaignResult before =
+        fault::run_campaign(input, guest->good_input, guest->bad_input, flips);
+
+    patch::PipelineConfig config;
+    config.campaign = flips;
+    config.max_iterations = 6;
+    const patch::PipelineResult result =
+        patch::faulter_patcher(input, guest->good_input, guest->bad_input, config);
+    const std::size_t after = result.final_campaign.vulnerable_addresses().size();
+    const std::size_t base = before.vulnerable_addresses().size();
+    const double reduction =
+        base == 0 ? 0.0
+                  : 100.0 * (static_cast<double>(base) - static_cast<double>(after)) /
+                        static_cast<double>(base);
+    table.add_row({guest->name, std::to_string(base), std::to_string(after),
+                   bench::percent(reduction)});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void print_duplication_claim() {
+  std::printf("claim 3: full duplication implies >= 300%% code size overhead\n");
+  harden::TextTable table;
+  table.add_row({"case study", "duplication overhead", "branch hardening overhead"});
+  for (const guests::Guest* guest : {&guests::pincheck(), &guests::bootloader()}) {
+    const elf::Image input = guests::build_image(*guest);
+    harden::HybridConfig dup;
+    dup.countermeasure = harden::HybridCountermeasure::kInstructionDuplication;
+    const double duplication = harden::hybrid_harden(input, dup).overhead_percent();
+    const double hardening = harden::hybrid_harden(input).overhead_percent();
+    table.add_row({guest->name, bench::percent(duplication), bench::percent(hardening)});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void print_outcome_histogram() {
+  std::printf("fault outcome histogram (pincheck, both models, unprotected)\n");
+  const guests::Guest& guest = guests::pincheck();
+  const elf::Image input = guests::build_image(guest);
+  const fault::CampaignResult campaign =
+      fault::run_campaign(input, guest.good_input, guest.bad_input);
+  harden::TextTable table;
+  table.add_row({"outcome", "count"});
+  for (const auto& [outcome, count] : campaign.outcome_counts) {
+    table.add_row({std::string(fault::to_string(outcome)), std::to_string(count)});
+  }
+  table.add_row({"total", std::to_string(campaign.total_faults)});
+  std::printf("%s\n", table.render().c_str());
+}
+
+void BM_SkipCampaignPincheck(benchmark::State& state) {
+  const guests::Guest& guest = guests::pincheck();
+  const elf::Image input = guests::build_image(guest);
+  fault::CampaignConfig config;
+  config.model_bit_flip = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fault::run_campaign(input, guest.good_input, guest.bad_input, config));
+  }
+}
+BENCHMARK(BM_SkipCampaignPincheck)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  r2r::bench::print_header("Section V-C claims: fault coverage and baselines",
+                           "Kiaei et al., DAC'21, Section V-C");
+  print_skip_claim();
+  print_bitflip_claim();
+  print_duplication_claim();
+  print_outcome_histogram();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

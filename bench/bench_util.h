@@ -1,0 +1,51 @@
+// Shared helpers for the bench binaries that regenerate the paper's tables.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "bir/assemble.h"
+#include "bir/module.h"
+#include "elf/image.h"
+#include "emu/machine.h"
+#include "fault/campaign.h"
+#include "guests/guests.h"
+#include "harden/report.h"
+#include "isa/printer.h"
+#include "support/strings.h"
+
+namespace r2r::bench {
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Renders the instruction stream of a module slice as assembly text.
+inline std::string listing(const bir::Module& module, std::size_t first,
+                           std::size_t last) {
+  std::string out;
+  for (std::size_t i = first; i <= last && i < module.text.size(); ++i) {
+    const bir::CodeItem& item = module.text[i];
+    for (const std::string& label : item.labels) out += label + ":\n";
+    if (item.is_instruction()) out += "    " + isa::print(*item.instr) + "\n";
+  }
+  return out;
+}
+
+/// Encoded byte size of the items in [first, last] (assembles the module to
+/// refresh addresses, then measures address deltas).
+inline std::size_t byte_size(bir::Module& module, std::size_t first, std::size_t last) {
+  const elf::Image image = bir::assemble(module);
+  const std::uint64_t start = module.text[first].address;
+  const std::uint64_t end = last + 1 < module.text.size()
+                                ? module.text[last + 1].address
+                                : module.text_base + image.code_size();
+  return static_cast<std::size_t>(end - start);
+}
+
+inline std::string percent(double value) { return support::format_fixed(value, 2) + "%"; }
+
+}  // namespace r2r::bench

@@ -1,0 +1,67 @@
+// Case study 1 end-to-end: the Faulter+Patcher approach (Fig. 2) applied
+// to the pincheck binary, with per-iteration reporting, and the hardened
+// executable written to disk as a real ELF file.
+//
+// Build: cmake --build build && ./build/examples/harden_pincheck
+#include <cstdio>
+#include <fstream>
+
+#include "elf/image.h"
+#include "emu/machine.h"
+#include "guests/guests.h"
+#include "patch/pipeline.h"
+
+int main() {
+  using namespace r2r;
+  const guests::Guest& guest = guests::pincheck();
+
+  std::printf("case study: %s\n", guest.name.c_str());
+  std::printf("authorized PIN: \"%s\"   attacker PIN: \"%s\"\n\n",
+              guest.good_input.c_str(), guest.bad_input.c_str());
+
+  const elf::Image input = guests::build_image(guest);
+  std::printf("input binary: %llu bytes of code\n",
+              static_cast<unsigned long long>(input.code_size()));
+
+  // Run the iterative faulter+patcher loop under both fault models.
+  patch::PipelineConfig config;
+  const patch::PipelineResult result =
+      patch::faulter_patcher(input, guest.good_input, guest.bad_input, config);
+
+  std::printf("\niteration history:\n");
+  for (std::size_t i = 0; i < result.iterations.size(); ++i) {
+    const patch::IterationReport& it = result.iterations[i];
+    std::printf(
+        "  #%zu: %llu successful faults at %llu point(s); %llu patched, %llu "
+        "unpatchable; code %llu B\n",
+        i, static_cast<unsigned long long>(it.successful_faults),
+        static_cast<unsigned long long>(it.vulnerable_points),
+        static_cast<unsigned long long>(it.patches_applied),
+        static_cast<unsigned long long>(it.unpatchable_points),
+        static_cast<unsigned long long>(it.code_size));
+  }
+  std::printf("fix-point: %s; residual successful faults: %zu\n",
+              result.fixpoint ? "reached" : "iteration cap",
+              result.final_campaign.vulnerabilities.size());
+  std::printf("code size: %llu -> %llu bytes (overhead %.2f%%)\n",
+              static_cast<unsigned long long>(result.original_code_size),
+              static_cast<unsigned long long>(result.hardened_code_size),
+              result.overhead_percent());
+
+  // Confirm behaviour is intact.
+  const emu::RunResult good = emu::run_image(result.hardened, guest.good_input);
+  const emu::RunResult bad = emu::run_image(result.hardened, guest.bad_input);
+  std::printf("\nhardened behaviour: good exit=%lld, bad exit=%lld (expected %d/%d)\n",
+              static_cast<long long>(good.exit_code), static_cast<long long>(bad.exit_code),
+              guest.good_exit, guest.bad_exit);
+
+  // Emit a loadable ELF.
+  const std::vector<std::uint8_t> bytes = elf::write_elf(result.hardened);
+  const char* path = "pincheck_hardened.elf";
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  std::printf("hardened ELF written to %s (%zu bytes)\n", path, bytes.size());
+  return 0;
+}

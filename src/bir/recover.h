@@ -1,0 +1,20 @@
+// r2r::bir — structural recovery: ELF image -> editable Module.
+//
+// This is the Ddisasm-equivalent step: recursive-descent disassembly from
+// the entry point and every code symbol, gap preservation as raw bytes,
+// and symbolization of code targets and data references so the recovered
+// module can be edited and reassembled at a different layout.
+#pragma once
+
+#include "bir/module.h"
+#include "elf/image.h"
+
+namespace r2r::bir {
+
+/// Recovers a Module from an executable image. Throws Error{kRecovery} if
+/// the image has no executable segment or decoding reaches an impossible
+/// state. Symbol names from the image's symtab are reused; synthesized
+/// labels use "L_<hex>" (code) and "D_<hex>" (data).
+Module recover(const elf::Image& image);
+
+}  // namespace r2r::bir

@@ -1,0 +1,196 @@
+// ELF64 writer: ehdr + one PT_LOAD phdr per segment + raw segment data +
+// section headers (one per segment, plus .symtab/.strtab/.shstrtab).
+#include "elf/image.h"
+#include "support/bytes.h"
+#include "support/error.h"
+
+namespace r2r::elf {
+
+namespace {
+
+using support::ByteBuffer;
+
+constexpr std::uint64_t kPageSize = 0x1000;
+constexpr std::uint16_t kEtExec = 2;
+constexpr std::uint16_t kEmX86_64 = 62;
+constexpr std::uint32_t kPtLoad = 1;
+constexpr std::uint32_t kShtProgbits = 1;
+constexpr std::uint32_t kShtSymtab = 2;
+constexpr std::uint32_t kShtStrtab = 3;
+constexpr std::uint64_t kShfAlloc = 2;
+constexpr std::uint64_t kShfExecinstr = 4;
+constexpr std::uint64_t kShfWrite = 1;
+
+constexpr std::size_t kEhdrSize = 64;
+constexpr std::size_t kPhdrSize = 56;
+constexpr std::size_t kShdrSize = 64;
+constexpr std::size_t kSymSize = 24;
+
+/// Accumulates NUL-separated strings and hands out offsets.
+class StringTable {
+ public:
+  StringTable() { bytes_.push_back(0); }
+  std::uint32_t add(const std::string& text) {
+    const auto offset = static_cast<std::uint32_t>(bytes_.size());
+    for (char c : text) bytes_.push_back(static_cast<std::uint8_t>(c));
+    bytes_.push_back(0);
+    return offset;
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> write_elf(const Image& image) {
+  const std::size_t segment_count = image.segments.size();
+  const std::size_t phdr_bytes = segment_count * kPhdrSize;
+
+  // File layout: ehdr, phdrs, [segments page-aligned], symtab, strtab,
+  // shstrtab, shdrs.
+  std::vector<std::uint64_t> file_offsets(segment_count);
+  std::uint64_t cursor = kEhdrSize + phdr_bytes;
+  for (std::size_t i = 0; i < segment_count; ++i) {
+    const Segment& segment = image.segments[i];
+    // Loaders require p_offset ≡ p_vaddr (mod page size).
+    const std::uint64_t target_mod = segment.vaddr % kPageSize;
+    while (cursor % kPageSize != target_mod) ++cursor;
+    file_offsets[i] = cursor;
+    cursor += segment.data.size();
+  }
+
+  StringTable strtab;
+  ByteBuffer symtab;
+  // Null symbol.
+  for (std::size_t i = 0; i < kSymSize; ++i) symtab.append_u8(0);
+  std::size_t local_count = 1;
+  // Locals must precede globals in .symtab.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Symbol& symbol : image.symbols) {
+      if (symbol.global != (pass == 1)) continue;
+      if (pass == 0) ++local_count;
+      symtab.append_u32(strtab.add(symbol.name));                   // st_name
+      const std::uint8_t bind = symbol.global ? 1 : 0;
+      const std::uint8_t type = symbol.is_code ? 2 : 1;             // FUNC : OBJECT
+      symtab.append_u8(static_cast<std::uint8_t>((bind << 4) | type));  // st_info
+      symtab.append_u8(0);                                          // st_other
+      symtab.append_u16(0);                                         // st_shndx
+      symtab.append_u64(symbol.value);                              // st_value
+      symtab.append_u64(0);                                         // st_size
+    }
+  }
+
+  StringTable shstrtab;
+  struct SectionHeader {
+    std::uint32_t name_offset;
+    std::uint32_t type;
+    std::uint64_t flags;
+    std::uint64_t addr;
+    std::uint64_t offset;
+    std::uint64_t size;
+    std::uint32_t link;
+    std::uint32_t info;
+    std::uint64_t addralign;
+    std::uint64_t entsize;
+  };
+  std::vector<SectionHeader> shdrs;
+  shdrs.push_back({});  // SHN_UNDEF
+
+  for (std::size_t i = 0; i < segment_count; ++i) {
+    const Segment& segment = image.segments[i];
+    std::uint64_t flags = kShfAlloc;
+    if ((segment.flags & kExecute) != 0) flags |= kShfExecinstr;
+    if ((segment.flags & kWrite) != 0) flags |= kShfWrite;
+    shdrs.push_back({shstrtab.add(segment.name), kShtProgbits, flags, segment.vaddr,
+                     file_offsets[i], segment.data.size(), 0, 0, 16, 0});
+  }
+
+  const std::uint64_t symtab_offset = cursor;
+  cursor += symtab.size();
+  const std::uint64_t strtab_offset = cursor;
+  cursor += strtab.bytes().size();
+
+  const std::uint32_t strtab_index = static_cast<std::uint32_t>(shdrs.size() + 1);
+  shdrs.push_back({shstrtab.add(".symtab"), kShtSymtab, 0, 0, symtab_offset,
+                   symtab.size(), strtab_index, static_cast<std::uint32_t>(local_count),
+                   8, kSymSize});
+  shdrs.push_back({shstrtab.add(".strtab"), kShtStrtab, 0, 0, strtab_offset,
+                   strtab.bytes().size(), 0, 0, 1, 0});
+  const std::uint32_t shstrtab_name = shstrtab.add(".shstrtab");
+  const std::uint64_t shstrtab_offset = cursor;
+  cursor += shstrtab.bytes().size();
+  shdrs.push_back({shstrtab_name, kShtStrtab, 0, 0, shstrtab_offset,
+                   shstrtab.bytes().size(), 0, 0, 1, 0});
+
+  const std::uint64_t shdr_offset = (cursor + 7) & ~std::uint64_t{7};
+
+  ByteBuffer out;
+  // --- ELF header ---
+  out.append_u8(0x7F);
+  out.append_u8('E');
+  out.append_u8('L');
+  out.append_u8('F');
+  out.append_u8(2);  // ELFCLASS64
+  out.append_u8(1);  // ELFDATA2LSB
+  out.append_u8(1);  // EV_CURRENT
+  for (int i = 0; i < 9; ++i) out.append_u8(0);
+  out.append_u16(kEtExec);
+  out.append_u16(kEmX86_64);
+  out.append_u32(1);                                       // e_version
+  out.append_u64(image.entry);                             // e_entry
+  out.append_u64(kEhdrSize);                               // e_phoff
+  out.append_u64(shdr_offset);                             // e_shoff
+  out.append_u32(0);                                       // e_flags
+  out.append_u16(kEhdrSize);                               // e_ehsize
+  out.append_u16(kPhdrSize);                               // e_phentsize
+  out.append_u16(static_cast<std::uint16_t>(segment_count));  // e_phnum
+  out.append_u16(kShdrSize);                               // e_shentsize
+  out.append_u16(static_cast<std::uint16_t>(shdrs.size()));   // e_shnum
+  out.append_u16(static_cast<std::uint16_t>(shdrs.size() - 1));  // e_shstrndx
+
+  // --- program headers ---
+  for (std::size_t i = 0; i < segment_count; ++i) {
+    const Segment& segment = image.segments[i];
+    out.append_u32(kPtLoad);
+    out.append_u32(segment.flags);
+    out.append_u64(file_offsets[i]);
+    out.append_u64(segment.vaddr);  // p_vaddr
+    out.append_u64(segment.vaddr);  // p_paddr
+    out.append_u64(segment.data.size());
+    out.append_u64(segment.size_in_memory());
+    out.append_u64(kPageSize);
+  }
+
+  // --- segment data ---
+  for (std::size_t i = 0; i < segment_count; ++i) {
+    while (out.size() < file_offsets[i]) out.append_u8(0);
+    out.append_bytes(image.segments[i].data);
+  }
+
+  // --- symtab / strtab / shstrtab ---
+  while (out.size() < symtab_offset) out.append_u8(0);
+  out.append_bytes(symtab.span());
+  out.append_bytes(strtab.bytes());
+  out.append_bytes(shstrtab.bytes());
+
+  // --- section headers ---
+  while (out.size() < shdr_offset) out.append_u8(0);
+  for (const auto& sh : shdrs) {
+    out.append_u32(sh.name_offset);
+    out.append_u32(sh.type);
+    out.append_u64(sh.flags);
+    out.append_u64(sh.addr);
+    out.append_u64(sh.offset);
+    out.append_u64(sh.size);
+    out.append_u32(sh.link);
+    out.append_u32(sh.info);
+    out.append_u64(sh.addralign);
+    out.append_u64(sh.entsize);
+  }
+
+  return std::move(out).take();
+}
+
+}  // namespace r2r::elf

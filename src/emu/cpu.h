@@ -1,0 +1,103 @@
+// r2r::emu — architectural CPU state: 16 GPRs, RFLAGS, RIP.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "isa/condition.h"
+#include "isa/registers.h"
+
+namespace r2r::emu {
+
+/// Arithmetic flags. AF is modelled because the paper's Table II pattern
+/// compares full pushfq values between two executions of the same cmp.
+struct Flags {
+  bool cf = false;
+  bool pf = false;
+  bool af = false;
+  bool zf = false;
+  bool sf = false;
+  bool of = false;
+
+  /// RFLAGS image as pushfq stores it (bit 1 always set, IF set like a
+  /// normal user-mode process).
+  [[nodiscard]] std::uint64_t to_rflags() const noexcept {
+    std::uint64_t value = 0x202;  // reserved bit 1 | IF
+    value |= cf ? 1ULL << 0 : 0;
+    value |= pf ? 1ULL << 2 : 0;
+    value |= af ? 1ULL << 4 : 0;
+    value |= zf ? 1ULL << 6 : 0;
+    value |= sf ? 1ULL << 7 : 0;
+    value |= of ? 1ULL << 11 : 0;
+    return value;
+  }
+
+  static Flags from_rflags(std::uint64_t value) noexcept {
+    Flags flags;
+    flags.cf = (value & (1ULL << 0)) != 0;
+    flags.pf = (value & (1ULL << 2)) != 0;
+    flags.af = (value & (1ULL << 4)) != 0;
+    flags.zf = (value & (1ULL << 6)) != 0;
+    flags.sf = (value & (1ULL << 7)) != 0;
+    flags.of = (value & (1ULL << 11)) != 0;
+    return flags;
+  }
+
+  friend bool operator==(const Flags&, const Flags&) = default;
+};
+
+/// Evaluates an x86 condition code against the flags.
+constexpr bool evaluate(isa::Cond cond, const Flags& f) noexcept {
+  using isa::Cond;
+  switch (cond) {
+    case Cond::o: return f.of;
+    case Cond::no: return !f.of;
+    case Cond::b: return f.cf;
+    case Cond::ae: return !f.cf;
+    case Cond::e: return f.zf;
+    case Cond::ne: return !f.zf;
+    case Cond::be: return f.cf || f.zf;
+    case Cond::a: return !f.cf && !f.zf;
+    case Cond::s: return f.sf;
+    case Cond::ns: return !f.sf;
+    case Cond::p: return f.pf;
+    case Cond::np: return !f.pf;
+    case Cond::l: return f.sf != f.of;
+    case Cond::ge: return f.sf == f.of;
+    case Cond::le: return f.zf || f.sf != f.of;
+    case Cond::g: return !f.zf && f.sf == f.of;
+    case Cond::none: return true;
+  }
+  return false;
+}
+
+struct Cpu {
+  std::array<std::uint64_t, isa::kRegCount> gpr{};
+  Flags flags;
+  std::uint64_t rip = 0;
+
+  [[nodiscard]] std::uint64_t read(isa::Reg reg, isa::Width width) const noexcept {
+    const std::uint64_t value = gpr[isa::reg_number(reg)];
+    switch (width) {
+      case isa::Width::b8: return value & 0xFF;
+      case isa::Width::b16: return value & 0xFFFF;
+      case isa::Width::b32: return value & 0xFFFFFFFF;
+      case isa::Width::b64: return value;
+    }
+    return value;
+  }
+
+  /// x86 write semantics: 32-bit writes zero-extend to 64; 8/16-bit writes
+  /// merge into the low bits.
+  void write(isa::Reg reg, isa::Width width, std::uint64_t value) noexcept {
+    std::uint64_t& slot = gpr[isa::reg_number(reg)];
+    switch (width) {
+      case isa::Width::b8: slot = (slot & ~0xFFULL) | (value & 0xFF); break;
+      case isa::Width::b16: slot = (slot & ~0xFFFFULL) | (value & 0xFFFF); break;
+      case isa::Width::b32: slot = value & 0xFFFFFFFF; break;
+      case isa::Width::b64: slot = value; break;
+    }
+  }
+};
+
+}  // namespace r2r::emu

@@ -1,0 +1,113 @@
+// r2r::emu — the deterministic x86-64-subset machine.
+//
+// This is the substrate the paper gets from Qiling/Unicorn: load an ELF,
+// run it with a given stdin, capture stdout/exit-code, optionally record an
+// instruction trace, and optionally inject one transient fault (skip or
+// encoding bit flip) at a chosen trace offset.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "elf/image.h"
+#include "emu/cpu.h"
+#include "emu/memory.h"
+#include "isa/instruction.h"
+
+namespace r2r::emu {
+
+/// A single transient fault to inject during one run. kSkip and kBitFlip
+/// are the paper's fault models (Section V); kRegisterBitFlip and
+/// kFlagFlip are r2r extensions modelling data-path and status-register
+/// glitches.
+struct FaultSpec {
+  enum class Kind : std::uint8_t {
+    kSkip,             ///< the dynamic instruction does not execute
+    kBitFlip,          ///< one bit of the fetched encoding flips (transient)
+    kRegisterBitFlip,  ///< one GPR bit flips just before the instruction
+    kFlagFlip,         ///< one arithmetic flag flips just before the instruction
+  };
+  Kind kind = Kind::kSkip;
+  std::uint64_t trace_index = 0;  ///< which dynamic instruction to fault
+  /// kBitFlip: bit within the fetched encoding.
+  /// kRegisterBitFlip: register number * 64 + bit.
+  /// kFlagFlip: 0=CF 1=PF 2=AF 3=ZF 4=SF 5=OF.
+  std::uint32_t bit_offset = 0;
+};
+
+enum class StopReason : std::uint8_t {
+  kExited,         ///< guest called exit()
+  kCrashed,        ///< memory fault, invalid opcode, trap, bad state
+  kFuelExhausted,  ///< ran past the step budget (treated as hang)
+};
+
+struct TraceEntry {
+  std::uint64_t address = 0;
+  std::uint8_t length = 0;
+};
+
+struct RunResult {
+  StopReason reason = StopReason::kCrashed;
+  std::int64_t exit_code = -1;
+  std::string output;        ///< stdout+stderr interleaved as written
+  std::string crash_detail;  ///< populated when reason == kCrashed
+  std::uint64_t steps = 0;
+  std::vector<TraceEntry> trace;  ///< filled only when requested
+
+  /// Observable behaviour: what an attacker (or the oracle) can see.
+  [[nodiscard]] bool observably_equal(const RunResult& other) const noexcept {
+    return reason == other.reason && exit_code == other.exit_code &&
+           output == other.output;
+  }
+};
+
+struct RunConfig {
+  std::uint64_t fuel = 2'000'000;
+  bool record_trace = false;
+  std::optional<FaultSpec> fault;
+};
+
+class Machine {
+ public:
+  /// Loads `image` plus a 1 MiB stack; `stdin_data` backs read(2).
+  Machine(const elf::Image& image, std::string stdin_data);
+
+  RunResult run(const RunConfig& config);
+
+  [[nodiscard]] Cpu& cpu() noexcept { return cpu_; }
+  [[nodiscard]] Memory& memory() noexcept { return memory_; }
+
+  static constexpr std::uint64_t kStackBase = 0x7FFF'0000'0000ULL;
+  static constexpr std::uint64_t kStackSize = 1ULL << 20;
+
+ private:
+  struct ExitRequested {
+    std::int64_t code;
+  };
+
+  /// Executes one instruction. When `entry` is non-null the decoded length
+  /// is recorded there before execution (so the trace is complete even for
+  /// instructions that exit or crash).
+  void step(bool faulted_this_step, const FaultSpec* fault, TraceEntry* entry);
+  void execute(const isa::Instruction& instr, std::uint64_t next_rip);
+  std::uint64_t effective_address(const isa::MemOperand& mem) const;
+  std::uint64_t read_operand(const isa::Operand& op, isa::Width width);
+  void write_operand(const isa::Operand& op, isa::Width width, std::uint64_t value);
+  void do_syscall();
+  void push64(std::uint64_t value);
+  std::uint64_t pop64();
+
+  Cpu cpu_;
+  Memory memory_;
+  std::string stdin_data_;
+  std::size_t stdin_pos_ = 0;
+  std::string output_;
+};
+
+/// Convenience wrapper used everywhere: fresh machine, one run.
+RunResult run_image(const elf::Image& image, std::string stdin_data,
+                    const RunConfig& config = {});
+
+}  // namespace r2r::emu

@@ -1,0 +1,126 @@
+#include "emu/memory.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace r2r::emu {
+
+namespace {
+using support::check;
+using support::ErrorKind;
+
+std::uint32_t required_perm(Access access) noexcept {
+  switch (access) {
+    case Access::kRead: return elf::kRead;
+    case Access::kWrite: return elf::kWrite;
+    case Access::kExecute: return elf::kExecute;
+  }
+  return 0;
+}
+}  // namespace
+
+void Memory::map(std::string name, std::uint64_t base, std::uint64_t size,
+                 std::uint32_t perms, std::span<const std::uint8_t> initial) {
+  check(size > 0, ErrorKind::kInvalidArgument, "empty mapping");
+  check(initial.size() <= size, ErrorKind::kInvalidArgument, "initial data exceeds size");
+  for (const Region& region : regions_) {
+    const bool disjoint = base + size <= region.base || region.base + region.bytes.size() <= base;
+    check(disjoint, ErrorKind::kInvalidArgument,
+          "mapping '" + name + "' overlaps '" + region.name + "'");
+  }
+  Region region;
+  region.name = std::move(name);
+  region.base = base;
+  region.perms = perms;
+  region.bytes.assign(size, 0);
+  std::copy(initial.begin(), initial.end(), region.bytes.begin());
+  regions_.push_back(std::move(region));
+}
+
+void Memory::map_image(const elf::Image& image) {
+  for (const auto& segment : image.segments) {
+    if (segment.size_in_memory() == 0) continue;
+    map(segment.name, segment.vaddr, segment.size_in_memory(), segment.flags,
+        segment.data);
+  }
+}
+
+bool Memory::is_mapped(std::uint64_t address, std::uint64_t size) const noexcept {
+  return region_for(address, size) != nullptr;
+}
+
+Memory::Region* Memory::region_for(std::uint64_t address, std::uint64_t size) noexcept {
+  for (Region& region : regions_) {
+    if (region.contains(address, size)) return &region;
+  }
+  return nullptr;
+}
+
+const Memory::Region* Memory::region_for(std::uint64_t address,
+                                         std::uint64_t size) const noexcept {
+  for (const Region& region : regions_) {
+    if (region.contains(address, size)) return &region;
+  }
+  return nullptr;
+}
+
+std::uint64_t Memory::read(std::uint64_t address, unsigned bytes, Access access) {
+  const Region* region = region_for(address, bytes);
+  check(region != nullptr, ErrorKind::kMemory,
+        "unmapped read at " + support::hex_string(address));
+  check((region->perms & required_perm(access)) != 0, ErrorKind::kMemory,
+        "permission violation reading " + support::hex_string(address));
+  std::uint64_t value = 0;
+  const std::size_t offset = address - region->base;
+  for (unsigned i = 0; i < bytes; ++i) {
+    value |= static_cast<std::uint64_t>(region->bytes[offset + i]) << (8 * i);
+  }
+  return value;
+}
+
+void Memory::write(std::uint64_t address, std::uint64_t value, unsigned bytes) {
+  Region* region = region_for(address, bytes);
+  check(region != nullptr, ErrorKind::kMemory,
+        "unmapped write at " + support::hex_string(address));
+  check((region->perms & elf::kWrite) != 0, ErrorKind::kMemory,
+        "permission violation writing " + support::hex_string(address));
+  const std::size_t offset = address - region->base;
+  for (unsigned i = 0; i < bytes; ++i) {
+    region->bytes[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+std::size_t Memory::fetch(std::uint64_t address, std::span<std::uint8_t> out) {
+  const Region* region = region_for(address, 1);
+  check(region != nullptr, ErrorKind::kMemory,
+        "unmapped fetch at " + support::hex_string(address));
+  check((region->perms & elf::kExecute) != 0, ErrorKind::kMemory,
+        "fetch from non-executable memory at " + support::hex_string(address));
+  const std::size_t offset = address - region->base;
+  const std::size_t available = region->bytes.size() - offset;
+  const std::size_t count = available < out.size() ? available : out.size();
+  std::copy_n(region->bytes.begin() + static_cast<std::ptrdiff_t>(offset), count,
+              out.begin());
+  return count;
+}
+
+std::vector<std::uint8_t> Memory::read_block(std::uint64_t address, std::size_t size) const {
+  const Region* region = region_for(address, size);
+  support::check(region != nullptr, ErrorKind::kMemory,
+                 "unmapped block read at " + support::hex_string(address));
+  const std::size_t offset = address - region->base;
+  return {region->bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+          region->bytes.begin() + static_cast<std::ptrdiff_t>(offset + size)};
+}
+
+void Memory::write_block(std::uint64_t address, std::span<const std::uint8_t> data) {
+  Region* region = region_for(address, data.size());
+  support::check(region != nullptr, ErrorKind::kMemory,
+                 "unmapped block write at " + support::hex_string(address));
+  std::copy(data.begin(), data.end(),
+            region->bytes.begin() + static_cast<std::ptrdiff_t>(address - region->base));
+}
+
+}  // namespace r2r::emu

@@ -1,0 +1,61 @@
+// r2r::emu — guest physical/virtual memory (flat region model).
+//
+// Regions never overlap; accesses are permission-checked and throw
+// Error{kMemory} on violation, which the machine converts into a crash
+// outcome (the fault-campaign "crash" classification).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "elf/image.h"
+
+namespace r2r::emu {
+
+enum class Access : std::uint8_t { kRead, kWrite, kExecute };
+
+class Memory {
+ public:
+  /// Maps a zero-initialized region; `initial` (if any) seeds the prefix.
+  void map(std::string name, std::uint64_t base, std::uint64_t size, std::uint32_t perms,
+           std::span<const std::uint8_t> initial = {});
+
+  /// Maps every segment of an ELF image.
+  void map_image(const elf::Image& image);
+
+  [[nodiscard]] bool is_mapped(std::uint64_t address, std::uint64_t size) const noexcept;
+
+  std::uint64_t read(std::uint64_t address, unsigned bytes, Access access = Access::kRead);
+  void write(std::uint64_t address, std::uint64_t value, unsigned bytes);
+
+  /// Copies up to `out.size()` bytes starting at `address` with execute
+  /// permission; returns bytes copied (may be short at region end).
+  std::size_t fetch(std::uint64_t address, std::span<std::uint8_t> out);
+
+  /// Bulk read without permission checks (host-side inspection).
+  std::vector<std::uint8_t> read_block(std::uint64_t address, std::size_t size) const;
+  /// Bulk write without permission checks (host-side setup).
+  void write_block(std::uint64_t address, std::span<const std::uint8_t> data);
+
+ private:
+  struct Region {
+    std::string name;
+    std::uint64_t base = 0;
+    std::uint32_t perms = 0;
+    std::vector<std::uint8_t> bytes;
+
+    [[nodiscard]] bool contains(std::uint64_t address, std::uint64_t size) const noexcept {
+      return address >= base && address + size <= base + bytes.size() &&
+             address + size >= address;
+    }
+  };
+
+  Region* region_for(std::uint64_t address, std::uint64_t size) noexcept;
+  const Region* region_for(std::uint64_t address, std::uint64_t size) const noexcept;
+
+  std::vector<Region> regions_;
+};
+
+}  // namespace r2r::emu

@@ -1,0 +1,89 @@
+// r2r::fault — the faulter (Fig. 2 of the paper).
+//
+// Runs a differential fault-injection campaign: record the golden traces of
+// a "good" (authorized) and "bad" (attacker) input, then for every dynamic
+// instruction of the bad-input trace inject each fault the chosen model
+// allows and classify the observable outcome. A fault is a vulnerability
+// ("successful fault") when the bad-input run becomes observably identical
+// to the good-input run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "elf/image.h"
+#include "emu/machine.h"
+
+namespace r2r::fault {
+
+enum class Outcome : std::uint8_t {
+  kNoEffect,       ///< still behaves like the bad-input reference
+  kSuccess,        ///< behaves like the good-input reference: VULNERABLE
+  kCrash,          ///< memory fault / invalid opcode / trap
+  kHang,           ///< fuel exhausted
+  kDetected,       ///< countermeasure fired (fault-handler exit code)
+  kOtherBehavior,  ///< none of the above (e.g. garbled output)
+};
+
+std::string_view to_string(Outcome outcome) noexcept;
+
+/// One successful fault: where it hit and what it was.
+struct Vulnerability {
+  emu::FaultSpec spec;
+  std::uint64_t address = 0;  ///< static address of the faulted instruction
+
+  friend bool operator==(const Vulnerability&, const Vulnerability&) = default;
+};
+
+struct CampaignConfig {
+  bool model_skip = true;      ///< the paper's "instruction skip" model
+  bool model_bit_flip = true;  ///< the paper's "single bit flip" model
+  // r2r extension models (off by default; the paper evaluates the two above).
+  bool model_register_flip = false;  ///< GPR bit flips before each instruction
+  bool model_flag_flip = false;      ///< status-flag flips before each instruction
+  /// Registers swept by the register-flip model (kept small: the full
+  /// 16x64 matrix per trace entry is rarely worth the time).
+  std::vector<unsigned> register_flip_regs = {0, 1, 2, 3, 6, 7};  // rax..rbx,rsi,rdi
+  unsigned register_flip_bit_stride = 8;  ///< test every Nth bit of each register
+  int detected_exit_code = 42; ///< exit code the injected fault handler uses
+  /// Extra fuel multiplier over the golden bad-input run (faulted runs that
+  /// exceed golden_steps * multiplier + slack are classified kHang).
+  std::uint64_t fuel_multiplier = 8;
+  std::uint64_t fuel_slack = 4096;
+};
+
+struct CampaignResult {
+  std::vector<Vulnerability> vulnerabilities;
+  std::map<Outcome, std::uint64_t> outcome_counts;
+  std::uint64_t total_faults = 0;
+  std::uint64_t trace_length = 0;
+
+  [[nodiscard]] std::uint64_t count(Outcome outcome) const {
+    const auto it = outcome_counts.find(outcome);
+    return it == outcome_counts.end() ? 0 : it->second;
+  }
+  /// Distinct static instruction addresses with at least one successful
+  /// fault — the paper's "number of vulnerable points".
+  [[nodiscard]] std::vector<std::uint64_t> vulnerable_addresses() const;
+};
+
+/// Golden (fault-free) references for both inputs. Throws Error{kExecution}
+/// if the binary does not show the expected differential behaviour.
+struct Oracle {
+  emu::RunResult good_reference;
+  emu::RunResult bad_reference;
+  std::vector<emu::TraceEntry> bad_trace;
+
+  Outcome classify(const emu::RunResult& run, int detected_exit_code) const;
+};
+
+Oracle make_oracle(const elf::Image& image, const std::string& good_input,
+                   const std::string& bad_input);
+
+CampaignResult run_campaign(const elf::Image& image, const std::string& good_input,
+                            const std::string& bad_input,
+                            const CampaignConfig& config = {});
+
+}  // namespace r2r::fault

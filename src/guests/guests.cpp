@@ -1,0 +1,362 @@
+#include "guests/guests.h"
+
+#include <vector>
+
+#include "bir/assemble.h"
+#include "support/strings.h"
+
+namespace r2r::guests {
+
+namespace {
+
+// Shared syscall boilerplate: write(1, sym, len) followed by exit(code).
+std::string write_and_exit(const std::string& symbol, std::size_t length, int code) {
+  return "    mov rax, 1\n"
+         "    mov rdi, 1\n"
+         "    mov rsi, offset " + symbol + "\n"
+         "    mov rdx, " + std::to_string(length) + "\n"
+         "    syscall\n"
+         "    mov rax, 60\n"
+         "    mov rdi, " + std::to_string(code) + "\n"
+         "    syscall\n";
+}
+
+constexpr std::string_view kPinBanner = "R2R PIN SERVICE v1.2\n";
+constexpr std::string_view kGranted = "ACCESS GRANTED\n";
+constexpr std::string_view kDenied = "ACCESS DENIED\n";
+constexpr std::string_view kSecret = "S3CR3T\n";
+constexpr std::string_view kBadFormat = "BAD FORMAT\n";
+constexpr std::string_view kIoError = "IO ERROR\n";
+constexpr std::string_view kBootBanner = "R2R SECURE BOOT v2\n";
+constexpr std::string_view kBootOk = "BOOT PAYLOAD\n";
+constexpr std::string_view kBootFail = "SECURE BOOT FAIL\n";
+constexpr std::string_view kBadMagic = "BAD MAGIC\n";
+constexpr std::string_view kShortRead = "SHORT READ\n";
+constexpr std::string_view kYes = "YES\n";
+constexpr std::string_view kNo = "NO\n";
+constexpr std::string_view kFirmwareMagic = "R2RFIRM!";
+
+std::string write_msg(const std::string& symbol, std::size_t length) {
+  return "    mov rax, 1\n"
+         "    mov rdi, 1\n"
+         "    mov rsi, offset " + symbol + "\n"
+         "    mov rdx, " + std::to_string(length) + "\n"
+         "    syscall\n";
+}
+
+// Case study 1: a PIN service with a banner, I/O check, digit-format
+// validation, constant-time-style comparison, and attempt accounting —
+// the comparison + conditional branch guarding the privileged continuation
+// is exactly the structure Section IV-B.1 attacks.
+Guest make_pincheck() {
+  Guest guest;
+  guest.name = "pincheck";
+  guest.good_input = "7391";
+  guest.bad_input = "0000";
+  guest.good_output =
+      std::string(kPinBanner) + std::string(kGranted) + std::string(kSecret);
+  guest.bad_output = std::string(kPinBanner) + std::string(kDenied);
+  guest.good_exit = 0;
+  guest.bad_exit = 1;
+  guest.assembly =
+      ".global _start\n"
+      ".section .text\n"
+      "_start:\n" +
+      write_msg("msg_banner", kPinBanner.size()) +
+      "    mov rax, 0\n"
+      "    mov rdi, 0\n"
+      "    mov rsi, offset pinbuf\n"
+      "    mov rdx, 4\n"
+      "    syscall\n"
+      "    cmp rax, 4\n"
+      "    jne io_error\n"
+      "    call validate_format\n"
+      "    cmp rax, 1\n"
+      "    jne format_error\n"
+      "    call check_pin\n"
+      "    cmp rax, 1\n"
+      "    jne deny\n"
+      "grant:\n"
+      "    call log_success\n" +
+      write_msg("msg_granted", kGranted.size()) +
+      write_and_exit("secret", kSecret.size(), 0) +
+      "deny:\n"
+      "    call log_failure\n" +
+      write_and_exit("msg_denied", kDenied.size(), 1) +
+      "format_error:\n" +
+      write_and_exit("msg_badformat", kBadFormat.size(), 2) +
+      "io_error:\n" +
+      write_and_exit("msg_ioerror", kIoError.size(), 3) +
+      "\n"
+      "validate_format:\n"
+      "    mov rsi, offset pinbuf\n"
+      "    mov rcx, 4\n"
+      "vf_loop:\n"
+      "    movzx rbx, byte ptr [rsi]\n"
+      "    cmp rbx, 48\n"
+      "    jb vf_bad\n"
+      "    cmp rbx, 57\n"
+      "    ja vf_bad\n"
+      "    inc rsi\n"
+      "    dec rcx\n"
+      "    cmp rcx, 0\n"
+      "    jne vf_loop\n"
+      "    mov rax, 1\n"
+      "    ret\n"
+      "vf_bad:\n"
+      "    xor rax, rax\n"
+      "    ret\n"
+      "\n"
+      "check_pin:\n"  // accumulate-difference comparison (no early exit)
+      "    mov rsi, offset pinbuf\n"
+      "    mov rdi, offset expected_pin\n"
+      "    mov rcx, 4\n"
+      "    xor rax, rax\n"
+      "cp_loop:\n"
+      "    movzx rbx, byte ptr [rsi]\n"
+      "    movzx rdx, byte ptr [rdi]\n"
+      "    xor rbx, rdx\n"
+      "    or rax, rbx\n"
+      "    inc rsi\n"
+      "    inc rdi\n"
+      "    dec rcx\n"
+      "    cmp rcx, 0\n"
+      "    jne cp_loop\n"
+      // Branch-based verdict: like the paper's case studies, every
+      // security decision is a comparison + conditional jump (Section V-C
+      // notes all their vulnerabilities were conditional-jump-related).
+      "    cmp rax, 0\n"
+      "    jne cp_fail\n"
+      "    mov rax, 1\n"
+      "    ret\n"
+      "cp_fail:\n"
+      "    xor rax, rax\n"
+      "    ret\n"
+      "\n"
+      "log_success:\n"
+      "    mov rbx, offset stats\n"
+      "    mov rax, [rbx]\n"
+      "    inc rax\n"
+      "    mov [rbx], rax\n"
+      "    ret\n"
+      "log_failure:\n"
+      "    mov rbx, offset stats\n"
+      "    mov rax, [rbx+8]\n"
+      "    inc rax\n"
+      "    mov [rbx+8], rax\n"
+      "    ret\n"
+      "\n"
+      ".section .data\n"
+      "expected_pin: .ascii \"7391\"\n"
+      "pinbuf: .zero 8\n"
+      "stats: .quad 0, 0\n"
+      "msg_banner: .asciz \"R2R PIN SERVICE v1.2\\n\"\n"
+      "msg_granted: .asciz \"ACCESS GRANTED\\n\"\n"
+      "msg_denied: .asciz \"ACCESS DENIED\\n\"\n"
+      "msg_badformat: .asciz \"BAD FORMAT\\n\"\n"
+      "msg_ioerror: .asciz \"IO ERROR\\n\"\n"
+      "secret: .asciz \"S3CR3T\\n\"\n";
+  return guest;
+}
+
+// Case study 2: a two-stage secure bootloader. Firmware images are
+// magic-tagged ("R2RFIRM!" header + 64-byte body); the loader verifies the
+// magic, copies the body from the staging buffer into the active region,
+// hashes it (FNV-1a, the paper's "hash of the content of a memory
+// location"), and boots the payload only if the digest matches.
+Guest make_bootloader() {
+  Guest guest;
+  guest.name = "bootloader";
+  guest.good_input = std::string(kFirmwareMagic) + good_firmware();
+  std::string tampered = good_firmware();
+  tampered[17] ^= 0x40;  // one flipped bit in the firmware body
+  guest.bad_input = std::string(kFirmwareMagic) + tampered;
+  guest.good_output = std::string(kBootBanner) + std::string(kBootOk);
+  guest.bad_output = std::string(kBootBanner) + std::string(kBootFail);
+  guest.good_exit = 0;
+  guest.bad_exit = 1;
+
+  const std::uint64_t digest = fnv1a(good_firmware());
+  guest.assembly =
+      ".global _start\n"
+      ".section .text\n"
+      "_start:\n" +
+      write_msg("msg_banner", kBootBanner.size()) +
+      "    mov rax, 0\n"
+      "    mov rdi, 0\n"
+      "    mov rsi, offset staging\n"
+      "    mov rdx, 72\n"
+      "    syscall\n"
+      "    cmp rax, 72\n"
+      "    jne io_error\n"
+      "    call verify_magic\n"
+      "    cmp rax, 1\n"
+      "    jne magic_error\n"
+      "    call copy_body\n"
+      "    call compute_hash\n"
+      "    mov rdi, offset expected_hash\n"
+      "    mov rdi, [rdi]\n"
+      "    cmp rax, rdi\n"
+      "    jne boot_fail\n"
+      "boot_ok:\n"
+      "    call launch_payload\n"
+      "    mov rax, 60\n"
+      "    mov rdi, 0\n"
+      "    syscall\n"
+      "boot_fail:\n" +
+      write_and_exit("msg_fail", kBootFail.size(), 1) +
+      "magic_error:\n" +
+      write_and_exit("msg_badmagic", kBadMagic.size(), 2) +
+      "io_error:\n" +
+      write_and_exit("msg_shortread", kShortRead.size(), 3) +
+      "\n"
+      "verify_magic:\n"
+      "    mov rsi, offset staging\n"
+      "    mov rdi, offset magic_ref\n"
+      "    mov rcx, 8\n"
+      "vm_loop:\n"
+      "    movzx rbx, byte ptr [rsi]\n"
+      "    movzx rdx, byte ptr [rdi]\n"
+      "    cmp rbx, rdx\n"
+      "    jne vm_bad\n"
+      "    inc rsi\n"
+      "    inc rdi\n"
+      "    dec rcx\n"
+      "    cmp rcx, 0\n"
+      "    jne vm_loop\n"
+      "    mov rax, 1\n"
+      "    ret\n"
+      "vm_bad:\n"
+      "    xor rax, rax\n"
+      "    ret\n"
+      "\n"
+      "copy_body:\n"
+      "    mov rsi, offset staging\n"
+      "    add rsi, 8\n"
+      "    mov rdi, offset active\n"
+      "    mov rcx, 64\n"
+      "cb_loop:\n"
+      "    movzx rbx, byte ptr [rsi]\n"
+      "    mov byte ptr [rdi], bl\n"
+      "    inc rsi\n"
+      "    inc rdi\n"
+      "    dec rcx\n"
+      "    cmp rcx, 0\n"
+      "    jne cb_loop\n"
+      "    ret\n"
+      "\n"
+      "compute_hash:\n"
+      "    mov rsi, offset active\n"
+      "    mov rcx, 64\n"
+      "    mov rax, 0xcbf29ce484222325\n"  // FNV-1a offset basis
+      "ch_loop:\n"
+      "    movzx rbx, byte ptr [rsi]\n"
+      "    xor rax, rbx\n"
+      "    mov rdi, 0x100000001b3\n"  // FNV-1a prime
+      "    imul rax, rdi\n"
+      "    inc rsi\n"
+      "    dec rcx\n"
+      "    cmp rcx, 0\n"
+      "    jne ch_loop\n"
+      "    ret\n"
+      "\n"
+      "launch_payload:\n" +
+      write_msg("msg_ok", kBootOk.size()) +
+      "    ret\n"
+      "\n"
+      ".section .data\n"
+      "magic_ref: .ascii \"R2RFIRM!\"\n"
+      "staging: .zero 80\n"
+      "active: .zero 64\n"
+      "expected_hash: .quad " + support::hex_string(digest) + "\n"
+      "msg_banner: .asciz \"R2R SECURE BOOT v2\\n\"\n"
+      "msg_ok: .asciz \"BOOT PAYLOAD\\n\"\n"
+      "msg_fail: .asciz \"SECURE BOOT FAIL\\n\"\n"
+      "msg_badmagic: .asciz \"BAD MAGIC\\n\"\n"
+      "msg_shortread: .asciz \"SHORT READ\\n\"\n";
+  return guest;
+}
+
+Guest make_toymov() {
+  Guest guest;
+  guest.name = "toymov";
+  guest.good_input = "A";
+  guest.bad_input = "B";
+  guest.good_output = std::string(kYes);
+  guest.bad_output = std::string(kNo);
+  guest.good_exit = 0;
+  guest.bad_exit = 1;
+  guest.assembly =
+      ".global _start\n"
+      ".section .text\n"
+      "_start:\n"
+      "    mov rax, 0\n"
+      "    mov rdi, 0\n"
+      "    mov rsi, offset buf\n"
+      "    mov rdx, 1\n"
+      "    syscall\n"
+      "    mov rsi, offset buf\n"
+      "    movzx rbx, byte ptr [rsi]\n"
+      "    cmp rbx, 65\n"
+      "    jne no\n"
+      "yes:\n" +
+      write_and_exit("msg_yes", kYes.size(), 0) +
+      "no:\n" +
+      write_and_exit("msg_no", kNo.size(), 1) +
+      "\n"
+      ".section .data\n"
+      "buf: .zero 8\n"
+      "msg_yes: .asciz \"YES\\n\"\n"
+      "msg_no: .asciz \"NO\\n\"\n";
+  return guest;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view data) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string good_firmware() {
+  std::string firmware(64, '\0');
+  for (std::size_t i = 0; i < firmware.size(); ++i) {
+    firmware[i] = static_cast<char>((i * 7 + 3) & 0xFF);
+  }
+  return firmware;
+}
+
+const Guest& pincheck() {
+  static const Guest guest = make_pincheck();
+  return guest;
+}
+
+const Guest& bootloader() {
+  static const Guest guest = make_bootloader();
+  return guest;
+}
+
+const Guest& toymov() {
+  static const Guest guest = make_toymov();
+  return guest;
+}
+
+const std::vector<const Guest*>& all_guests() {
+  static const std::vector<const Guest*> guests = {&pincheck(), &bootloader(), &toymov()};
+  return guests;
+}
+
+bir::Module build_module(const Guest& guest) {
+  return bir::module_from_assembly(guest.assembly);
+}
+
+elf::Image build_image(const Guest& guest) {
+  bir::Module module = build_module(guest);
+  return bir::assemble(module);
+}
+
+}  // namespace r2r::guests

@@ -1,0 +1,55 @@
+// r2r::guests — the paper's case-study programs, written in the subset
+// assembly dialect and built into ELF images via the bir layer.
+//
+// Each guest reads its security-relevant input from stdin (the PIN for
+// pincheck, the firmware image for the secure bootloader), performs a
+// comparison, and either continues to a privileged continuation (prints a
+// secret / boots the payload, exit 0) or refuses (exit 1). A "successful
+// fault" flips a bad-input run into the privileged behaviour — exactly the
+// scenario of Section IV-B.1 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bir/module.h"
+#include "elf/image.h"
+
+namespace r2r::guests {
+
+struct Guest {
+  std::string name;
+  std::string assembly;     ///< source text in the r2r dialect
+  std::string good_input;   ///< authorized input
+  std::string bad_input;    ///< attacker input
+  std::string good_output;  ///< expected stdout for good_input
+  std::string bad_output;   ///< expected stdout for bad_input
+  int good_exit = 0;
+  int bad_exit = 1;
+};
+
+/// Case study 1 (Section V-C): PIN check guarding a secret.
+const Guest& pincheck();
+
+/// Case study 2 (Section V-C): secure bootloader hashing a firmware image
+/// (FNV-1a over 64 bytes) and comparing against an expected digest.
+const Guest& bootloader();
+
+/// Minimal mov/cmp/branch demo used by the quickstart and pattern tests.
+const Guest& toymov();
+
+/// All three, for parameterized tests.
+const std::vector<const Guest*>& all_guests();
+
+/// The 64-byte firmware accepted by the bootloader.
+std::string good_firmware();
+
+/// FNV-1a 64-bit digest (the bootloader's hash function, host-side).
+std::uint64_t fnv1a(std::string_view data);
+
+bir::Module build_module(const Guest& guest);
+elf::Image build_image(const Guest& guest);
+
+}  // namespace r2r::guests

@@ -1,0 +1,54 @@
+#include "harden/hybrid.h"
+
+#include "ir/verifier.h"
+#include "passes/pass.h"
+
+namespace r2r::harden {
+
+HybridResult hybrid_harden(const elf::Image& input, const HybridConfig& config) {
+  HybridResult result;
+  result.original_code_size = input.code_size();
+
+  lift::LiftResult lifted = lift::lift(input);
+  ir::verify(lifted.module);
+
+  if (config.cleanup) {
+    passes::PassManager cleanup;
+    cleanup.add(passes::make_state_promotion());
+    cleanup.add(passes::make_global_store_elim());
+    cleanup.add(passes::make_constant_fold());
+    cleanup.add(passes::make_dce());
+    cleanup.run_to_fixpoint(lifted.module);
+    ir::verify(lifted.module);
+  }
+
+  result.ir_before = passes::count_ops(lifted.module);
+
+  switch (config.countermeasure) {
+    case HybridCountermeasure::kNone:
+      break;
+    case HybridCountermeasure::kBranchHardening: {
+      passes::PassManager pm;
+      pm.add(passes::make_call_guard());
+      pm.add(passes::make_branch_hardening());
+      pm.run(lifted.module);
+      break;
+    }
+    case HybridCountermeasure::kInstructionDuplication: {
+      passes::PassManager pm;
+      pm.add(passes::make_instruction_duplication());
+      pm.run(lifted.module);
+      break;
+    }
+  }
+  ir::verify(lifted.module);
+  result.ir_after = passes::count_ops(lifted.module);
+
+  result.hardened =
+      lower::lower_to_image(lifted.module, lifted.guest_data, config.lower_options);
+  result.hardened_code_size = result.hardened.code_size();
+  result.module = std::move(lifted.module);
+  return result;
+}
+
+}  // namespace r2r::harden

@@ -1,0 +1,56 @@
+// r2r::harden — the Hybrid compiler-binary approach end-to-end
+// (Section IV-C, upper half of Fig. 3):
+//
+//   binary --lift--> IR --cleanup passes--> --countermeasure pass-->
+//          --lower--> hardened binary
+//
+// Pass ordering note (the paper's Section IV-C.3 caveat about keeping
+// countermeasures intact through code generation): cleanup passes that
+// merge redundant loads (state promotion) run strictly *before* the
+// hardening pass — running them after would collapse the duplicated
+// checksum/comparison computations back into single instances.
+#pragma once
+
+#include <cstdint>
+
+#include "elf/image.h"
+#include "ir/ir.h"
+#include "lift/lifter.h"
+#include "lower/lower.h"
+#include "passes/stats.h"
+
+namespace r2r::harden {
+
+enum class HybridCountermeasure : std::uint8_t {
+  kNone,                    ///< lift+lower only (measures rewriting overhead)
+  kBranchHardening,         ///< the paper's conditional branch hardening
+  kInstructionDuplication,  ///< the >=300% baseline of Section V-C
+};
+
+struct HybridConfig {
+  HybridCountermeasure countermeasure = HybridCountermeasure::kBranchHardening;
+  bool cleanup = true;  ///< state promotion + folding + DCE before hardening
+  lower::LowerOptions lower_options;
+};
+
+struct HybridResult {
+  ir::Module module;  ///< final IR (after countermeasure passes)
+  elf::Image hardened;
+  std::uint64_t original_code_size = 0;
+  std::uint64_t hardened_code_size = 0;
+  passes::OpcodeCounts ir_before;  ///< op counts before the countermeasure
+  passes::OpcodeCounts ir_after;   ///< op counts after the countermeasure
+
+  [[nodiscard]] double overhead_percent() const noexcept {
+    if (original_code_size == 0) return 0.0;
+    return 100.0 *
+           (static_cast<double>(hardened_code_size) -
+            static_cast<double>(original_code_size)) /
+           static_cast<double>(original_code_size);
+  }
+};
+
+/// Runs the full Hybrid pipeline on `input`.
+HybridResult hybrid_harden(const elf::Image& input, const HybridConfig& config = {});
+
+}  // namespace r2r::harden

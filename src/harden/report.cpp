@@ -1,0 +1,33 @@
+#include "harden/report.h"
+
+namespace r2r::harden {
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    out += "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    out += "\n";
+    if (r == 0) {
+      out += "|";
+      for (const std::size_t width : widths) {
+        out += std::string(width + 2, '-') + "|";
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace r2r::harden

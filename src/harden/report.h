@@ -1,0 +1,19 @@
+// r2r::harden — plain-text table rendering for benches and EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace r2r::harden {
+
+/// Fixed-width text table: first row is the header.
+class TextTable {
+ public:
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace r2r::harden

@@ -1,0 +1,149 @@
+// r2r::ir — insertion-point based IR construction (LLVM IRBuilder style).
+#pragma once
+
+#include "ir/ir.h"
+
+namespace r2r::ir {
+
+class Builder {
+ public:
+  explicit Builder(Module& module) : module_(module) {}
+
+  void set_insert_point(BasicBlock* block) noexcept { block_ = block; }
+  [[nodiscard]] BasicBlock* insert_point() const noexcept { return block_; }
+  [[nodiscard]] Module& module() noexcept { return module_; }
+
+  Constant* const_i64(std::uint64_t value) {
+    return module_.get_constant(Type::kI64, value);
+  }
+  Constant* const_i8(std::uint8_t value) { return module_.get_constant(Type::kI8, value); }
+  Constant* const_i1(bool value) { return module_.get_constant(Type::kI1, value ? 1 : 0); }
+
+  Instr* binary(Opcode opcode, Value* a, Value* b) {
+    support::require(a->type() == b->type(), "binary operand type mismatch");
+    Instr* instr = append(opcode, a->type());
+    instr->operands = {a, b};
+    return instr;
+  }
+  Instr* add(Value* a, Value* b) { return binary(Opcode::kAdd, a, b); }
+  Instr* sub(Value* a, Value* b) { return binary(Opcode::kSub, a, b); }
+  Instr* mul(Value* a, Value* b) { return binary(Opcode::kMul, a, b); }
+  Instr* and_(Value* a, Value* b) { return binary(Opcode::kAnd, a, b); }
+  Instr* or_(Value* a, Value* b) { return binary(Opcode::kOr, a, b); }
+  Instr* xor_(Value* a, Value* b) { return binary(Opcode::kXor, a, b); }
+  Instr* shl(Value* a, Value* b) { return binary(Opcode::kShl, a, b); }
+  Instr* lshr(Value* a, Value* b) { return binary(Opcode::kLShr, a, b); }
+  Instr* ashr(Value* a, Value* b) { return binary(Opcode::kAShr, a, b); }
+
+  /// Bitwise complement as xor with all-ones (Algorithm 1's ¬mask).
+  Instr* not_(Value* a) {
+    return xor_(a, module_.get_constant(a->type(), ~std::uint64_t{0}));
+  }
+
+  Instr* icmp(Pred pred, Value* a, Value* b) {
+    support::require(a->type() == b->type(), "icmp operand type mismatch");
+    Instr* instr = append(Opcode::kICmp, Type::kI1);
+    instr->operands = {a, b};
+    instr->pred = pred;
+    return instr;
+  }
+
+  Instr* zext(Value* value, Type to) {
+    Instr* instr = append(Opcode::kZExt, to);
+    instr->operands = {value};
+    return instr;
+  }
+  Instr* sext(Value* value, Type to) {
+    Instr* instr = append(Opcode::kSExt, to);
+    instr->operands = {value};
+    return instr;
+  }
+  Instr* trunc(Value* value, Type to) {
+    Instr* instr = append(Opcode::kTrunc, to);
+    instr->operands = {value};
+    return instr;
+  }
+  Instr* select(Value* cond, Value* if_true, Value* if_false) {
+    support::require(if_true->type() == if_false->type(), "select type mismatch");
+    Instr* instr = append(Opcode::kSelect, if_true->type());
+    instr->operands = {cond, if_true, if_false};
+    return instr;
+  }
+
+  Instr* load(Type type, Value* address) {
+    Instr* instr = append(Opcode::kLoad, type);
+    instr->operands = {address};
+    return instr;
+  }
+  Instr* store(Value* value, Value* address) {
+    Instr* instr = append(Opcode::kStore, Type::kVoid);
+    instr->operands = {value, address};
+    return instr;
+  }
+
+  Instr* br(BasicBlock* target) {
+    Instr* instr = append(Opcode::kBr, Type::kVoid);
+    instr->targets = {target};
+    return instr;
+  }
+  Instr* cond_br(Value* cond, BasicBlock* if_true, BasicBlock* if_false) {
+    Instr* instr = append(Opcode::kCondBr, Type::kVoid);
+    instr->operands = {cond};
+    instr->targets = {if_true, if_false};
+    return instr;
+  }
+  Instr* switch_(Value* value, BasicBlock* default_target,
+                 std::vector<std::pair<std::uint64_t, BasicBlock*>> cases) {
+    Instr* instr = append(Opcode::kSwitch, Type::kVoid);
+    instr->operands = {value};
+    instr->targets = {default_target};
+    for (auto& [case_value, target] : cases) {
+      instr->case_values.push_back(case_value);
+      instr->targets.push_back(target);
+    }
+    return instr;
+  }
+  Instr* ret() { return append(Opcode::kRet, Type::kVoid); }
+  Instr* unreachable() { return append(Opcode::kUnreachable, Type::kVoid); }
+
+  Instr* call(Function* callee, std::vector<Value*> args = {}) {
+    Instr* instr = append(Opcode::kCall, callee->return_type());
+    instr->callee = callee;
+    instr->operands = std::move(args);
+    return instr;
+  }
+
+  /// Re-emits a side-effect-free computation with the same operands
+  /// (used by redundancy passes to duplicate work at run time).
+  Instr* binary_clone(const Instr* original) {
+    switch (original->opcode()) {
+      case Opcode::kLoad:
+        return load(original->type(), original->operands[0]);
+      case Opcode::kICmp:
+        return icmp(original->pred, original->operands[0], original->operands[1]);
+      case Opcode::kZExt:
+        return zext(original->operands[0], original->type());
+      case Opcode::kSExt:
+        return sext(original->operands[0], original->type());
+      case Opcode::kTrunc:
+        return trunc(original->operands[0], original->type());
+      case Opcode::kSelect:
+        return select(original->operands[0], original->operands[1],
+                      original->operands[2]);
+      default:
+        return binary(original->opcode(), original->operands[0], original->operands[1]);
+    }
+  }
+
+ private:
+  Instr* append(Opcode opcode, Type type) {
+    support::require(block_ != nullptr, "builder has no insertion point");
+    block_->instrs.push_back(std::make_unique<Instr>(opcode, type));
+    return block_->instrs.back().get();
+  }
+
+  Module& module_;
+  BasicBlock* block_ = nullptr;
+};
+
+}  // namespace r2r::ir

@@ -1,0 +1,147 @@
+#include "ir/printer.h"
+
+#include <map>
+
+#include "support/strings.h"
+
+namespace r2r::ir {
+
+namespace {
+
+class FnPrinter {
+ public:
+  explicit FnPrinter(const Function& fn) : fn_(fn) {
+    int next = 0;
+    for (const auto& block : fn.blocks) {
+      for (const auto& instr : block->instrs) {
+        if (instr->type() != Type::kVoid) ids_[instr.get()] = next++;
+      }
+    }
+  }
+
+  std::string value_ref(const Value* value) const {
+    switch (value->kind()) {
+      case Value::Kind::kConstant: {
+        const auto* constant = static_cast<const Constant*>(value);
+        if (constant->type() == Type::kI1) return constant->value() != 0 ? "true" : "false";
+        const auto raw = constant->value();
+        if (raw > 0xFFFF) return support::hex_string(raw);
+        return std::to_string(raw);
+      }
+      case Value::Kind::kGlobal:
+        return "@" + static_cast<const GlobalVariable*>(value)->name();
+      case Value::Kind::kInstr: {
+        const auto it = ids_.find(static_cast<const Instr*>(value));
+        return it == ids_.end() ? "%<void>" : "%" + std::to_string(it->second);
+      }
+    }
+    return "?";
+  }
+
+  std::string typed_ref(const Value* value) const {
+    return std::string(to_string(value->type())) + " " + value_ref(value);
+  }
+
+  std::string instr_line(const Instr& instr) const {
+    std::string out = "  ";
+    if (instr.type() != Type::kVoid) out += value_ref(&instr) + " = ";
+    switch (instr.opcode()) {
+      case Opcode::kICmp:
+        out += "icmp " + std::string(to_string(instr.pred)) + " " +
+               typed_ref(instr.operands[0]) + ", " + value_ref(instr.operands[1]);
+        return out;
+      case Opcode::kZExt:
+      case Opcode::kSExt:
+      case Opcode::kTrunc:
+        out += std::string(to_string(instr.opcode())) + " " +
+               typed_ref(instr.operands[0]) + " to " + std::string(to_string(instr.type()));
+        return out;
+      case Opcode::kLoad:
+        out += "load " + std::string(to_string(instr.type())) + ", " +
+               typed_ref(instr.operands[0]);
+        return out;
+      case Opcode::kStore:
+        out += "store " + typed_ref(instr.operands[0]) + ", " +
+               typed_ref(instr.operands[1]);
+        return out;
+      case Opcode::kBr:
+        out += "br label %" + instr.targets[0]->name();
+        return out;
+      case Opcode::kCondBr:
+        out += "br " + typed_ref(instr.operands[0]) + ", label %" +
+               instr.targets[0]->name() + ", label %" + instr.targets[1]->name();
+        return out;
+      case Opcode::kSwitch: {
+        out += "switch " + typed_ref(instr.operands[0]) + ", label %" +
+               instr.targets[0]->name() + " [";
+        for (std::size_t i = 0; i < instr.case_values.size(); ++i) {
+          if (i != 0) out += " ";
+          out += std::to_string(instr.case_values[i]) + ": label %" +
+                 instr.targets[i + 1]->name();
+        }
+        out += "]";
+        return out;
+      }
+      case Opcode::kRet:
+        out += "ret void";
+        return out;
+      case Opcode::kUnreachable:
+        out += "unreachable";
+        return out;
+      case Opcode::kCall: {
+        out += "call " + std::string(to_string(instr.callee->return_type())) + " @" +
+               instr.callee->name() + "(";
+        for (std::size_t i = 0; i < instr.operands.size(); ++i) {
+          if (i != 0) out += ", ";
+          out += typed_ref(instr.operands[i]);
+        }
+        out += ")";
+        return out;
+      }
+      default:
+        out += std::string(to_string(instr.opcode())) + " " +
+               typed_ref(instr.operands[0]);
+        for (std::size_t i = 1; i < instr.operands.size(); ++i) {
+          out += ", " + value_ref(instr.operands[i]);
+        }
+        return out;
+    }
+  }
+
+ private:
+  const Function& fn_;
+  std::map<const Instr*, int> ids_;
+};
+
+}  // namespace
+
+std::string print(const Function& fn) {
+  if (fn.is_intrinsic()) {
+    return "declare " + std::string(to_string(fn.return_type())) + " @" + fn.name() +
+           "(" + std::to_string(fn.param_count()) + " args)\n";
+  }
+  FnPrinter printer(fn);
+  std::string out =
+      "define " + std::string(to_string(fn.return_type())) + " @" + fn.name() + "() {\n";
+  for (const auto& block : fn.blocks) {
+    out += block->name() + ":\n";
+    for (const auto& instr : block->instrs) out += printer.instr_line(*instr) + "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string print(const Module& module) {
+  std::string out;
+  for (const auto& global : module.globals) {
+    out += "@" + global->name() + " = global [" + std::to_string(global->size()) +
+           " x i8]\n";
+  }
+  if (!module.globals.empty()) out += "\n";
+  for (const auto& fn : module.functions) {
+    out += print(*fn) + "\n";
+  }
+  return out;
+}
+
+}  // namespace r2r::ir

@@ -1,0 +1,13 @@
+// r2r::ir — LLVM-flavoured textual rendering (diagnostics, docs, tests).
+#pragma once
+
+#include <string>
+
+#include "ir/ir.h"
+
+namespace r2r::ir {
+
+std::string print(const Module& module);
+std::string print(const Function& fn);
+
+}  // namespace r2r::ir

@@ -1,0 +1,180 @@
+#include "ir/verifier.h"
+
+#include <set>
+
+#include "support/error.h"
+
+namespace r2r::ir {
+
+namespace {
+
+using support::check;
+using support::ErrorKind;
+
+void verify_function(const Module& module, const Function& fn) {
+  const std::string where = "function @" + fn.name() + ": ";
+  if (fn.is_intrinsic()) {
+    check(fn.blocks.empty(), ErrorKind::kIr, where + "intrinsic with a body");
+    return;
+  }
+  check(!fn.blocks.empty(), ErrorKind::kIr, where + "no blocks");
+
+  std::set<const BasicBlock*> own_blocks;
+  for (const auto& block : fn.blocks) own_blocks.insert(block.get());
+
+  // All instruction results defined anywhere in this function.
+  std::set<const Value*> defined;
+  for (const auto& block : fn.blocks) {
+    for (const auto& instr : block->instrs) defined.insert(instr.get());
+  }
+
+  for (const auto& block : fn.blocks) {
+    const std::string at = where + "block %" + block->name() + ": ";
+    check(!block->instrs.empty(), ErrorKind::kIr, at + "empty block");
+    for (std::size_t i = 0; i < block->instrs.size(); ++i) {
+      const Instr& instr = *block->instrs[i];
+      const bool last = (i + 1 == block->instrs.size());
+      check(instr.is_terminator() == last, ErrorKind::kIr,
+            at + (last ? "missing terminator" : "terminator in the middle"));
+
+      for (const Value* op : instr.operands) {
+        check(op != nullptr, ErrorKind::kIr, at + "null operand");
+        if (op->kind() == Value::Kind::kInstr) {
+          check(defined.contains(op), ErrorKind::kIr,
+                at + "operand defined in another function");
+        }
+      }
+      for (const BasicBlock* target : instr.targets) {
+        check(own_blocks.contains(target), ErrorKind::kIr,
+              at + "branch target outside function");
+      }
+
+      switch (instr.opcode()) {
+        case Opcode::kAdd:
+        case Opcode::kSub:
+        case Opcode::kMul:
+        case Opcode::kAnd:
+        case Opcode::kOr:
+        case Opcode::kXor:
+        case Opcode::kShl:
+        case Opcode::kLShr:
+        case Opcode::kAShr:
+          check(instr.operands.size() == 2, ErrorKind::kIr, at + "binary arity");
+          check(instr.operands[0]->type() == instr.type() &&
+                    instr.operands[1]->type() == instr.type(),
+                ErrorKind::kIr, at + "binary type mismatch");
+          check(instr.type() != Type::kVoid, ErrorKind::kIr, at + "void arithmetic");
+          break;
+        case Opcode::kICmp:
+          check(instr.operands.size() == 2, ErrorKind::kIr, at + "icmp arity");
+          check(instr.type() == Type::kI1, ErrorKind::kIr, at + "icmp must yield i1");
+          check(instr.operands[0]->type() == instr.operands[1]->type(), ErrorKind::kIr,
+                at + "icmp operand mismatch");
+          break;
+        case Opcode::kZExt:
+        case Opcode::kSExt:
+          check(instr.operands.size() == 1, ErrorKind::kIr, at + "ext arity");
+          check(type_bits(instr.type()) > type_bits(instr.operands[0]->type()),
+                ErrorKind::kIr, at + "ext must widen");
+          break;
+        case Opcode::kTrunc:
+          check(instr.operands.size() == 1, ErrorKind::kIr, at + "trunc arity");
+          check(type_bits(instr.type()) < type_bits(instr.operands[0]->type()),
+                ErrorKind::kIr, at + "trunc must narrow");
+          break;
+        case Opcode::kSelect:
+          check(instr.operands.size() == 3, ErrorKind::kIr, at + "select arity");
+          check(instr.operands[0]->type() == Type::kI1, ErrorKind::kIr,
+                at + "select condition must be i1");
+          check(instr.operands[1]->type() == instr.type() &&
+                    instr.operands[2]->type() == instr.type(),
+                ErrorKind::kIr, at + "select type mismatch");
+          break;
+        case Opcode::kLoad:
+          check(instr.operands.size() == 1, ErrorKind::kIr, at + "load arity");
+          check(instr.operands[0]->type() == Type::kI64, ErrorKind::kIr,
+                at + "load address must be i64");
+          check(instr.type() == Type::kI8 || instr.type() == Type::kI64, ErrorKind::kIr,
+                at + "load type must be i8 or i64");
+          break;
+        case Opcode::kStore:
+          check(instr.operands.size() == 2, ErrorKind::kIr, at + "store arity");
+          check(instr.operands[1]->type() == Type::kI64, ErrorKind::kIr,
+                at + "store address must be i64");
+          check(instr.operands[0]->type() == Type::kI8 ||
+                    instr.operands[0]->type() == Type::kI64,
+                ErrorKind::kIr, at + "store value must be i8 or i64");
+          break;
+        case Opcode::kBr:
+          check(instr.targets.size() == 1, ErrorKind::kIr, at + "br target count");
+          break;
+        case Opcode::kCondBr:
+          check(instr.targets.size() == 2 && instr.operands.size() == 1, ErrorKind::kIr,
+                at + "condbr shape");
+          check(instr.operands[0]->type() == Type::kI1, ErrorKind::kIr,
+                at + "condbr condition must be i1");
+          break;
+        case Opcode::kSwitch:
+          check(instr.operands.size() == 1, ErrorKind::kIr, at + "switch arity");
+          check(instr.targets.size() == instr.case_values.size() + 1, ErrorKind::kIr,
+                at + "switch case/target mismatch");
+          break;
+        case Opcode::kRet:
+          check(fn.return_type() == Type::kVoid, ErrorKind::kIr,
+                at + "non-void function return");
+          break;
+        case Opcode::kUnreachable:
+          break;
+        case Opcode::kCall: {
+          check(instr.callee != nullptr, ErrorKind::kIr, at + "call without callee");
+          check(module.find_function(instr.callee->name()) == instr.callee,
+                ErrorKind::kIr, at + "callee not in module");
+          check(instr.operands.size() == instr.callee->param_count(), ErrorKind::kIr,
+                at + "call argument count mismatch");
+          check(instr.type() == instr.callee->return_type(), ErrorKind::kIr,
+                at + "call result type mismatch");
+          break;
+        }
+      }
+    }
+
+    // Straight-line def-before-use inside the block.
+    std::set<const Value*> seen;
+    for (const auto& instr : block->instrs) {
+      for (const Value* op : instr->operands) {
+        if (op->kind() != Value::Kind::kInstr) continue;
+        bool in_this_block = false;
+        for (const auto& candidate : block->instrs) {
+          if (candidate.get() == op) {
+            in_this_block = true;
+            break;
+          }
+        }
+        if (in_this_block) {
+          check(seen.contains(op), ErrorKind::kIr,
+                at + "use before definition within block");
+        }
+      }
+      seen.insert(instr.get());
+    }
+  }
+}
+
+}  // namespace
+
+void verify(const Module& module) {
+  std::set<std::string_view> names;
+  for (const auto& fn : module.functions) {
+    check(names.insert(fn->name()).second, ErrorKind::kIr,
+          "duplicate function @" + fn->name());
+    verify_function(module, *fn);
+  }
+  std::set<std::string_view> global_names;
+  for (const auto& global : module.globals) {
+    check(global_names.insert(global->name()).second, ErrorKind::kIr,
+          "duplicate global @" + global->name());
+    check(global->size() > 0, ErrorKind::kIr, "empty global @" + global->name());
+  }
+}
+
+}  // namespace r2r::ir

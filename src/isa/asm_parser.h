@@ -1,0 +1,65 @@
+// r2r::isa — text assembler front-end.
+//
+// Parses an Intel-syntax assembly module (the dialect used for the guest
+// case studies) into a SourceProgram: ordered sections of labelled items.
+// Layout/encoding to a binary image is done by r2r::bir.
+//
+// Dialect:
+//   .section .text | .data            switch current section
+//   .global NAME                      export a symbol (entry point)
+//   label:                            attach label to next item
+//   mov rax, qword ptr [rbx+8]        instructions, Intel syntax
+//   .byte 1, 2, 0x1f                  data bytes
+//   .quad 0x1122, label               8-byte values or symbol addresses
+//   .asciz "text\n"                   NUL-terminated string
+//   .ascii "text"                     string without terminator
+//   .zero N                           N zero bytes
+//   .align N                          pad to N-byte boundary
+//   ; comment   # comment             comments to end of line
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace r2r::isa {
+
+/// One labelled unit inside a section: an instruction, raw data bytes, or
+/// a pure alignment request.
+struct SourceItem {
+  std::vector<std::string> labels;
+  std::optional<Instruction> instr;
+  std::vector<std::uint8_t> data;
+  /// (offset-into-data, symbol) pairs: 8-byte slots patched with the
+  /// symbol's address at layout time (.quad label).
+  std::vector<std::pair<std::size_t, std::string>> data_symbol_refs;
+  std::uint64_t align = 0;
+
+  [[nodiscard]] bool is_instruction() const noexcept { return instr.has_value(); }
+};
+
+struct SourceSection {
+  std::string name;
+  std::vector<SourceItem> items;
+};
+
+struct SourceProgram {
+  std::vector<SourceSection> sections;
+  std::vector<std::string> globals;
+
+  /// Returns the section with `name`, or nullptr.
+  [[nodiscard]] const SourceSection* find_section(std::string_view name) const noexcept;
+};
+
+/// Parses assembly text. Throws Error{kParse} with a line number on
+/// malformed input.
+SourceProgram parse_assembly(std::string_view text);
+
+/// Parses a single instruction line, e.g. "mov rax, [rbx+8]".
+Instruction parse_instruction(std::string_view line);
+
+}  // namespace r2r::isa

@@ -1,0 +1,38 @@
+#include "isa/condition.h"
+
+#include <array>
+
+namespace r2r::isa {
+
+std::string_view cond_suffix(Cond cond) noexcept {
+  static constexpr std::array<std::string_view, 16> kSuffix = {
+      "o", "no", "b", "ae", "e", "ne", "be", "a",
+      "s", "ns", "p", "np", "l", "ge", "le", "g"};
+  if (cond == Cond::none) return "";
+  return kSuffix[static_cast<std::size_t>(cond)];
+}
+
+std::optional<Cond> parse_cond_suffix(std::string_view suffix) noexcept {
+  struct Alias {
+    std::string_view name;
+    Cond cond;
+  };
+  static constexpr std::array<Alias, 28> kAliases = {{
+      {"o", Cond::o},   {"no", Cond::no}, {"b", Cond::b},    {"c", Cond::b},
+      {"nae", Cond::b}, {"ae", Cond::ae}, {"nb", Cond::ae},  {"nc", Cond::ae},
+      {"e", Cond::e},   {"z", Cond::e},   {"ne", Cond::ne},  {"nz", Cond::ne},
+      {"be", Cond::be}, {"na", Cond::be}, {"a", Cond::a},    {"nbe", Cond::a},
+      {"s", Cond::s},   {"ns", Cond::ns}, {"p", Cond::p},    {"pe", Cond::p},
+      {"np", Cond::np}, {"po", Cond::np}, {"l", Cond::l},    {"nge", Cond::l},
+      {"ge", Cond::ge}, {"nl", Cond::ge}, {"le", Cond::le},  {"g", Cond::g},
+  }};
+  for (const auto& alias : kAliases) {
+    if (alias.name == suffix) return alias.cond;
+  }
+  if (suffix == "na") return Cond::be;
+  if (suffix == "ng") return Cond::le;
+  if (suffix == "nle") return Cond::g;
+  return std::nullopt;
+}
+
+}  // namespace r2r::isa

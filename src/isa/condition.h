@@ -1,0 +1,47 @@
+// r2r::isa — x86 condition codes shared by j<cond>, set<cond>, cmov<cond>.
+//
+// Enumerator values are the hardware condition-code nibble, so the encoder
+// can emit 0x70+cc / 0x0F 0x80+cc / 0x0F 0x90+cc / 0x0F 0x40+cc directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace r2r::isa {
+
+enum class Cond : std::uint8_t {
+  o = 0x0,   ///< overflow
+  no = 0x1,  ///< not overflow
+  b = 0x2,   ///< below (CF)
+  ae = 0x3,  ///< above or equal (!CF)
+  e = 0x4,   ///< equal (ZF)
+  ne = 0x5,  ///< not equal (!ZF)
+  be = 0x6,  ///< below or equal (CF|ZF)
+  a = 0x7,   ///< above (!CF & !ZF)
+  s = 0x8,   ///< sign (SF)
+  ns = 0x9,  ///< not sign (!SF)
+  p = 0xA,   ///< parity even (PF)
+  np = 0xB,  ///< parity odd (!PF)
+  l = 0xC,   ///< less (SF != OF)
+  ge = 0xD,  ///< greater or equal (SF == OF)
+  le = 0xE,  ///< less or equal (ZF | SF != OF)
+  g = 0xF,   ///< greater (!ZF & SF == OF)
+  none = 0xFF,  ///< sentinel: instruction carries no condition
+};
+
+/// Logical negation of a condition (je <-> jne, jl <-> jge, ...). The
+/// hardware encodes this as flipping the lowest cc bit.
+constexpr Cond invert(Cond cond) noexcept {
+  return cond == Cond::none ? Cond::none
+                            : static_cast<Cond>(static_cast<std::uint8_t>(cond) ^ 1U);
+}
+
+/// Condition-code suffix ("e", "ne", "le", ...). Cond::none yields "".
+std::string_view cond_suffix(Cond cond) noexcept;
+
+/// Parses a condition-code suffix; also accepts the common aliases
+/// z/nz (for e/ne), c/nc (for b/ae), nae/nb/na/nbe, nge/nl/ng/nle.
+std::optional<Cond> parse_cond_suffix(std::string_view suffix) noexcept;
+
+}  // namespace r2r::isa

@@ -1,0 +1,28 @@
+// r2r::isa — machine-code decoder for the x86-64 subset.
+//
+// decode() understands every byte sequence the encoder can produce plus the
+// short (rel8) branch forms, and throws Error{kDecode} on anything else.
+// Fault campaigns rely on this: a bit flip may turn an instruction into a
+// *different valid* instruction (which then executes) or into junk (which
+// the emulator reports as an invalid-opcode crash) — both behaviours mirror
+// real hardware.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "isa/instruction.h"
+
+namespace r2r::isa {
+
+struct Decoded {
+  Instruction instr;
+  std::uint8_t length = 0;  ///< bytes consumed
+};
+
+/// Decodes one instruction located at virtual address `address`.
+/// PC-relative branch targets and RIP-relative displacements are converted
+/// to absolute addresses. Throws Error{kDecode} on invalid encodings.
+Decoded decode(std::span<const std::uint8_t> bytes, std::uint64_t address);
+
+}  // namespace r2r::isa

@@ -1,0 +1,70 @@
+#include "isa/instruction.h"
+
+namespace r2r::isa {
+
+std::string_view mnemonic_name(Mnemonic mnemonic) noexcept {
+  switch (mnemonic) {
+    case Mnemonic::kMov: return "mov";
+    case Mnemonic::kMovzx: return "movzx";
+    case Mnemonic::kMovsx: return "movsx";
+    case Mnemonic::kLea: return "lea";
+    case Mnemonic::kAdd: return "add";
+    case Mnemonic::kSub: return "sub";
+    case Mnemonic::kAnd: return "and";
+    case Mnemonic::kOr: return "or";
+    case Mnemonic::kXor: return "xor";
+    case Mnemonic::kCmp: return "cmp";
+    case Mnemonic::kTest: return "test";
+    case Mnemonic::kNot: return "not";
+    case Mnemonic::kNeg: return "neg";
+    case Mnemonic::kInc: return "inc";
+    case Mnemonic::kDec: return "dec";
+    case Mnemonic::kImul: return "imul";
+    case Mnemonic::kShl: return "shl";
+    case Mnemonic::kShr: return "shr";
+    case Mnemonic::kSar: return "sar";
+    case Mnemonic::kPush: return "push";
+    case Mnemonic::kPop: return "pop";
+    case Mnemonic::kPushfq: return "pushfq";
+    case Mnemonic::kPopfq: return "popfq";
+    case Mnemonic::kJmp: return "jmp";
+    case Mnemonic::kJcc: return "j";
+    case Mnemonic::kCall: return "call";
+    case Mnemonic::kJmpReg: return "jmp";
+    case Mnemonic::kCallReg: return "call";
+    case Mnemonic::kRet: return "ret";
+    case Mnemonic::kSetcc: return "set";
+    case Mnemonic::kCmovcc: return "cmov";
+    case Mnemonic::kSyscall: return "syscall";
+    case Mnemonic::kNop: return "nop";
+    case Mnemonic::kHlt: return "hlt";
+    case Mnemonic::kInt3: return "int3";
+    case Mnemonic::kUd2: return "ud2";
+  }
+  return "?";
+}
+
+Instruction make0(Mnemonic m) {
+  Instruction instr;
+  instr.mnemonic = m;
+  return instr;
+}
+
+Instruction make1(Mnemonic m, Operand a, Width w) {
+  Instruction instr;
+  instr.mnemonic = m;
+  instr.width = w;
+  instr.operands.push_back(std::move(a));
+  return instr;
+}
+
+Instruction make2(Mnemonic m, Operand a, Operand b, Width w) {
+  Instruction instr;
+  instr.mnemonic = m;
+  instr.width = w;
+  instr.operands.push_back(std::move(a));
+  instr.operands.push_back(std::move(b));
+  return instr;
+}
+
+}  // namespace r2r::isa

@@ -1,0 +1,52 @@
+#include "isa/registers.h"
+
+#include <array>
+
+namespace r2r::isa {
+
+namespace {
+
+constexpr std::array<std::string_view, kRegCount> kNames64 = {
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8",  "r9",  "r10", "r11", "r12", "r13", "r14", "r15"};
+
+constexpr std::array<std::string_view, kRegCount> kNames32 = {
+    "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+    "r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d"};
+
+constexpr std::array<std::string_view, kRegCount> kNames16 = {
+    "ax",  "cx",  "dx",   "bx",   "sp",   "bp",   "si",   "di",
+    "r8w", "r9w", "r10w", "r11w", "r12w", "r13w", "r14w", "r15w"};
+
+// Low-byte names only; the subset has no ah/ch/dh/bh.
+constexpr std::array<std::string_view, kRegCount> kNames8 = {
+    "al",  "cl",  "dl",   "bl",   "spl",  "bpl",  "sil",  "dil",
+    "r8b", "r9b", "r10b", "r11b", "r12b", "r13b", "r14b", "r15b"};
+
+const std::array<std::string_view, kRegCount>& table_for(Width width) noexcept {
+  switch (width) {
+    case Width::b8: return kNames8;
+    case Width::b16: return kNames16;
+    case Width::b32: return kNames32;
+    case Width::b64: return kNames64;
+  }
+  return kNames64;
+}
+
+}  // namespace
+
+std::string_view reg_name(Reg reg, Width width) noexcept {
+  return table_for(width)[reg_number(reg)];
+}
+
+std::optional<std::pair<Reg, Width>> parse_reg_name(std::string_view name) noexcept {
+  for (Width width : {Width::b64, Width::b32, Width::b16, Width::b8}) {
+    const auto& table = table_for(width);
+    for (unsigned i = 0; i < kRegCount; ++i) {
+      if (table[i] == name) return std::make_pair(reg_from_number(i), width);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace r2r::isa

@@ -1,0 +1,64 @@
+// r2r::isa — general-purpose register model for the x86-64 subset.
+//
+// Register enumerators follow hardware encoding order (rax=0 ... r15=15) so
+// that `static_cast<unsigned>(reg)` is the ModRM/SIB register number.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace r2r::isa {
+
+enum class Reg : std::uint8_t {
+  rax = 0,
+  rcx = 1,
+  rdx = 2,
+  rbx = 3,
+  rsp = 4,
+  rbp = 5,
+  rsi = 6,
+  rdi = 7,
+  r8 = 8,
+  r9 = 9,
+  r10 = 10,
+  r11 = 11,
+  r12 = 12,
+  r13 = 13,
+  r14 = 14,
+  r15 = 15,
+};
+
+inline constexpr unsigned kRegCount = 16;
+
+/// Operand / operation width. b16 exists for completeness of the model but
+/// the encoder rejects it (the subset omits the 0x66 prefix).
+enum class Width : std::uint8_t { b8 = 1, b16 = 2, b32 = 4, b64 = 8 };
+
+/// Hardware register number (0..15), identical to the enum value.
+constexpr unsigned reg_number(Reg reg) noexcept { return static_cast<unsigned>(reg); }
+
+/// Inverse of reg_number; `number` must be < 16.
+constexpr Reg reg_from_number(unsigned number) noexcept {
+  return static_cast<Reg>(number & 0xF);
+}
+
+/// Width in bits (8/16/32/64).
+constexpr unsigned width_bits(Width width) noexcept {
+  return static_cast<unsigned>(width) * 8;
+}
+
+/// Width in bytes (1/2/4/8).
+constexpr unsigned width_bytes(Width width) noexcept {
+  return static_cast<unsigned>(width);
+}
+
+/// Name of `reg` at `width`, e.g. (rax,b64)->"rax", (rax,b32)->"eax",
+/// (rsi,b8)->"sil", (r9,b8)->"r9b".
+std::string_view reg_name(Reg reg, Width width = Width::b64) noexcept;
+
+/// Parses any width-variant register name ("rax", "eax", "al", "r9b", ...).
+/// Returns the register and the width implied by the name.
+std::optional<std::pair<Reg, Width>> parse_reg_name(std::string_view name) noexcept;
+
+}  // namespace r2r::isa

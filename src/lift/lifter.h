@@ -1,0 +1,37 @@
+// r2r::lift — binary -> IR translation (the Rev.ng-equivalent step of the
+// Hybrid approach, Section IV-C.1).
+//
+// The lifted module models the CPU as module globals (g_rax..g_r15 plus
+// i8 flag slots g_zf/g_sf/g_cf/g_of) — the "CPU state struct" style real
+// lifters use. Guest memory accesses keep their concrete addresses: the
+// whole toolchain preserves data-segment bases, so lifted/lowered code
+// reads and writes the very same locations. The guest stack becomes a
+// dedicated global array; push/pop/call/ret translate to explicit stack
+// arithmetic (call/ret use IR calls, abstracting the return address).
+//
+// Documented scope limits (all absent from the case-study binaries):
+// indirect jumps/calls, shift-by-cl flags, pushfq/popfq, parity/adjust
+// flag consumers (jp/jnp), and imul overflow flags (approximated as 0 —
+// always rewritten before any branch in the guests).
+#pragma once
+
+#include "bir/module.h"
+#include "elf/image.h"
+#include "ir/ir.h"
+
+namespace r2r::lift {
+
+struct LiftResult {
+  ir::Module module;
+  /// Guest data sections, passed through so lowering can re-emit them at
+  /// their original bases.
+  std::vector<bir::DataSection> guest_data;
+};
+
+/// Lifts an executable image. Throws Error{kLift} on constructs outside the
+/// supported subset.
+LiftResult lift(const elf::Image& image);
+
+inline constexpr std::uint64_t kGuestStackSize = 64 * 1024;
+
+}  // namespace r2r::lift

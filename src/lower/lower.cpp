@@ -1,0 +1,728 @@
+#include "lower/lower.h"
+
+#include <map>
+#include <set>
+
+#include "bir/assemble.h"
+#include "support/bits.h"
+#include "support/error.h"
+
+namespace r2r::lower {
+
+namespace {
+
+using ir::Opcode;
+using ir::Pred;
+using ir::Type;
+using ir::Value;
+using isa::Cond;
+using isa::Instruction;
+using isa::Mnemonic;
+using isa::Reg;
+using isa::Width;
+using support::check;
+using support::ErrorKind;
+using support::fits_int32;
+
+Cond cond_for(Pred pred) {
+  switch (pred) {
+    case Pred::kEq: return Cond::e;
+    case Pred::kNe: return Cond::ne;
+    case Pred::kUlt: return Cond::b;
+    case Pred::kUle: return Cond::be;
+    case Pred::kUgt: return Cond::a;
+    case Pred::kUge: return Cond::ae;
+    case Pred::kSlt: return Cond::l;
+    case Pred::kSle: return Cond::le;
+    case Pred::kSgt: return Cond::g;
+    case Pred::kSge: return Cond::ge;
+  }
+  return Cond::e;
+}
+
+Mnemonic mnemonic_for(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kAdd: return Mnemonic::kAdd;
+    case Opcode::kSub: return Mnemonic::kSub;
+    case Opcode::kMul: return Mnemonic::kImul;
+    case Opcode::kAnd: return Mnemonic::kAnd;
+    case Opcode::kOr: return Mnemonic::kOr;
+    case Opcode::kXor: return Mnemonic::kXor;
+    case Opcode::kShl: return Mnemonic::kShl;
+    case Opcode::kLShr: return Mnemonic::kShr;
+    case Opcode::kAShr: return Mnemonic::kSar;
+    default: support::fail(ErrorKind::kLower, "not a binary opcode");
+  }
+}
+
+/// Allocatable pool; r11 is a reserved scratch (wide case constants),
+/// rbx/rbp/r12..r15 and rsp stay untouched.
+constexpr Reg kPool[] = {Reg::rax, Reg::rcx, Reg::rdx, Reg::rsi,
+                         Reg::rdi, Reg::r8,  Reg::r9,  Reg::r10};
+constexpr Reg kScratch = Reg::r11;
+
+/// Code generator for one IR function.
+///
+/// Register model: block-local register cache over an on-demand spill
+/// frame. Values used across blocks are stored to their frame slot at
+/// definition; block-local values live in registers and only get a slot if
+/// they must survive an eviction or a call. Dirty tracking keeps the store
+/// traffic down to what is actually needed.
+class FunctionLowerer {
+ public:
+  FunctionLowerer(const ir::Function& fn, bir::Module& out, const LowerOptions& options)
+      : fn_(fn), out_(out), options_(options) {}
+
+  void lower() {
+    analyze_uses();
+
+    // Lower all blocks first; the frame size is only known afterwards, so
+    // prologue/epilogue immediates are patched at the end.
+    std::vector<std::pair<std::string, std::vector<Instruction>>> lowered;
+    for (const auto& block_ptr : fn_.blocks) {
+      const ir::BasicBlock& block = *block_ptr;
+      code_.clear();
+      cache_reset();
+      remaining_uses_ = block_use_counts_.at(&block);
+      for (std::size_t i = 0; i < block.instrs.size(); ++i) {
+        const std::size_t fused = try_fuse_compare_branch(block, i);
+        if (fused > 0) {
+          for (std::size_t k = i; k < i + fused; ++k) {
+            consume_operands(*block.instrs[k]);
+          }
+          i += fused - 1;
+          continue;
+        }
+        lower_instr(*block.instrs[i]);
+        consume_operands(*block.instrs[i]);
+      }
+      lowered.emplace_back(block_label(block), std::move(code_));
+      code_.clear();
+    }
+
+    const std::int64_t frame =
+        static_cast<std::int64_t>((next_slot_ + 15) & ~std::uint64_t{15});
+    // Prologue block carries the function symbol; branches back to the
+    // entry basic block use its internal label and skip the sub.
+    std::vector<Instruction> prologue;
+    if (frame > 0) prologue.push_back(isa::sub(Reg::rsp, isa::imm(frame)));
+    if (prologue.empty()) prologue.push_back(isa::nop());
+    out_.append_block(fn_.name(), std::move(prologue));
+    for (auto& [label, instructions] : lowered) {
+      // Patch epilogue placeholders now that the frame size is known.
+      for (Instruction& instr : instructions) {
+        if (instr.mnemonic == Mnemonic::kAdd && instr.arity() == 2 &&
+            isa::is_reg(instr.op(0)) && std::get<Reg>(instr.op(0)) == Reg::rsp &&
+            isa::is_imm(instr.op(1)) &&
+            std::get<isa::ImmOperand>(instr.op(1)).label == kEpilogueTag) {
+          instr.operands[1] = isa::ImmOperand{frame, {}};
+        }
+      }
+      if (frame == 0) {
+        // Drop now-trivial `add rsp, 0` epilogues.
+        std::erase_if(instructions, [](const Instruction& instr) {
+          return instr.mnemonic == Mnemonic::kAdd && instr.arity() == 2 &&
+                 isa::is_reg(instr.op(0)) && std::get<Reg>(instr.op(0)) == Reg::rsp &&
+                 isa::is_imm(instr.op(1)) &&
+                 std::get<isa::ImmOperand>(instr.op(1)).value == 0;
+        });
+      }
+      out_.append_block(label, std::move(instructions));
+    }
+  }
+
+  [[nodiscard]] std::string block_label(const ir::BasicBlock& block) const {
+    return fn_.name() + "." + block.name();
+  }
+
+ private:
+  static constexpr const char* kEpilogueTag = ".r2r_frame";
+
+  // ---- use analysis -----------------------------------------------------------
+
+  void analyze_uses() {
+    std::map<const Value*, const ir::BasicBlock*> def_block;
+    for (const auto& block : fn_.blocks) {
+      for (const auto& instr : block->instrs) def_block[instr.get()] = block.get();
+    }
+    for (const auto& block : fn_.blocks) {
+      auto& counts = block_use_counts_[block.get()];
+      for (const auto& instr : block->instrs) {
+        for (const Value* op : instr->operands) {
+          if (op->kind() != Value::Kind::kInstr) continue;
+          ++counts[op];
+          if (def_block.at(op) != block.get()) cross_block_.insert(op);
+        }
+      }
+    }
+  }
+
+  void consume_operands(const ir::Instr& instr) {
+    for (const Value* op : instr.operands) {
+      if (op->kind() != Value::Kind::kInstr) continue;
+      auto it = remaining_uses_.find(op);
+      if (it != remaining_uses_.end() && it->second > 0) --it->second;
+    }
+  }
+
+  [[nodiscard]] unsigned remaining(const Value* value) const {
+    const auto it = remaining_uses_.find(value);
+    return it == remaining_uses_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] unsigned occurrences(const ir::Instr& instr, const Value* value) const {
+    unsigned count = 0;
+    for (const Value* op : instr.operands) {
+      if (op == value) ++count;
+    }
+    return count;
+  }
+
+  // ---- frame slots ---------------------------------------------------------------
+
+  std::int64_t slot_of(const Value* value) {
+    const auto it = slots_.find(value);
+    if (it != slots_.end()) return it->second;
+    const auto slot = static_cast<std::int64_t>(next_slot_);
+    next_slot_ += 8;
+    slots_[value] = slot;
+    return slot;
+  }
+
+  [[nodiscard]] isa::Operand slot_operand(const Value* value) {
+    return isa::mem(Reg::rsp, slot_of(value));
+  }
+
+  // ---- register cache --------------------------------------------------------------
+
+  struct CacheEntry {
+    const Value* value = nullptr;
+    bool dirty = false;
+  };
+
+  void cache_reset() {
+    cache_.clear();
+    where_.clear();
+  }
+
+  void unbind(Reg reg) {
+    const auto it = cache_.find(reg);
+    if (it != cache_.end()) {
+      where_.erase(it->second.value);
+      cache_.erase(it);
+    }
+  }
+
+  void bind(Reg reg, const Value* value, bool dirty) {
+    unbind(reg);
+    if (const auto it = where_.find(value); it != where_.end()) {
+      cache_.erase(it->second);
+      where_.erase(it);
+    }
+    cache_[reg] = CacheEntry{value, dirty};
+    where_[value] = reg;
+  }
+
+  /// Spills `reg` if its value may still be needed and is not backed by a
+  /// current slot.
+  void evict(Reg reg) {
+    const auto it = cache_.find(reg);
+    if (it == cache_.end()) return;
+    const CacheEntry entry = it->second;
+    const bool needed = entry.dirty && (remaining(entry.value) > 0);
+    if (needed) {
+      code_.push_back(isa::mov(slot_operand(entry.value), reg));
+    }
+    where_.erase(entry.value);
+    cache_.erase(reg);
+  }
+
+  Reg alloc_reg(const std::set<Reg>& pinned) {
+    for (const Reg reg : kPool) {
+      if (!pinned.contains(reg) && !cache_.contains(reg)) return reg;
+    }
+    // Prefer evicting a clean or dead value.
+    for (const Reg reg : kPool) {
+      if (pinned.contains(reg)) continue;
+      const CacheEntry& entry = cache_.at(reg);
+      if (!entry.dirty || remaining(entry.value) == 0) {
+        evict(reg);
+        return reg;
+      }
+    }
+    for (const Reg reg : kPool) {
+      if (!pinned.contains(reg)) {
+        evict(reg);
+        return reg;
+      }
+    }
+    support::fail(ErrorKind::kLower, "register pool exhausted");
+  }
+
+  /// Flushes every dirty, still-needed value (before calls) and clears the
+  /// cache. "Still needed" means uses remain in this block or anywhere
+  /// else (cross-block values are always stored at definition, so they are
+  /// never dirty here).
+  void flush_and_clear() {
+    for (auto& [reg, entry] : cache_) {
+      if (entry.dirty && remaining(entry.value) > 0) {
+        code_.push_back(isa::mov(slot_operand(entry.value), reg));
+      }
+    }
+    cache_reset();
+  }
+
+  /// Ensures an instruction value can be reloaded after the cache is
+  /// cleared (i.e. it has an up-to-date slot).
+  void ensure_slot_current(const Value* value) {
+    if (value->kind() != Value::Kind::kInstr) return;
+    const auto it = where_.find(value);
+    if (it == where_.end()) return;  // already only in its slot
+    CacheEntry& entry = cache_.at(it->second);
+    if (entry.dirty) {
+      code_.push_back(isa::mov(slot_operand(value), it->second));
+      entry.dirty = false;
+    }
+  }
+
+  Reg value_to_reg(const Value* value, std::set<Reg>& pinned) {
+    if (const auto it = where_.find(value); it != where_.end()) {
+      pinned.insert(it->second);
+      return it->second;
+    }
+    const Reg reg = alloc_reg(pinned);
+    switch (value->kind()) {
+      case Value::Kind::kConstant: {
+        const auto raw =
+            static_cast<std::int64_t>(static_cast<const ir::Constant*>(value)->value());
+        code_.push_back(isa::mov(reg, isa::imm(raw)));
+        break;
+      }
+      case Value::Kind::kGlobal: {
+        const auto* global = static_cast<const ir::GlobalVariable*>(value);
+        code_.push_back(isa::mov(reg, isa::imm(static_cast<std::int64_t>(global->address))));
+        break;
+      }
+      case Value::Kind::kInstr:
+        check(slots_.contains(value), ErrorKind::kLower,
+              "use of a value that was never defined or spilled");
+        code_.push_back(isa::mov(reg, slot_operand(value)));
+        break;
+    }
+    bind(reg, value, /*dirty=*/false);
+    pinned.insert(reg);
+    return reg;
+  }
+
+  isa::Operand value_operand(const Value* value, std::set<Reg>& pinned) {
+    if (value->kind() == Value::Kind::kConstant) {
+      const auto raw =
+          static_cast<std::int64_t>(static_cast<const ir::Constant*>(value)->value());
+      if (fits_int32(raw)) return isa::imm(raw);
+    }
+    return value_to_reg(value, pinned);
+  }
+
+  /// Records the definition of `instr` living in `reg`. Cross-block values
+  /// are stored through immediately; block-local ones stay register-only
+  /// until an eviction forces a spill.
+  void define(const ir::Instr* instr, Reg reg) {
+    const bool crosses = cross_block_.contains(instr);
+    if (crosses) {
+      code_.push_back(isa::mov(slot_operand(instr), reg));
+    }
+    bind(reg, instr, /*dirty=*/!crosses);
+  }
+
+  /// Picks the destination register for a computation consuming `a`:
+  /// reuses a's register when this is its final use (saves the copy).
+  Reg dest_for(const ir::Instr& instr, const Value* a, Reg a_reg,
+               std::set<Reg>& pinned) {
+    if (a->kind() == Value::Kind::kInstr && remaining(a) == occurrences(instr, a) &&
+        occurrences(instr, a) == 1) {
+      // a dies here; steal its register. Its slot (if any) stays valid.
+      unbind(a_reg);
+      pinned.insert(a_reg);
+      return a_reg;
+    }
+    return alloc_reg(pinned);
+  }
+
+  isa::Operand address_operand(const Value* value, std::set<Reg>& pinned) {
+    if (value->kind() == Value::Kind::kGlobal) {
+      const auto* global = static_cast<const ir::GlobalVariable*>(value);
+      return isa::mem_abs(static_cast<std::int64_t>(global->address));
+    }
+    if (value->kind() == Value::Kind::kConstant) {
+      const auto raw =
+          static_cast<std::int64_t>(static_cast<const ir::Constant*>(value)->value());
+      if (fits_int32(raw)) return isa::mem_abs(raw);
+    }
+    return isa::mem(value_to_reg(value, pinned), 0);
+  }
+
+  // ---- compare/branch fusion -----------------------------------------------------
+
+  /// Recognizes [icmp][condbr] and [icmp][xor cond,true][condbr] patterns
+  /// at position `i` where the intermediate values have no other uses, and
+  /// emits a native cmp + jcc pair. Returns the number of IR instructions
+  /// consumed (0 = no fusion).
+  std::size_t try_fuse_compare_branch(const ir::BasicBlock& block, std::size_t i) {
+    const ir::Instr* icmp = block.instrs[i].get();
+    if (icmp->opcode() != Opcode::kICmp) return 0;
+
+    const auto single_use_here = [this](const ir::Instr* value) {
+      return !cross_block_.contains(value) && remaining(value) == 1;
+    };
+
+    // Direct: icmp; condbr.
+    if (i + 1 < block.instrs.size()) {
+      const ir::Instr* next = block.instrs[i + 1].get();
+      if (next->opcode() == Opcode::kCondBr && next->operands[0] == icmp &&
+          single_use_here(icmp)) {
+        emit_fused(*icmp, /*inverted=*/false, *next);
+        return 2;
+      }
+      // Inverted: icmp; xor icmp,true; condbr.
+      if (i + 2 < block.instrs.size() && next->opcode() == Opcode::kXor &&
+          next->type() == Type::kI1 && single_use_here(icmp) &&
+          single_use_here(next)) {
+        const bool wraps_icmp =
+            (next->operands[0] == icmp &&
+             next->operands[1]->kind() == Value::Kind::kConstant &&
+             static_cast<const ir::Constant*>(next->operands[1])->value() == 1) ||
+            (next->operands[1] == icmp &&
+             next->operands[0]->kind() == Value::Kind::kConstant &&
+             static_cast<const ir::Constant*>(next->operands[0])->value() == 1);
+        const ir::Instr* branch = block.instrs[i + 2].get();
+        if (wraps_icmp && branch->opcode() == Opcode::kCondBr &&
+            branch->operands[0] == next) {
+          emit_fused(*icmp, /*inverted=*/true, *branch);
+          return 3;
+        }
+      }
+    }
+    return 0;
+  }
+
+  void emit_fused(const ir::Instr& icmp, bool inverted, const ir::Instr& branch) {
+    std::set<Reg> pinned;
+    const Value* a = icmp.operands[0];
+    const Value* b = icmp.operands[1];
+    const Width width = a->type() == Type::kI64 ? Width::b64 : Width::b8;
+    const Reg a_reg = value_to_reg(a, pinned);
+    const isa::Operand b_op = value_operand(b, pinned);
+    code_.push_back(isa::cmp(a_reg, b_op, width));
+    Cond cond = cond_for(icmp.pred);
+    if (inverted) cond = isa::invert(cond);
+    code_.push_back(isa::jcc(cond, target_label(branch.targets[0])));
+    code_.push_back(isa::jmp(target_label(branch.targets[1])));
+    emit_fallthrough_guard();
+  }
+
+  /// A ud2 after every block-terminating jump: a skip fault on the jump
+  /// then traps instead of silently falling into the next block — which
+  /// would take a control-flow edge that bypasses the checksum validation
+  /// blocks the hardening pass inserted.
+  void emit_fallthrough_guard() { code_.push_back(isa::make0(Mnemonic::kUd2)); }
+
+  // ---- per-instruction lowering -------------------------------------------------
+
+  void lower_instr(const ir::Instr& instr) {
+    switch (instr.opcode()) {
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+      case Opcode::kShl:
+      case Opcode::kLShr:
+      case Opcode::kAShr:
+        lower_binary(instr);
+        return;
+      case Opcode::kICmp:
+        lower_icmp(instr);
+        return;
+      case Opcode::kZExt: {
+        // Values are kept zero-extended canonically; zext is a register
+        // alias unless the source value is still needed.
+        std::set<Reg> pinned;
+        const Reg src = value_to_reg(instr.operands[0], pinned);
+        const Reg dst = dest_for(instr, instr.operands[0], src, pinned);
+        if (dst != src) code_.push_back(isa::mov(dst, src));
+        define(&instr, dst);
+        return;
+      }
+      case Opcode::kTrunc: {
+        std::set<Reg> pinned;
+        const Reg src = value_to_reg(instr.operands[0], pinned);
+        const Reg dst = dest_for(instr, instr.operands[0], src, pinned);
+        if (dst != src) code_.push_back(isa::mov(dst, src));
+        const std::uint64_t mask =
+            instr.type() == Type::kI1 ? 1 : (1ULL << ir::type_bits(instr.type())) - 1;
+        code_.push_back(isa::and_(dst, isa::imm(static_cast<std::int64_t>(mask))));
+        define(&instr, dst);
+        return;
+      }
+      case Opcode::kSExt: {
+        std::set<Reg> pinned;
+        const Reg src = value_to_reg(instr.operands[0], pinned);
+        check(instr.operands[0]->type() == Type::kI8, ErrorKind::kLower,
+              "sext source must be i8");
+        const Reg dst = dest_for(instr, instr.operands[0], src, pinned);
+        code_.push_back(isa::make2(Mnemonic::kMovsx, dst, src, Width::b64));
+        define(&instr, dst);
+        return;
+      }
+      case Opcode::kSelect: {
+        std::set<Reg> pinned;
+        const Reg cond = value_to_reg(instr.operands[0], pinned);
+        const Reg if_true = value_to_reg(instr.operands[1], pinned);
+        const isa::Operand if_false = value_operand(instr.operands[2], pinned);
+        const Reg dst = alloc_reg(pinned);
+        code_.push_back(isa::mov(dst, if_false));
+        code_.push_back(isa::test(cond, cond));
+        Instruction cmov = isa::make2(Mnemonic::kCmovcc, dst, if_true, Width::b64);
+        cmov.cond = Cond::ne;
+        code_.push_back(cmov);
+        define(&instr, dst);
+        return;
+      }
+      case Opcode::kLoad: {
+        std::set<Reg> pinned;
+        const isa::Operand address = address_operand(instr.operands[0], pinned);
+        const Reg dst = alloc_reg(pinned);
+        if (instr.type() == Type::kI8) {
+          code_.push_back(isa::movzx(dst, address));
+        } else {
+          code_.push_back(isa::mov(dst, address));
+        }
+        define(&instr, dst);
+        return;
+      }
+      case Opcode::kStore: {
+        std::set<Reg> pinned;
+        const Value* value = instr.operands[0];
+        const isa::Operand address = address_operand(instr.operands[1], pinned);
+        const Width width = value->type() == Type::kI64 ? Width::b64 : Width::b8;
+        if (value->kind() == Value::Kind::kConstant) {
+          const auto raw =
+              static_cast<std::int64_t>(static_cast<const ir::Constant*>(value)->value());
+          if (width == Width::b8 || fits_int32(raw)) {
+            code_.push_back(isa::mov(address, isa::imm(raw), width));
+            return;
+          }
+        }
+        const Reg reg = value_to_reg(value, pinned);
+        code_.push_back(isa::mov(address, reg, width));
+        return;
+      }
+      case Opcode::kBr:
+        flush_and_clear();
+        code_.push_back(isa::jmp(target_label(instr.targets[0])));
+        emit_fallthrough_guard();
+        return;
+      case Opcode::kCondBr: {
+        std::set<Reg> pinned;
+        const Reg cond = value_to_reg(instr.operands[0], pinned);
+        code_.push_back(isa::test(cond, cond));
+        code_.push_back(isa::jcc(Cond::ne, target_label(instr.targets[0])));
+        code_.push_back(isa::jmp(target_label(instr.targets[1])));
+        emit_fallthrough_guard();
+        return;
+      }
+      case Opcode::kSwitch: {
+        std::set<Reg> pinned;
+        const Reg value = value_to_reg(instr.operands[0], pinned);
+        for (std::size_t c = 0; c < instr.case_values.size(); ++c) {
+          const auto case_value = static_cast<std::int64_t>(instr.case_values[c]);
+          if (fits_int32(case_value)) {
+            code_.push_back(isa::cmp(value, isa::imm(case_value)));
+          } else {
+            code_.push_back(isa::mov(kScratch, isa::imm(case_value)));
+            code_.push_back(isa::cmp(value, kScratch));
+          }
+          code_.push_back(isa::jcc(Cond::e, target_label(instr.targets[c + 1])));
+        }
+        code_.push_back(isa::jmp(target_label(instr.targets[0])));
+        emit_fallthrough_guard();
+        return;
+      }
+      case Opcode::kRet: {
+        Instruction epilogue = isa::add(Reg::rsp, isa::ImmOperand{0, kEpilogueTag});
+        code_.push_back(std::move(epilogue));
+        code_.push_back(isa::ret());
+        return;
+      }
+      case Opcode::kUnreachable:
+        code_.push_back(isa::make0(Mnemonic::kUd2));
+        return;
+      case Opcode::kCall:
+        lower_call(instr);
+        return;
+    }
+  }
+
+  void lower_binary(const ir::Instr& instr) {
+    std::set<Reg> pinned;
+    const Value* a = instr.operands[0];
+    const Value* b = instr.operands[1];
+    const bool is_shift = instr.opcode() == Opcode::kShl ||
+                          instr.opcode() == Opcode::kLShr ||
+                          instr.opcode() == Opcode::kAShr;
+    if (is_shift) {
+      check(b->kind() == Value::Kind::kConstant, ErrorKind::kLower,
+            "variable shift counts are not generated by the lifter/passes");
+    }
+
+    const Reg a_reg = value_to_reg(a, pinned);
+    isa::Operand b_op;
+    if (is_shift) {
+      b_op = isa::imm(static_cast<std::int64_t>(
+          static_cast<const ir::Constant*>(b)->value() & 63));
+    } else if (instr.opcode() == Opcode::kMul) {
+      // Two-operand imul has no immediate form; force a register.
+      b_op = value_to_reg(b, pinned);
+    } else {
+      b_op = value_operand(b, pinned);
+    }
+    const Reg dst = dest_for(instr, a, a_reg, pinned);
+    if (dst != a_reg) code_.push_back(isa::mov(dst, a_reg));
+    code_.push_back(isa::make2(mnemonic_for(instr.opcode()), dst, std::move(b_op)));
+
+    if (instr.type() != Type::kI64) {
+      const std::uint64_t mask =
+          instr.type() == Type::kI1 ? 1 : (1ULL << ir::type_bits(instr.type())) - 1;
+      code_.push_back(isa::and_(dst, isa::imm(static_cast<std::int64_t>(mask))));
+    }
+    define(&instr, dst);
+  }
+
+  void lower_icmp(const ir::Instr& instr) {
+    std::set<Reg> pinned;
+    const Value* a = instr.operands[0];
+    const Value* b = instr.operands[1];
+    const Width width = a->type() == Type::kI64 ? Width::b64 : Width::b8;
+    const Reg a_reg = value_to_reg(a, pinned);
+    const isa::Operand b_op = value_operand(b, pinned);
+    code_.push_back(isa::cmp(a_reg, b_op, width));
+    const Reg dst = alloc_reg(pinned);
+    code_.push_back(isa::setcc(cond_for(instr.pred), dst));
+    code_.push_back(isa::movzx(dst, dst));
+    define(&instr, dst);
+  }
+
+  void lower_call(const ir::Instr& instr) {
+    const ir::Function& callee = *instr.callee;
+    if (callee.is_intrinsic() && callee.name() == ir::kTrapIntrinsic) {
+      code_.push_back(isa::mov(Reg::rax, isa::imm(60)));
+      code_.push_back(isa::mov(Reg::rdi, isa::imm(options_.trap_exit_code)));
+      code_.push_back(isa::syscall_());
+      cache_reset();  // never returns; nothing to preserve
+      return;
+    }
+    if (callee.is_intrinsic() && callee.name() == ir::kSyscallIntrinsic) {
+      // Argument values must be reloadable once the cache is dropped.
+      for (const Value* arg : instr.operands) ensure_slot_current(arg);
+      flush_and_clear();
+      const Reg abi[4] = {Reg::rax, Reg::rdi, Reg::rsi, Reg::rdx};
+      for (int i = 0; i < 4; ++i) {
+        const Value* arg = instr.operands[static_cast<std::size_t>(i)];
+        switch (arg->kind()) {
+          case Value::Kind::kConstant:
+            code_.push_back(isa::mov(
+                abi[i], isa::imm(static_cast<std::int64_t>(
+                            static_cast<const ir::Constant*>(arg)->value()))));
+            break;
+          case Value::Kind::kGlobal:
+            code_.push_back(isa::mov(
+                abi[i], isa::imm(static_cast<std::int64_t>(
+                            static_cast<const ir::GlobalVariable*>(arg)->address))));
+            break;
+          case Value::Kind::kInstr:
+            check(slots_.contains(arg), ErrorKind::kLower,
+                  "syscall argument lost before the call");
+            code_.push_back(isa::mov(abi[i], slot_operand(arg)));
+            break;
+        }
+      }
+      code_.push_back(isa::syscall_());
+      define(&instr, Reg::rax);
+      return;
+    }
+    check(!callee.is_intrinsic(), ErrorKind::kLower,
+          "unknown intrinsic: " + callee.name());
+    flush_and_clear();
+    code_.push_back(isa::call(callee.name()));
+  }
+
+  [[nodiscard]] std::string target_label(const ir::BasicBlock* block) const {
+    return block_label(*block);
+  }
+
+  const ir::Function& fn_;
+  bir::Module& out_;
+  const LowerOptions& options_;
+
+  std::map<const Value*, std::int64_t> slots_;
+  std::uint64_t next_slot_ = 0;
+  std::vector<Instruction> code_;
+  std::map<Reg, CacheEntry> cache_;
+  std::map<const Value*, Reg> where_;
+  std::set<const Value*> cross_block_;
+  std::map<const ir::BasicBlock*, std::map<const Value*, unsigned>> block_use_counts_;
+  std::map<const Value*, unsigned> remaining_uses_;
+};
+
+}  // namespace
+
+bir::Module lower(const ir::Module& module, const std::vector<bir::DataSection>& guest_data,
+                  const LowerOptions& options) {
+  bir::Module out;
+  out.text_base = options.text_base;
+  out.entry_symbol = module.entry_function;
+  out.globals.push_back(module.entry_function);
+
+  // --- state section -----------------------------------------------------------
+  bir::DataSection state;
+  state.name = ".r2rstate";
+  state.flags = elf::kRead | elf::kWrite;
+  state.base = options.state_base;
+  for (const auto& global : module.globals) {
+    bir::DataBlock block;
+    block.labels.push_back(global->name());
+    block.bytes = global->init();
+    block.bytes.resize(global->size(), 0);
+    // Pad so the next global lands on a 16-byte boundary.
+    block.bytes.resize((block.bytes.size() + 15) & ~std::size_t{15});
+    state.blocks.push_back(std::move(block));
+  }
+  // Assign addresses exactly as assemble() will lay the blocks out.
+  {
+    std::uint64_t cursor = state.base;
+    for (std::size_t i = 0; i < module.globals.size(); ++i) {
+      module.globals[i]->address = cursor;
+      cursor += state.blocks[i].bytes.size();
+    }
+  }
+  if (!state.blocks.empty()) out.data_sections.push_back(std::move(state));
+  for (const auto& section : guest_data) out.data_sections.push_back(section);
+
+  // --- functions -----------------------------------------------------------------
+  for (const auto& fn : module.functions) {
+    if (fn->is_intrinsic()) continue;
+    FunctionLowerer lowerer(*fn, out, options);
+    lowerer.lower();
+  }
+  return out;
+}
+
+elf::Image lower_to_image(const ir::Module& module,
+                          const std::vector<bir::DataSection>& guest_data,
+                          const LowerOptions& options) {
+  bir::Module lowered = lower(module, guest_data, options);
+  return bir::assemble(lowered);
+}
+
+}  // namespace r2r::lower

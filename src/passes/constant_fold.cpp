@@ -1,0 +1,149 @@
+#include <map>
+
+#include "passes/pass.h"
+#include "support/bits.h"
+
+namespace r2r::passes {
+
+namespace {
+
+using ir::Opcode;
+using ir::Type;
+using support::sign_extend;
+using support::truncate;
+
+std::optional<std::uint64_t> fold(const ir::Instr& instr) {
+  const auto const_of = [](const ir::Value* value) -> std::optional<std::uint64_t> {
+    if (value->kind() != ir::Value::Kind::kConstant) return std::nullopt;
+    return static_cast<const ir::Constant*>(value)->value();
+  };
+
+  const unsigned bits = ir::type_bits(instr.type());
+  switch (instr.opcode()) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kLShr:
+    case Opcode::kAShr: {
+      const auto a = const_of(instr.operands[0]);
+      const auto b = const_of(instr.operands[1]);
+      if (!a || !b) return std::nullopt;
+      switch (instr.opcode()) {
+        case Opcode::kAdd: return truncate(*a + *b, bits);
+        case Opcode::kSub: return truncate(*a - *b, bits);
+        case Opcode::kMul: return truncate(*a * *b, bits);
+        case Opcode::kAnd: return *a & *b;
+        case Opcode::kOr: return *a | *b;
+        case Opcode::kXor: return truncate(*a ^ *b, bits);
+        case Opcode::kShl: return (*b & 63) >= bits ? 0 : truncate(*a << (*b & 63), bits);
+        case Opcode::kLShr:
+          return (*b & 63) >= bits ? 0 : truncate(*a, bits) >> (*b & 63);
+        case Opcode::kAShr: {
+          const std::int64_t sa = sign_extend(*a, bits);
+          const unsigned count = static_cast<unsigned>(*b & 63);
+          return truncate(static_cast<std::uint64_t>(sa >> (count >= bits ? bits - 1 : count)),
+                          bits);
+        }
+        default: return std::nullopt;
+      }
+    }
+    case Opcode::kICmp: {
+      const auto a = const_of(instr.operands[0]);
+      const auto b = const_of(instr.operands[1]);
+      if (!a || !b) return std::nullopt;
+      const unsigned opbits = ir::type_bits(instr.operands[0]->type());
+      const std::uint64_t ua = truncate(*a, opbits);
+      const std::uint64_t ub = truncate(*b, opbits);
+      const std::int64_t sa = sign_extend(ua, opbits);
+      const std::int64_t sb = sign_extend(ub, opbits);
+      switch (instr.pred) {
+        case ir::Pred::kEq: return ua == ub ? 1 : 0;
+        case ir::Pred::kNe: return ua != ub ? 1 : 0;
+        case ir::Pred::kUlt: return ua < ub ? 1 : 0;
+        case ir::Pred::kUle: return ua <= ub ? 1 : 0;
+        case ir::Pred::kUgt: return ua > ub ? 1 : 0;
+        case ir::Pred::kUge: return ua >= ub ? 1 : 0;
+        case ir::Pred::kSlt: return sa < sb ? 1 : 0;
+        case ir::Pred::kSle: return sa <= sb ? 1 : 0;
+        case ir::Pred::kSgt: return sa > sb ? 1 : 0;
+        case ir::Pred::kSge: return sa >= sb ? 1 : 0;
+      }
+      return std::nullopt;
+    }
+    case Opcode::kZExt:
+    case Opcode::kTrunc: {
+      const auto a = const_of(instr.operands[0]);
+      if (!a) return std::nullopt;
+      return truncate(*a, bits);
+    }
+    case Opcode::kSExt: {
+      const auto a = const_of(instr.operands[0]);
+      if (!a) return std::nullopt;
+      return truncate(static_cast<std::uint64_t>(
+                          sign_extend(*a, ir::type_bits(instr.operands[0]->type()))),
+                      bits);
+    }
+    case Opcode::kSelect: {
+      const auto cond = const_of(instr.operands[0]);
+      if (!cond) return std::nullopt;
+      const auto chosen = const_of(instr.operands[*cond != 0 ? 1 : 2]);
+      if (!chosen) return std::nullopt;
+      return *chosen;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+class ConstantFoldPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "constant-fold";
+  }
+
+  bool run(ir::Module& module) override {
+    bool changed = false;
+    for (auto& fn : module.functions) {
+      if (fn->is_intrinsic()) continue;
+      std::map<const ir::Value*, ir::Constant*> replacements;
+      for (auto& block : fn->blocks) {
+        for (auto& instr : block->instrs) {
+          // Substitute operands folded earlier in this sweep.
+          for (ir::Value*& op : instr->operands) {
+            const auto it = replacements.find(op);
+            if (it != replacements.end()) op = it->second;
+          }
+          if (const auto folded = fold(*instr)) {
+            replacements[instr.get()] = module.get_constant(instr->type(), *folded);
+            changed = true;
+          }
+        }
+      }
+      // Second sweep: catch uses that appear before definitions were folded
+      // (cross-block uses in earlier blocks).
+      if (!replacements.empty()) {
+        for (auto& block : fn->blocks) {
+          for (auto& instr : block->instrs) {
+            for (ir::Value*& op : instr->operands) {
+              const auto it = replacements.find(op);
+              if (it != replacements.end()) op = it->second;
+            }
+          }
+        }
+      }
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_constant_fold() {
+  return std::make_unique<ConstantFoldPass>();
+}
+
+}  // namespace r2r::passes

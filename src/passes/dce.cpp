@@ -1,0 +1,49 @@
+#include <map>
+
+#include "passes/pass.h"
+
+namespace r2r::passes {
+
+namespace {
+
+class DcePass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "dce"; }
+
+  bool run(ir::Module& module) override {
+    bool changed = false;
+    for (auto& fn : module.functions) {
+      if (fn->is_intrinsic()) continue;
+      while (run_once(*fn)) changed = true;
+    }
+    return changed;
+  }
+
+ private:
+  static bool run_once(ir::Function& fn) {
+    std::map<const ir::Value*, unsigned> uses;
+    for (const auto& block : fn.blocks) {
+      for (const auto& instr : block->instrs) {
+        for (const ir::Value* op : instr->operands) ++uses[op];
+      }
+    }
+    bool changed = false;
+    for (auto& block : fn.blocks) {
+      auto& instrs = block->instrs;
+      for (std::size_t i = instrs.size(); i-- > 0;) {
+        const ir::Instr& instr = *instrs[i];
+        if (instr.has_side_effects()) continue;
+        if (uses[&instr] > 0) continue;
+        instrs.erase(instrs.begin() + static_cast<std::ptrdiff_t>(i));
+        changed = true;
+      }
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_dce() { return std::make_unique<DcePass>(); }
+
+}  // namespace r2r::passes

@@ -1,0 +1,185 @@
+// Global dead-store elimination for lifted CPU-state globals.
+//
+// The lifter materializes every architectural flag and register write into
+// a store; most are overwritten before anyone reads them (a cmp rewrites
+// all flags a previous add computed, the next basic block clobbers them
+// again, ...). State promotion removes block-local redundancy; this pass
+// removes stores that are dead *across* blocks via backward liveness:
+//
+//   live-out(B) = union of live-in(successors)
+//   live-in(B)  = upward-exposed-reads(B) ∪ (live-out(B) − killed(B))
+//
+// Conservatism: only globals that never escape participate (a global
+// escapes when used as anything other than a load/store address — e.g.
+// the guest-stack array whose address flows into g_rsp). Calls read all
+// globals (the callee inspects caller state); ret makes all globals live
+// (the caller will); unreachable makes nothing live.
+#include <map>
+#include <set>
+
+#include "passes/pass.h"
+
+namespace r2r::passes {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::Instr;
+using ir::Opcode;
+
+class GlobalStoreElimPass final : public Pass {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "global-store-elim";
+  }
+
+  bool run(ir::Module& module) override {
+    const std::set<const ir::Value*> tracked = non_escaping_globals(module);
+    if (tracked.empty()) return false;
+    bool changed = false;
+    for (auto& fn : module.functions) {
+      if (fn->is_intrinsic()) continue;
+      changed |= run_function(*fn, tracked);
+    }
+    return changed;
+  }
+
+ private:
+  static std::set<const ir::Value*> non_escaping_globals(const ir::Module& module) {
+    std::set<const ir::Value*> tracked;
+    for (const auto& global : module.globals) tracked.insert(global.get());
+    for (const auto& fn : module.functions) {
+      for (const auto& block : fn->blocks) {
+        for (const auto& instr : block->instrs) {
+          for (std::size_t i = 0; i < instr->operands.size(); ++i) {
+            const ir::Value* op = instr->operands[i];
+            if (op->kind() != ir::Value::Kind::kGlobal) continue;
+            const bool is_address_use =
+                (instr->opcode() == Opcode::kLoad && i == 0) ||
+                (instr->opcode() == Opcode::kStore && i == 1);
+            if (!is_address_use) tracked.erase(op);  // address escaped
+          }
+        }
+      }
+    }
+    return tracked;
+  }
+
+  static bool run_function(ir::Function& fn, const std::set<const ir::Value*>& tracked) {
+    // Successor map.
+    std::map<const BasicBlock*, std::vector<const BasicBlock*>> succs;
+    for (const auto& block : fn.blocks) {
+      const Instr* term = block->terminator();
+      if (term != nullptr) {
+        for (const BasicBlock* target : term->targets) {
+          succs[block.get()].push_back(target);
+        }
+      }
+    }
+
+    // Per-block GEN (read before written) and KILL (written) sets, plus
+    // whether the terminator makes everything live (ret) or dead
+    // (unreachable).
+    struct BlockFacts {
+      std::set<const ir::Value*> upward_reads;
+      std::set<const ir::Value*> kills;
+      bool all_live_at_exit = false;
+    };
+    std::map<const BasicBlock*, BlockFacts> facts;
+    for (const auto& block : fn.blocks) {
+      BlockFacts f;
+      std::set<const ir::Value*> written;
+      for (const auto& instr : block->instrs) {
+        if (instr->opcode() == Opcode::kLoad && tracked.contains(instr->operands[0])) {
+          if (!written.contains(instr->operands[0])) {
+            f.upward_reads.insert(instr->operands[0]);
+          }
+        } else if (instr->opcode() == Opcode::kStore &&
+                   tracked.contains(instr->operands[1])) {
+          written.insert(instr->operands[1]);
+          f.kills.insert(instr->operands[1]);
+        } else if (instr->opcode() == Opcode::kCall) {
+          // The callee may read any global: everything unwritten so far is
+          // upward-exposed, and everything is considered re-written after
+          // (the callee's own stores), clearing liveness obligations.
+          for (const ir::Value* global : tracked) {
+            if (!written.contains(global)) f.upward_reads.insert(global);
+          }
+          // Do not add to kills: the call does not guarantee a write.
+        } else if (instr->opcode() == Opcode::kRet) {
+          f.all_live_at_exit = true;
+        }
+      }
+      facts[block.get()] = std::move(f);
+    }
+
+    // Backward dataflow to a fixed point.
+    std::map<const BasicBlock*, std::set<const ir::Value*>> live_in;
+    bool changed_sets = true;
+    while (changed_sets) {
+      changed_sets = false;
+      for (auto it = fn.blocks.rbegin(); it != fn.blocks.rend(); ++it) {
+        const BasicBlock* block = it->get();
+        const BlockFacts& f = facts.at(block);
+        std::set<const ir::Value*> live_out;
+        if (f.all_live_at_exit) {
+          live_out.insert(tracked.begin(), tracked.end());
+        }
+        for (const BasicBlock* succ : succs[block]) {
+          const auto& succ_in = live_in[succ];
+          live_out.insert(succ_in.begin(), succ_in.end());
+        }
+        std::set<const ir::Value*> in = f.upward_reads;
+        for (const ir::Value* global : live_out) {
+          if (!f.kills.contains(global)) in.insert(global);
+        }
+        // GEN already includes reads; a killed-and-live-out global is not
+        // live-in, but a read-before-kill one is (handled by upward_reads).
+        if (in != live_in[block]) {
+          live_in[block] = std::move(in);
+          changed_sets = true;
+        }
+      }
+    }
+
+    // Delete stores whose global is dead at the store point: walk each
+    // block backwards tracking per-global liveness.
+    bool changed = false;
+    for (auto& block : fn.blocks) {
+      const BlockFacts& f = facts.at(block.get());
+      std::set<const ir::Value*> live;
+      if (f.all_live_at_exit) {
+        live.insert(tracked.begin(), tracked.end());
+      }
+      for (const BasicBlock* succ : succs[block.get()]) {
+        const auto& succ_in = live_in[succ];
+        live.insert(succ_in.begin(), succ_in.end());
+      }
+      for (std::size_t i = block->instrs.size(); i-- > 0;) {
+        const Instr& instr = *block->instrs[i];
+        if (instr.opcode() == Opcode::kStore && tracked.contains(instr.operands[1])) {
+          if (!live.contains(instr.operands[1])) {
+            block->instrs.erase(block->instrs.begin() + static_cast<std::ptrdiff_t>(i));
+            changed = true;
+            continue;
+          }
+          live.erase(instr.operands[1]);
+        } else if (instr.opcode() == Opcode::kLoad &&
+                   tracked.contains(instr.operands[0])) {
+          live.insert(instr.operands[0]);
+        } else if (instr.opcode() == Opcode::kCall) {
+          live.insert(tracked.begin(), tracked.end());
+        }
+      }
+    }
+    return changed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_global_store_elim() {
+  return std::make_unique<GlobalStoreElimPass>();
+}
+
+}  // namespace r2r::passes

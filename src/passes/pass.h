@@ -1,0 +1,83 @@
+// r2r::passes — module pass interface + manager (LLVM-style, minimal).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace r2r::passes {
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  /// Returns true if the module was changed.
+  virtual bool run(ir::Module& module) = 0;
+};
+
+class PassManager {
+ public:
+  void add(std::unique_ptr<Pass> pass) { passes_.push_back(std::move(pass)); }
+
+  /// Runs every pass once, in order; returns true if anything changed.
+  bool run(ir::Module& module) {
+    bool changed = false;
+    for (const auto& pass : passes_) changed |= pass->run(module);
+    return changed;
+  }
+
+  /// Re-runs the pipeline until a fixed point (bounded).
+  bool run_to_fixpoint(ir::Module& module, unsigned max_rounds = 8) {
+    bool ever = false;
+    for (unsigned round = 0; round < max_rounds; ++round) {
+      if (!run(module)) return ever;
+      ever = true;
+    }
+    return ever;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+// ---- pass factories ---------------------------------------------------------
+
+/// Dead code elimination: removes side-effect-free instructions whose
+/// results have no uses.
+std::unique_ptr<Pass> make_dce();
+
+/// Local constant folding of arithmetic/compare/conversion instructions.
+std::unique_ptr<Pass> make_constant_fold();
+
+/// Block-local promotion of state globals: a load from a global observed
+/// after a store to the same global in the same block is replaced by the
+/// stored value, and overwritten stores are dropped. Assumes state globals
+/// are never aliased by computed guest addresses (standard lifter
+/// assumption, documented in DESIGN.md).
+std::unique_ptr<Pass> make_state_promotion();
+
+/// Cross-block dead-store elimination for non-escaping state globals
+/// (backward liveness; calls read everything, ret keeps everything live,
+/// unreachable kills everything).
+std::unique_ptr<Pass> make_global_store_elim();
+
+/// The paper's conditional branch hardening (Section V-B):
+/// checksum h = UIDdst ^ UIDsrc per Algorithm 1, evaluated twice (D1, D2),
+/// comparison re-executed (C2), nested switch validation on both edges per
+/// Fig. 5, fault response via the r2r.trap intrinsic.
+std::unique_ptr<Pass> make_branch_hardening();
+
+/// Return-register poisoning before direct calls whose callee provably
+/// writes g_rax before reading it (IR twin of the binary-level kCallGuard
+/// pattern; fires only on lifted modules).
+std::unique_ptr<Pass> make_call_guard();
+
+/// The "go-to" baseline of Section V-C: duplicate every computational
+/// instruction and compare results, trapping on mismatch (the >=300%
+/// code-size scheme the paper compares against).
+std::unique_ptr<Pass> make_instruction_duplication();
+
+}  // namespace r2r::passes

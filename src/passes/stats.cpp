@@ -1,0 +1,37 @@
+#include "passes/stats.h"
+
+namespace r2r::passes {
+
+OpcodeCounts count_ops(const ir::Function& fn) {
+  OpcodeCounts out;
+  for (const auto& block : fn.blocks) {
+    ++out.blocks;
+    for (const auto& instr : block->instrs) {
+      ++out.counts[instr->opcode()];
+      ++out.total;
+    }
+  }
+  return out;
+}
+
+OpcodeCounts count_ops(const ir::Module& module) {
+  OpcodeCounts out;
+  for (const auto& fn : module.functions) {
+    const OpcodeCounts fn_counts = count_ops(*fn);
+    for (const auto& [opcode, count] : fn_counts.counts) out.counts[opcode] += count;
+    out.total += fn_counts.total;
+    out.blocks += fn_counts.blocks;
+  }
+  return out;
+}
+
+std::string to_string(const OpcodeCounts& counts) {
+  std::string out;
+  for (const auto& [opcode, count] : counts.counts) {
+    if (!out.empty()) out += ", ";
+    out += std::string(ir::to_string(opcode)) + ": " + std::to_string(count);
+  }
+  return out;
+}
+
+}  // namespace r2r::passes

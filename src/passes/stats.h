@@ -1,0 +1,28 @@
+// r2r::passes — IR statistics (Table IV's op-count methodology).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ir/ir.h"
+
+namespace r2r::passes {
+
+struct OpcodeCounts {
+  std::map<ir::Opcode, unsigned> counts;
+  unsigned total = 0;
+  unsigned blocks = 0;
+
+  [[nodiscard]] unsigned count(ir::Opcode opcode) const {
+    const auto it = counts.find(opcode);
+    return it == counts.end() ? 0 : it->second;
+  }
+};
+
+OpcodeCounts count_ops(const ir::Function& fn);
+OpcodeCounts count_ops(const ir::Module& module);
+
+/// "op: n, op: n, ..." rendering for reports.
+std::string to_string(const OpcodeCounts& counts);
+
+}  // namespace r2r::passes

@@ -1,0 +1,36 @@
+#include "patch/patcher.h"
+
+#include <algorithm>
+
+namespace r2r::patch {
+
+PatchStats apply_patches(bir::Module& module,
+                         const std::vector<fault::Vulnerability>& vulnerabilities) {
+  // One patch per static instruction, regardless of how many dynamic
+  // occurrences / fault models hit it.
+  std::vector<std::uint64_t> addresses;
+  addresses.reserve(vulnerabilities.size());
+  for (const auto& v : vulnerabilities) addresses.push_back(v.address);
+  std::sort(addresses.begin(), addresses.end());
+  addresses.erase(std::unique(addresses.begin(), addresses.end()), addresses.end());
+
+  PatchStats stats;
+  for (const std::uint64_t address : addresses) {
+    const auto index = module.index_of_address(address);
+    if (!index) {
+      // The instruction no longer exists (e.g. replaced by an earlier patch
+      // in this same round); nothing to do.
+      stats.unpatchable.push_back(address);
+      continue;
+    }
+    const PatternKind kind = protect_instruction(module, *index);
+    if (kind == PatternKind::kNone) {
+      stats.unpatchable.push_back(address);
+    } else {
+      ++stats.applied[kind];
+    }
+  }
+  return stats;
+}
+
+}  // namespace r2r::patch

@@ -1,0 +1,34 @@
+// r2r::patch — the patcher of Fig. 2: maps the faulter's vulnerability list
+// onto module items and applies the local protection patterns.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "bir/module.h"
+#include "fault/campaign.h"
+#include "patch/patterns.h"
+
+namespace r2r::patch {
+
+struct PatchStats {
+  std::map<PatternKind, std::uint64_t> applied;  ///< per-pattern counts
+  std::vector<std::uint64_t> unpatchable;        ///< addresses left unprotected
+
+  [[nodiscard]] std::uint64_t total_applied() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& [kind, count] : applied) total += count;
+    return total;
+  }
+};
+
+/// Applies one protection pattern per distinct vulnerable address.
+/// Addresses must come from a campaign against the image produced by the
+/// *latest* assemble() of `module` (item addresses are matched exactly).
+/// Synthesized (countermeasure) items are never re-patched; their addresses
+/// are reported in `unpatchable`.
+PatchStats apply_patches(bir::Module& module,
+                         const std::vector<fault::Vulnerability>& vulnerabilities);
+
+}  // namespace r2r::patch

@@ -1,0 +1,479 @@
+#include "patch/patterns.h"
+
+#include <set>
+
+#include "isa/semantics.h"
+#include "support/error.h"
+
+namespace r2r::patch {
+
+namespace {
+
+using isa::Cond;
+using isa::Instruction;
+using isa::Mnemonic;
+using isa::Reg;
+using isa::Width;
+
+/// Registers an operand references (including memory base/index).
+void collect_regs(const isa::Operand& op, std::set<Reg>& regs) {
+  if (isa::is_reg(op)) {
+    regs.insert(std::get<Reg>(op));
+    return;
+  }
+  if (isa::is_mem(op)) {
+    const auto& mem = std::get<isa::MemOperand>(op);
+    if (mem.base) regs.insert(*mem.base);
+    if (mem.index) regs.insert(*mem.index);
+  }
+}
+
+bool references_rsp(const Instruction& instr) {
+  std::set<Reg> regs;
+  for (const auto& op : instr.operands) collect_regs(op, regs);
+  return regs.contains(Reg::rsp);
+}
+
+/// A scratch register not referenced by `instr` (used by the cmp pattern).
+Reg pick_scratch(const Instruction& instr) {
+  std::set<Reg> used;
+  for (const auto& op : instr.operands) collect_regs(op, used);
+  for (const Reg candidate : {Reg::rbx, Reg::rax, Reg::rcx, Reg::rdx, Reg::rsi,
+                              Reg::rdi, Reg::r8, Reg::r9, Reg::r10, Reg::r11}) {
+    if (!used.contains(candidate)) return candidate;
+  }
+  support::fail(support::ErrorKind::kRewrite, "no scratch register available");
+}
+
+/// Marks the items inserted in [first, last) as countermeasure code.
+void mark_synthesized(bir::Module& module, std::size_t first, std::size_t count) {
+  for (std::size_t i = first; i < first + count && i < module.text.size(); ++i) {
+    module.text[i].synthesized = true;
+  }
+}
+
+/// Label on the item after `index`, appending a terminal nop if the module
+/// ends there (patterns need a continuation point to attach a label to).
+std::string continuation_label(bir::Module& module, std::size_t index) {
+  if (index + 1 >= module.text.size()) {
+    module.insert_before(module.text.size(), {isa::nop()}, false);
+    module.text.back().synthesized = true;
+  }
+  return module.label_for_index(index + 1);
+}
+
+/// True if the mov's source immediate cannot appear in a cmp (no imm64
+/// compare form exists on x86; a symbol immediate resolves below 2^31 in
+/// our layout and is fine).
+bool needs_scratch_compare(const Instruction& mov_instr) {
+  if (mov_instr.arity() != 2 || !isa::is_imm(mov_instr.op(1))) return false;
+  const auto& imm = std::get<isa::ImmOperand>(mov_instr.op(1));
+  return imm.label.empty() && !(imm.value >= INT32_MIN && imm.value <= INT32_MAX);
+}
+
+/// The register (if any) that the mov destination clobbers inside its own
+/// source-address computation, e.g. `mov rdi, [rdi]` or `mov rax, [rbx+rax]`.
+std::optional<Reg> aliased_address_reg(const Instruction& mov_instr) {
+  if (mov_instr.arity() != 2 || !isa::is_reg(mov_instr.op(0)) ||
+      !isa::is_mem(mov_instr.op(1))) {
+    return std::nullopt;
+  }
+  const Reg dst = std::get<Reg>(mov_instr.op(0));
+  const auto& mem = std::get<isa::MemOperand>(mov_instr.op(1));
+  if ((mem.base && *mem.base == dst) || (mem.index && *mem.index == dst)) return dst;
+  return std::nullopt;
+}
+
+/// Table I variant for self-aliasing loads: the address register is copied
+/// to a scratch register *before* the load so the verification re-read uses
+/// the original address. Replaces the mov in place.
+PatternKind apply_mov_aliased(bir::Module& module, std::size_t index, Reg aliased,
+                              bool save_flags) {
+  const Instruction original = *module.text[index].instr;
+  if (references_rsp(original)) return PatternKind::kNone;  // rsp shifts below
+  const auto& src = std::get<isa::MemOperand>(original.op(1));
+  // One scratch handles one aliased register; a mov can only alias dst once
+  // anyway (dst == base and dst == index still substitutes both uses).
+  std::set<Reg> used{std::get<Reg>(original.op(0))};
+  if (src.base) used.insert(*src.base);
+  if (src.index) used.insert(*src.index);
+  Reg scratch = Reg::rbx;
+  for (const Reg candidate : {Reg::rbx, Reg::rax, Reg::rcx, Reg::rdx, Reg::rsi,
+                              Reg::rdi, Reg::r8, Reg::r9, Reg::r10, Reg::r11}) {
+    if (!used.contains(candidate)) {
+      scratch = candidate;
+      break;
+    }
+  }
+
+  isa::MemOperand reread = src;
+  if (reread.base && *reread.base == aliased) reread.base = scratch;
+  if (reread.index && *reread.index == aliased) reread.index = scratch;
+
+  const std::string handler = ensure_fault_handler(module);
+  const std::string resume = module.fresh_label("movok");
+
+  std::vector<Instruction> seq;
+  if (save_flags) {
+    seq.push_back(isa::lea(Reg::rsp, isa::mem(Reg::rsp, -128)));
+    seq.push_back(isa::pushfq());  // mov writes no flags; popfq restores these
+  }
+  seq.push_back(isa::push(scratch));
+  seq.push_back(isa::mov(scratch, aliased));
+  seq.push_back(original);
+  seq.push_back(isa::cmp(original.op(0), reread, original.width));
+  seq.push_back(isa::jcc(Cond::e, resume));
+  seq.push_back(isa::call(handler));
+  const std::size_t resume_index = seq.size();
+  seq.push_back(isa::pop(scratch));
+  if (save_flags) {
+    seq.push_back(isa::popfq());
+    seq.push_back(isa::lea(Reg::rsp, isa::mem(Reg::rsp, 128)));
+  }
+
+  const std::size_t count = seq.size();
+  module.replace(index, std::move(seq));
+  module.add_label(index + resume_index, resume);
+  mark_synthesized(module, index, count);
+  return PatternKind::kMov;
+}
+
+PatternKind apply_mov(bir::Module& module, std::size_t index) {
+  const Instruction original = *module.text[index].instr;
+  const bool save_flags = flags_live_after(module, index);
+  if (const auto aliased = aliased_address_reg(original)) {
+    return apply_mov_aliased(module, index, *aliased, save_flags);
+  }
+  const bool scratch_form = needs_scratch_compare(original);
+  // Variants that adjust rsp would shift an rsp-relative operand of the
+  // re-executed access; such sites stay unprotected (reported upstream).
+  if ((save_flags || scratch_form) && references_rsp(original)) return PatternKind::kNone;
+
+  const std::string handler = ensure_fault_handler(module);
+  const std::string happyflow = continuation_label(module, index);
+
+  std::vector<Instruction> seq;
+  if (save_flags) {
+    // Red-zone safe RFLAGS save around the verification compare.
+    seq.push_back(isa::lea(Reg::rsp, isa::mem(Reg::rsp, -128)));
+    seq.push_back(isa::pushfq());
+  }
+  std::optional<Reg> scratch;
+  if (scratch_form) {
+    // cmp r64, imm64 does not exist: re-materialize the immediate into a
+    // scratch register and compare register-register.
+    scratch = pick_scratch(original);
+    seq.push_back(isa::push(*scratch));
+    seq.push_back(isa::mov(*scratch, original.op(1)));
+    seq.push_back(isa::cmp(original.op(0), *scratch, original.width));
+  } else {
+    // A verification compare re-reads the source: reg<-mem compares reg vs
+    // mem (Table I verbatim); mem<-reg compares mem vs reg; imm sources
+    // compare against the immediate again.
+    seq.push_back(isa::cmp(original.op(0), original.op(1), original.width));
+  }
+  std::string resume = happyflow;
+  if (save_flags || scratch_form) resume = module.fresh_label("movok");
+  seq.push_back(isa::jcc(Cond::e, resume));
+  seq.push_back(isa::call(handler));
+  const std::size_t resume_index = seq.size();
+  if (scratch_form) seq.push_back(isa::pop(*scratch));
+  if (save_flags) {
+    seq.push_back(isa::popfq());
+    seq.push_back(isa::lea(Reg::rsp, isa::mem(Reg::rsp, 128)));
+  }
+
+  const std::size_t count = seq.size();
+  module.insert_after(index, std::move(seq));
+  if (resume != happyflow) {
+    // Attach the resume label to the first clean-up instruction.
+    module.add_label(index + 1 + resume_index, resume);
+  }
+  mark_synthesized(module, index + 1, count);
+  return PatternKind::kMov;
+}
+
+PatternKind apply_movzx(bir::Module& module, std::size_t index) {
+  // movzx dst, src8 — verify the low byte of dst against the source again.
+  // (Extension of the Table I idea to the zero-extending load; the upper
+  // bits are architecturally zero after movzx.) Unlike the mov pattern this
+  // one has no flags-preserving variant, so live flags disqualify it.
+  if (flags_live_after(module, index)) return PatternKind::kNone;
+  const Instruction original = *module.text[index].instr;
+  const Instruction verify =
+      isa::cmp(original.op(0), original.op(1), Width::b8);
+  const std::string handler = ensure_fault_handler(module);
+  const std::string happyflow = continuation_label(module, index);
+
+  std::vector<Instruction> seq;
+  seq.push_back(verify);
+  seq.push_back(isa::jcc(Cond::e, happyflow));
+  seq.push_back(isa::call(handler));
+  const std::size_t count = seq.size();
+  module.insert_after(index, std::move(seq));
+  mark_synthesized(module, index + 1, count);
+  return PatternKind::kMovzx;
+}
+
+PatternKind apply_cmp(bir::Module& module, std::size_t index) {
+  const Instruction original = *module.text[index].instr;
+  if (references_rsp(original)) return PatternKind::kNone;  // rsp moves below
+  const Reg scratch = pick_scratch(original);
+  const std::string handler = ensure_fault_handler(module);
+  const std::string restore = module.fresh_label("restore");
+
+  // Table II, verbatim (scratch register generalized from the paper's rbx).
+  std::vector<Instruction> seq;
+  seq.push_back(isa::lea(Reg::rsp, isa::mem(Reg::rsp, -128)));
+  seq.push_back(original);
+  seq.push_back(isa::push(scratch));
+  seq.push_back(isa::pushfq());
+  seq.push_back(original);
+  seq.push_back(isa::pushfq());
+  seq.push_back(isa::pop(scratch));
+  seq.push_back(isa::cmp(scratch, isa::mem(Reg::rsp, 0)));
+  seq.push_back(isa::jcc(Cond::e, restore));
+  seq.push_back(isa::call(handler));
+  const std::size_t restore_index = seq.size();
+  seq.push_back(isa::popfq());
+  seq.push_back(isa::pop(scratch));
+  seq.push_back(isa::lea(Reg::rsp, isa::mem(Reg::rsp, 128)));
+  // Third, authoritative execution of the comparison. Without it, skipping
+  // the popfq would leave the flags of the internal consistency compare
+  // (always "equal") for the consumer branch — itself a skip vulnerability.
+  // With it, skipping any single pattern instruction still ends with
+  // correct flags: skipping this cmp falls back to the popfq-restored
+  // flags, skipping the popfq is overwritten here.
+  seq.push_back(original);
+
+  const std::size_t count = seq.size();
+  module.replace(index, std::move(seq));
+  module.add_label(index + restore_index, restore);
+  mark_synthesized(module, index, count);
+  return PatternKind::kCmp;
+}
+
+PatternKind apply_jcc(bir::Module& module, std::size_t index) {
+  const Instruction original = *module.text[index].instr;
+  if (!isa::is_label(original.op(0))) return PatternKind::kNone;
+  const Cond cond = original.cond;
+  const std::string target = std::get<isa::LabelOperand>(original.op(0)).name;
+  const std::string handler = ensure_fault_handler(module);
+  const std::string fallthrough = continuation_label(module, index);
+  const std::string new_target = module.fresh_label("newjumptarget");
+  const std::string nf_jmp = module.fresh_label("newfallthroughjmp");
+  const std::string nj_jmp = module.fresh_label("newjumptargetjmp");
+
+  // Table III (with the inverted-condition reading on the fall-through
+  // re-branch; see the header comment).
+  std::vector<Instruction> seq;
+  seq.push_back(isa::jcc(cond, new_target));
+  // --- fall-through edge verification (expected set<cond> result: 0) ---
+  seq.push_back(isa::lea(Reg::rsp, isa::mem(Reg::rsp, -128)));
+  seq.push_back(isa::push(Reg::rcx));
+  seq.push_back(isa::pushfq());
+  seq.push_back(isa::setcc(cond, Reg::rcx));
+  seq.push_back(isa::cmp(Reg::rcx, isa::imm(0), Width::b8));
+  seq.push_back(isa::jcc(Cond::e, nf_jmp));
+  seq.push_back(isa::call(handler));
+  const std::size_t nf_index = seq.size();
+  seq.push_back(isa::popfq());  // label nf_jmp
+  seq.push_back(isa::pop(Reg::rcx));
+  seq.push_back(isa::lea(Reg::rsp, isa::mem(Reg::rsp, 128)));
+  seq.push_back(isa::jcc(isa::invert(cond), fallthrough));
+  seq.push_back(isa::call(handler));
+  // --- taken edge verification (expected set<cond> result: 1) ---
+  const std::size_t nj_head = seq.size();
+  seq.push_back(isa::lea(Reg::rsp, isa::mem(Reg::rsp, -128)));  // label new_target
+  seq.push_back(isa::push(Reg::rcx));
+  seq.push_back(isa::pushfq());
+  seq.push_back(isa::setcc(cond, Reg::rcx));
+  seq.push_back(isa::cmp(Reg::rcx, isa::imm(1), Width::b8));
+  seq.push_back(isa::jcc(Cond::e, nj_jmp));
+  seq.push_back(isa::call(handler));
+  const std::size_t nj_index = seq.size();
+  seq.push_back(isa::popfq());  // label nj_jmp
+  seq.push_back(isa::pop(Reg::rcx));
+  seq.push_back(isa::lea(Reg::rsp, isa::mem(Reg::rsp, 128)));
+  seq.push_back(isa::jcc(cond, target));
+  seq.push_back(isa::call(handler));
+
+  const std::size_t count = seq.size();
+  module.replace(index, std::move(seq));
+  module.add_label(index + nf_index, nf_jmp);
+  module.add_label(index + nj_head, new_target);
+  module.add_label(index + nj_index, nj_jmp);
+  mark_synthesized(module, index, count);
+  return PatternKind::kJcc;
+}
+
+/// Does the callee write rax before any instruction could read it?
+/// Conservative linear scan of the callee's entry straight-line code; any
+/// branch, call, or ambiguous instruction before a clear write means "no".
+bool callee_clobbers_rax_first(const bir::Module& module, const std::string& label) {
+  const auto start = module.index_of_label(label);
+  if (!start) return false;
+  for (std::size_t i = *start; i < module.text.size(); ++i) {
+    const bir::CodeItem& item = module.text[i];
+    if (!item.is_instruction()) return false;
+    const Instruction& instr = *item.instr;
+
+    const auto operand_reads_rax = [](const isa::Operand& op) {
+      if (isa::is_reg(op)) return std::get<Reg>(op) == Reg::rax;
+      if (isa::is_mem(op)) {
+        const auto& mem = std::get<isa::MemOperand>(op);
+        return (mem.base && *mem.base == Reg::rax) || (mem.index && *mem.index == Reg::rax);
+      }
+      return false;
+    };
+
+    switch (instr.mnemonic) {
+      case Mnemonic::kMov:
+      case Mnemonic::kMovzx:
+      case Mnemonic::kMovsx:
+      case Mnemonic::kLea:
+        // Pure write to the destination; safe if rax is the destination
+        // register and the source does not mention rax.
+        if (instr.arity() == 2 && isa::is_reg(instr.op(0)) &&
+            std::get<Reg>(instr.op(0)) == Reg::rax) {
+          return !operand_reads_rax(instr.op(1));
+        }
+        if (operand_reads_rax(instr.op(0)) ||
+            (instr.arity() == 2 && operand_reads_rax(instr.op(1)))) {
+          return false;
+        }
+        continue;
+      case Mnemonic::kXor:
+        // xor rax, rax is an idiomatic write.
+        if (instr.arity() == 2 && isa::is_reg(instr.op(0)) &&
+            isa::is_reg(instr.op(1)) && std::get<Reg>(instr.op(0)) == Reg::rax &&
+            std::get<Reg>(instr.op(1)) == Reg::rax) {
+          return true;
+        }
+        [[fallthrough]];
+      default: {
+        // Any other instruction mentioning rax (or transferring control)
+        // ends the analysis pessimistically.
+        if (isa::is_control_flow(instr) || instr.mnemonic == Mnemonic::kSyscall) {
+          return false;
+        }
+        for (const isa::Operand& op : instr.operands) {
+          if (operand_reads_rax(op)) return false;
+        }
+        continue;
+      }
+    }
+  }
+  return false;
+}
+
+PatternKind apply_call_guard(bir::Module& module, std::size_t index) {
+  const Instruction original = *module.text[index].instr;
+  if (!isa::is_label(original.op(0))) return PatternKind::kNone;
+  const std::string& callee = std::get<isa::LabelOperand>(original.op(0)).name;
+  if (!callee_clobbers_rax_first(module, callee)) return PatternKind::kNone;
+  // Poison the return register: if the call is skipped, downstream
+  // comparisons against the expected return value fail closed.
+  module.insert_before(index, {isa::mov(Reg::rax, isa::imm(0))}, /*take_labels=*/true);
+  module.text[index].synthesized = true;      // the poison mov
+  module.text[index + 1].synthesized = true;  // the guarded call
+  return PatternKind::kCallGuard;
+}
+
+PatternKind apply_ret_dup(bir::Module& module, std::size_t index) {
+  module.insert_after(index, {isa::ret()});
+  module.text[index].synthesized = true;
+  module.text[index + 1].synthesized = true;
+  return PatternKind::kRetDup;
+}
+
+}  // namespace
+
+std::string ensure_fault_handler(bir::Module& module) {
+  const std::string handler(kFaultHandlerSymbol);
+  if (module.has_symbol(handler)) return handler;
+  std::vector<Instruction> body;
+  body.push_back(isa::mov(Reg::rax, isa::imm(60)));  // exit(kDetectedExit)
+  body.push_back(isa::mov(Reg::rdi, isa::imm(kDetectedExit)));
+  body.push_back(isa::syscall_());
+  const std::size_t first = module.text.size();
+  module.append_block(handler, std::move(body));
+  mark_synthesized(module, first, 3);
+  return handler;
+}
+
+bool flags_live_after(const bir::Module& module, std::size_t index) {
+  std::set<std::size_t> visited;
+  std::size_t i = index + 1;
+  while (true) {
+    if (i >= module.text.size()) return false;
+    if (!visited.insert(i).second) return false;  // loop without flag use
+    const bir::CodeItem& item = module.text[i];
+    if (!item.is_instruction()) return true;  // raw bytes: assume the worst
+    const Instruction& instr = *item.instr;
+    if (isa::reads_flags(instr)) return true;
+    if (isa::writes_flags(instr)) return false;
+    switch (instr.mnemonic) {
+      case Mnemonic::kJmp: {
+        if (!isa::is_label(instr.op(0))) return true;
+        const auto target =
+            module.index_of_label(std::get<isa::LabelOperand>(instr.op(0)).name);
+        if (!target) return true;
+        i = *target;
+        continue;
+      }
+      case Mnemonic::kJmpReg:
+        return true;  // unknown destination
+      case Mnemonic::kRet:
+        return true;  // caller may observe flags — stay conservative
+      case Mnemonic::kCall:
+      case Mnemonic::kCallReg:
+        return false;  // SysV: flags are dead across calls
+      case Mnemonic::kHlt:
+      case Mnemonic::kUd2:
+      case Mnemonic::kInt3:
+        return false;
+      case Mnemonic::kSyscall:
+        return false;  // kernel clobbers rflags (r11 convention)
+      default:
+        ++i;
+        continue;
+    }
+  }
+}
+
+PatternKind classify_pattern(const bir::Module& module, std::size_t index) {
+  if (index >= module.text.size()) return PatternKind::kNone;
+  const bir::CodeItem& item = module.text[index];
+  if (!item.is_instruction() || item.synthesized) return PatternKind::kNone;
+  switch (item.instr->mnemonic) {
+    case Mnemonic::kMov: return PatternKind::kMov;
+    case Mnemonic::kMovzx: return PatternKind::kMovzx;
+    case Mnemonic::kCmp:
+      return references_rsp(*item.instr) ? PatternKind::kNone : PatternKind::kCmp;
+    case Mnemonic::kJcc:
+      return isa::is_label(item.instr->op(0)) ? PatternKind::kJcc : PatternKind::kNone;
+    case Mnemonic::kCall:
+      return isa::is_label(item.instr->op(0)) ? PatternKind::kCallGuard
+                                              : PatternKind::kNone;
+    case Mnemonic::kRet:
+      return PatternKind::kRetDup;
+    default:
+      return PatternKind::kNone;
+  }
+}
+
+PatternKind protect_instruction(bir::Module& module, std::size_t index) {
+  switch (classify_pattern(module, index)) {
+    case PatternKind::kMov: return apply_mov(module, index);
+    case PatternKind::kMovzx: return apply_movzx(module, index);
+    case PatternKind::kCmp: return apply_cmp(module, index);
+    case PatternKind::kJcc: return apply_jcc(module, index);
+    case PatternKind::kCallGuard: return apply_call_guard(module, index);
+    case PatternKind::kRetDup: return apply_ret_dup(module, index);
+    case PatternKind::kNone: return PatternKind::kNone;
+  }
+  return PatternKind::kNone;
+}
+
+}  // namespace r2r::patch

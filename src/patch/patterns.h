@@ -1,0 +1,74 @@
+// r2r::patch — the paper's local protection patterns (Section V-A).
+//
+// Table I   mov:     re-read / re-compare the moved value, je happyflow,
+//                    else call faulthandler.
+// Table II  cmp:     execute the comparison twice, pushfq both times,
+//                    compare the two saved RFLAGS images (with Intel
+//                    red-zone adjustment), restore the first flags.
+// Table III j<cond>: double-check the branch decision on both edges with
+//                    set<cond> + an expected constant (0 on the
+//                    fall-through edge, 1 on the taken edge), re-branch.
+//
+// Note on Table III: the paper's listing shows "j<cond> fallthrough" on the
+// fall-through verification path; taken literally the fall-through path
+// would always run into the fault handler, so — as the surrounding text
+// implies — the re-branch on that edge uses the *inverted* condition. This
+// implementation encodes that reading.
+//
+// Every inserted instruction is marked CodeItem::synthesized so iterative
+// patching never rewrites countermeasure code (divergence guard).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "bir/module.h"
+
+namespace r2r::patch {
+
+/// Symbol of the injected fault-response routine (exit with kDetectedExit).
+inline constexpr std::string_view kFaultHandlerSymbol = "__r2r_faulthandler";
+
+/// Exit code the fault handler uses; the campaign oracle classifies runs
+/// exiting with this code as Outcome::kDetected.
+inline constexpr int kDetectedExit = 42;
+
+/// Appends the fault-handler routine if the module does not have one yet;
+/// returns its label.
+std::string ensure_fault_handler(bir::Module& module);
+
+/// Which pattern (if any) protect_instruction() would use.
+///
+/// kMov/kCmp/kJcc are the paper's Tables I-III; kMovzx, kCallGuard and
+/// kRetDup are r2r extensions in the same redundancy spirit, needed
+/// because skip faults on zero-extending loads, calls (stale return
+/// register) and returns (fall-through into the next function) also
+/// produce successful faults:
+///   kCallGuard — poison rax with 0 before a direct call whose callee
+///                provably writes rax before reading it; a skipped call
+///                then leaves an implausible return value.
+///   kRetDup    — duplicate the ret; skipping one executes the other.
+enum class PatternKind : std::uint8_t {
+  kNone,
+  kMov,
+  kMovzx,
+  kCmp,
+  kJcc,
+  kCallGuard,
+  kRetDup,
+};
+
+PatternKind classify_pattern(const bir::Module& module, std::size_t index);
+
+/// Applies the matching pattern to the instruction at `index`.
+/// Returns the pattern applied, or kNone when the instruction cannot be
+/// locally protected (unsupported shape, synthesized code, rsp-relative
+/// cmp operands, ...).
+PatternKind protect_instruction(bir::Module& module, std::size_t index);
+
+/// True if arithmetic flags may be observed after item `index` before being
+/// rewritten (conservative forward scan; used to decide whether the mov
+/// pattern must save/restore RFLAGS around its verification compare).
+bool flags_live_after(const bir::Module& module, std::size_t index);
+
+}  // namespace r2r::patch

@@ -1,0 +1,58 @@
+#include "patch/pipeline.h"
+
+#include "bir/assemble.h"
+#include "bir/recover.h"
+
+namespace r2r::patch {
+
+PipelineResult faulter_patcher(const elf::Image& input, const std::string& good_input,
+                               const std::string& bad_input,
+                               const PipelineConfig& config) {
+  PipelineResult result;
+  result.original_code_size = input.code_size();
+  result.module = bir::recover(input);
+
+  for (unsigned iteration = 0; iteration < config.max_iterations; ++iteration) {
+    elf::Image image = bir::assemble(result.module);
+    fault::CampaignResult campaign =
+        fault::run_campaign(image, good_input, bad_input, config.campaign);
+
+    IterationReport report;
+    report.successful_faults = campaign.vulnerabilities.size();
+    report.vulnerable_points = campaign.vulnerable_addresses().size();
+    report.code_size = image.code_size();
+
+    if (campaign.vulnerabilities.empty()) {
+      result.hardened = std::move(image);
+      result.final_campaign = std::move(campaign);
+      result.fixpoint = true;
+      result.iterations.push_back(report);
+      break;
+    }
+
+    const PatchStats stats = apply_patches(result.module, campaign.vulnerabilities);
+    report.patches_applied = stats.total_applied();
+    report.unpatchable_points = stats.unpatchable.size();
+    result.iterations.push_back(report);
+
+    if (stats.total_applied() == 0) {
+      // Every remaining vulnerability is unpatchable: a fix-point with
+      // residual risk (the paper's single-bit-flip case).
+      result.hardened = std::move(image);
+      result.final_campaign = std::move(campaign);
+      result.fixpoint = true;
+      break;
+    }
+  }
+
+  if (result.hardened.segments.empty()) {
+    // Iteration cap hit: report the state of the last patched module.
+    result.hardened = bir::assemble(result.module);
+    result.final_campaign =
+        fault::run_campaign(result.hardened, good_input, bad_input, config.campaign);
+  }
+  result.hardened_code_size = result.hardened.code_size();
+  return result;
+}
+
+}  // namespace r2r::patch

@@ -1,0 +1,59 @@
+// r2r::patch — the Faulter+Patcher loop of Fig. 2.
+//
+//   binary -> faulter -> vulnerabilities -> patcher -> patched binary
+//      ^                                                    |
+//      +----------------------------------------------------+
+//
+// Iterates until no patchable vulnerability remains (fix-point) or the
+// iteration cap is hit. Patching changes distances between instructions and
+// can surface new vulnerabilities, exactly as Section IV-B.3 describes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bir/module.h"
+#include "elf/image.h"
+#include "fault/campaign.h"
+#include "patch/patcher.h"
+
+namespace r2r::patch {
+
+struct PipelineConfig {
+  fault::CampaignConfig campaign;
+  unsigned max_iterations = 12;
+};
+
+struct IterationReport {
+  std::uint64_t successful_faults = 0;   ///< dynamic successful faults found
+  std::uint64_t vulnerable_points = 0;   ///< distinct static addresses
+  std::uint64_t patches_applied = 0;
+  std::uint64_t unpatchable_points = 0;
+  std::uint64_t code_size = 0;           ///< bytes of .text at this iteration
+};
+
+struct PipelineResult {
+  bir::Module module;            ///< final (hardened) module
+  elf::Image hardened;           ///< final image
+  std::vector<IterationReport> iterations;
+  fault::CampaignResult final_campaign;  ///< campaign against the final image
+  bool fixpoint = false;         ///< no patchable vulnerabilities remain
+  std::uint64_t original_code_size = 0;
+  std::uint64_t hardened_code_size = 0;
+
+  /// Code-size overhead percentage — the paper's Table V metric.
+  [[nodiscard]] double overhead_percent() const noexcept {
+    if (original_code_size == 0) return 0.0;
+    return 100.0 *
+           (static_cast<double>(hardened_code_size) -
+            static_cast<double>(original_code_size)) /
+           static_cast<double>(original_code_size);
+  }
+};
+
+/// Runs the full Faulter+Patcher loop on `input`.
+PipelineResult faulter_patcher(const elf::Image& input, const std::string& good_input,
+                               const std::string& bad_input,
+                               const PipelineConfig& config = {});
+
+}  // namespace r2r::patch

@@ -1,0 +1,52 @@
+// r2r::support — bit-level helpers shared by the encoder, decoder,
+// emulator flag computation, and the fault models.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace r2r::support {
+
+/// True if `value` fits in a sign-extended 8-bit immediate.
+constexpr bool fits_int8(std::int64_t value) noexcept {
+  return value >= std::numeric_limits<std::int8_t>::min() &&
+         value <= std::numeric_limits<std::int8_t>::max();
+}
+
+/// True if `value` fits in a sign-extended 32-bit immediate.
+constexpr bool fits_int32(std::int64_t value) noexcept {
+  return value >= std::numeric_limits<std::int32_t>::min() &&
+         value <= std::numeric_limits<std::int32_t>::max();
+}
+
+/// Sign-extends the low `bits` bits of `value` to 64 bits.
+constexpr std::int64_t sign_extend(std::uint64_t value, unsigned bits) noexcept {
+  if (bits == 0 || bits >= 64) return static_cast<std::int64_t>(value);
+  const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+  const std::uint64_t sign = std::uint64_t{1} << (bits - 1);
+  value &= mask;
+  return static_cast<std::int64_t>((value ^ sign) - sign);
+}
+
+/// Returns bit `index` (0 = LSB) of `value`.
+constexpr bool bit(std::uint64_t value, unsigned index) noexcept {
+  return ((value >> index) & 1U) != 0;
+}
+
+/// Even parity of the low 8 bits, as x86 PF defines it (PF=1 when the
+/// number of set bits in the low byte is even).
+constexpr bool parity_even_low8(std::uint64_t value) noexcept {
+  std::uint64_t v = value & 0xFFU;
+  v ^= v >> 4;
+  v ^= v >> 2;
+  v ^= v >> 1;
+  return (v & 1U) == 0;
+}
+
+/// Truncates `value` to `bits` bits.
+constexpr std::uint64_t truncate(std::uint64_t value, unsigned bits) noexcept {
+  if (bits >= 64) return value;
+  return value & ((std::uint64_t{1} << bits) - 1);
+}
+
+}  // namespace r2r::support

@@ -1,0 +1,37 @@
+#include "support/bytes.h"
+
+#include <array>
+#include <cctype>
+
+namespace r2r::support {
+
+std::string hexdump(std::span<const std::uint8_t> data, std::uint64_t base_address) {
+  static constexpr std::array<char, 16> kHex = {'0', '1', '2', '3', '4', '5', '6', '7',
+                                                '8', '9', 'a', 'b', 'c', 'd', 'e', 'f'};
+  std::string out;
+  for (std::size_t row = 0; row < data.size(); row += 16) {
+    const std::uint64_t addr = base_address + row;
+    for (int shift = 60; shift >= 0; shift -= 4)
+      out.push_back(kHex[static_cast<std::size_t>((addr >> shift) & 0xF)]);
+    out += "  ";
+    for (std::size_t col = 0; col < 16; ++col) {
+      if (row + col < data.size()) {
+        const std::uint8_t b = data[row + col];
+        out.push_back(kHex[b >> 4]);
+        out.push_back(kHex[b & 0xF]);
+        out.push_back(' ');
+      } else {
+        out += "   ";
+      }
+    }
+    out += " |";
+    for (std::size_t col = 0; col < 16 && row + col < data.size(); ++col) {
+      const char c = static_cast<char>(data[row + col]);
+      out.push_back(std::isprint(static_cast<unsigned char>(c)) != 0 ? c : '.');
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace r2r::support

@@ -1,0 +1,24 @@
+#include "support/error.h"
+
+namespace r2r::support {
+
+std::string_view to_string(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::kInvalidArgument: return "invalid-argument";
+    case ErrorKind::kParse: return "parse";
+    case ErrorKind::kEncode: return "encode";
+    case ErrorKind::kDecode: return "decode";
+    case ErrorKind::kMemory: return "memory";
+    case ErrorKind::kExecution: return "execution";
+    case ErrorKind::kElf: return "elf";
+    case ErrorKind::kRecovery: return "recovery";
+    case ErrorKind::kRewrite: return "rewrite";
+    case ErrorKind::kIr: return "ir";
+    case ErrorKind::kLift: return "lift";
+    case ErrorKind::kLower: return "lower";
+    case ErrorKind::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace r2r::support

@@ -1,0 +1,53 @@
+// r2r::support — deterministic xoshiro256** PRNG.
+//
+// Fault campaigns, property tests, and workload generators must be
+// reproducible across runs, so nothing in r2r uses std::random_device.
+#pragma once
+
+#include <cstdint>
+
+namespace r2r::support {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      // splitmix64 step
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound); bound must be non-zero.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Modulo bias is irrelevant for test workloads; keep it simple.
+    return next() % bound;
+  }
+
+  bool next_bool() noexcept { return (next() & 1U) != 0; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+    return (v << k) | (v >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace r2r::support

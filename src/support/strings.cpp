@@ -1,0 +1,94 @@
+#include "support/strings.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace r2r::support {
+
+namespace {
+bool is_space(char c) noexcept {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+}  // namespace
+
+std::string_view trim(std::string_view text) noexcept {
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+std::vector<std::string_view> split(std::string_view text, char separator) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(separator, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(trim(text.substr(start)));
+      break;
+    }
+    parts.push_back(trim(text.substr(start, pos - start)));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::vector<std::string_view> split_whitespace(std::string_view text) {
+  std::vector<std::string_view> parts;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && is_space(text[i])) ++i;
+    const std::size_t start = i;
+    while (i < text.size() && !is_space(text[i])) ++i;
+    if (i > start) parts.push_back(text.substr(start, i - start));
+  }
+  return parts;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::optional<std::int64_t> parse_integer(std::string_view text) noexcept {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  bool negative = false;
+  if (text.front() == '-') {
+    negative = true;
+    text.remove_prefix(1);
+    if (text.empty()) return std::nullopt;
+  }
+  if (text.size() == 3 && text.front() == '\'' && text.back() == '\'') {
+    const std::int64_t v = static_cast<unsigned char>(text[1]);
+    return negative ? -v : v;
+  }
+  int base = 10;
+  if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    base = 16;
+    text.remove_prefix(2);
+  }
+  std::uint64_t magnitude = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, magnitude, base);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  if (negative) return -static_cast<std::int64_t>(magnitude);
+  return static_cast<std::int64_t>(magnitude);
+}
+
+std::string hex_string(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace r2r::support

@@ -1,0 +1,126 @@
+// Fault campaign: oracle classification, determinism, model coverage.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fault/campaign.h"
+#include "guests/guests.h"
+#include "support/error.h"
+
+namespace r2r::fault {
+namespace {
+
+using guests::Guest;
+
+TEST(Oracle, RejectsIndistinguishableInputs) {
+  const Guest& guest = guests::toymov();
+  const elf::Image image = guests::build_image(guest);
+  EXPECT_THROW(make_oracle(image, guest.good_input, guest.good_input), support::Error);
+}
+
+TEST(Oracle, ClassifiesReferenceRuns) {
+  const Guest& guest = guests::toymov();
+  const elf::Image image = guests::build_image(guest);
+  const Oracle oracle = make_oracle(image, guest.good_input, guest.bad_input);
+  EXPECT_EQ(oracle.classify(oracle.good_reference, 42), Outcome::kSuccess);
+  EXPECT_EQ(oracle.classify(oracle.bad_reference, 42), Outcome::kNoEffect);
+
+  emu::RunResult detected;
+  detected.reason = emu::StopReason::kExited;
+  detected.exit_code = 42;
+  EXPECT_EQ(oracle.classify(detected, 42), Outcome::kDetected);
+
+  emu::RunResult crashed;
+  crashed.reason = emu::StopReason::kCrashed;
+  EXPECT_EQ(oracle.classify(crashed, 42), Outcome::kCrash);
+
+  emu::RunResult hung;
+  hung.reason = emu::StopReason::kFuelExhausted;
+  EXPECT_EQ(oracle.classify(hung, 42), Outcome::kHang);
+
+  emu::RunResult garbled;
+  garbled.reason = emu::StopReason::kExited;
+  garbled.exit_code = 9;
+  garbled.output = "???";
+  EXPECT_EQ(oracle.classify(garbled, 42), Outcome::kOtherBehavior);
+}
+
+TEST(Oracle, TraceMatchesBadReferenceSteps) {
+  const Guest& guest = guests::pincheck();
+  const elf::Image image = guests::build_image(guest);
+  const Oracle oracle = make_oracle(image, guest.good_input, guest.bad_input);
+  EXPECT_EQ(oracle.bad_trace.size(), oracle.bad_reference.steps);
+}
+
+TEST(Campaign, SkipModelFindsKnownToymovVulnerability) {
+  const Guest& guest = guests::toymov();
+  const elf::Image image = guests::build_image(guest);
+  CampaignConfig config;
+  config.model_bit_flip = false;
+  const CampaignResult result =
+      run_campaign(image, guest.good_input, guest.bad_input, config);
+  // One fault per dynamic instruction.
+  EXPECT_EQ(result.total_faults, result.trace_length);
+  // The jne must be skippable into the granting path.
+  EXPECT_FALSE(result.vulnerabilities.empty());
+  for (const Vulnerability& v : result.vulnerabilities) {
+    EXPECT_EQ(v.spec.kind, emu::FaultSpec::Kind::kSkip);
+  }
+}
+
+TEST(Campaign, BitFlipModelEnumeratesEveryBit) {
+  const Guest& guest = guests::toymov();
+  const elf::Image image = guests::build_image(guest);
+  CampaignConfig config;
+  config.model_skip = false;
+  const CampaignResult result =
+      run_campaign(image, guest.good_input, guest.bad_input, config);
+  // Total faults = 8 bits per encoded byte of the executed trace.
+  std::uint64_t expected = 0;
+  const Oracle oracle = make_oracle(image, guest.good_input, guest.bad_input);
+  for (const auto& entry : oracle.bad_trace) expected += 8ULL * entry.length;
+  EXPECT_EQ(result.total_faults, expected);
+  EXPECT_FALSE(result.vulnerabilities.empty());
+}
+
+TEST(Campaign, IsDeterministic) {
+  const Guest& guest = guests::toymov();
+  const elf::Image image = guests::build_image(guest);
+  const CampaignResult a = run_campaign(image, guest.good_input, guest.bad_input);
+  const CampaignResult b = run_campaign(image, guest.good_input, guest.bad_input);
+  EXPECT_EQ(a.total_faults, b.total_faults);
+  EXPECT_EQ(a.vulnerabilities.size(), b.vulnerabilities.size());
+  EXPECT_EQ(a.vulnerable_addresses(), b.vulnerable_addresses());
+  EXPECT_EQ(a.outcome_counts, b.outcome_counts);
+}
+
+TEST(Campaign, OutcomeCountsCoverEveryInjection) {
+  const Guest& guest = guests::toymov();
+  const elf::Image image = guests::build_image(guest);
+  const CampaignResult result = run_campaign(image, guest.good_input, guest.bad_input);
+  std::uint64_t sum = 0;
+  for (const auto& [outcome, count] : result.outcome_counts) sum += count;
+  EXPECT_EQ(sum, result.total_faults);
+}
+
+TEST(Campaign, VulnerableAddressesAreSortedUnique) {
+  const Guest& guest = guests::pincheck();
+  const elf::Image image = guests::build_image(guest);
+  const CampaignResult result = run_campaign(image, guest.good_input, guest.bad_input);
+  const auto addresses = result.vulnerable_addresses();
+  for (std::size_t i = 1; i < addresses.size(); ++i) {
+    EXPECT_LT(addresses[i - 1], addresses[i]);
+  }
+}
+
+TEST(OutcomeNames, AllDistinct) {
+  std::set<std::string_view> names;
+  for (const Outcome outcome :
+       {Outcome::kNoEffect, Outcome::kSuccess, Outcome::kCrash, Outcome::kHang,
+        Outcome::kDetected, Outcome::kOtherBehavior}) {
+    EXPECT_TRUE(names.insert(to_string(outcome)).second);
+  }
+}
+
+}  // namespace
+}  // namespace r2r::fault

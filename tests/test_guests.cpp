@@ -1,0 +1,79 @@
+// End-to-end checks for the case-study guests: assemble, load, run, and
+// verify the observable behaviour the fault oracle relies on.
+#include <gtest/gtest.h>
+
+#include "bir/assemble.h"
+#include "elf/image.h"
+#include "emu/machine.h"
+#include "guests/guests.h"
+
+namespace r2r {
+namespace {
+
+using guests::Guest;
+
+class GuestBehaviour : public testing::TestWithParam<const Guest*> {};
+
+TEST_P(GuestBehaviour, GoodInputProducesPrivilegedBehaviour) {
+  const Guest& guest = *GetParam();
+  const elf::Image image = guests::build_image(guest);
+  const emu::RunResult run = emu::run_image(image, guest.good_input);
+  ASSERT_EQ(run.reason, emu::StopReason::kExited) << run.crash_detail;
+  EXPECT_EQ(run.exit_code, guest.good_exit);
+  EXPECT_EQ(run.output, guest.good_output);
+}
+
+TEST_P(GuestBehaviour, BadInputIsRefused) {
+  const Guest& guest = *GetParam();
+  const elf::Image image = guests::build_image(guest);
+  const emu::RunResult run = emu::run_image(image, guest.bad_input);
+  ASSERT_EQ(run.reason, emu::StopReason::kExited) << run.crash_detail;
+  EXPECT_EQ(run.exit_code, guest.bad_exit);
+  EXPECT_EQ(run.output, guest.bad_output);
+}
+
+TEST_P(GuestBehaviour, RunsAreDeterministic) {
+  const Guest& guest = *GetParam();
+  const elf::Image image = guests::build_image(guest);
+  const emu::RunResult first = emu::run_image(image, guest.bad_input);
+  const emu::RunResult second = emu::run_image(image, guest.bad_input);
+  EXPECT_TRUE(first.observably_equal(second));
+  EXPECT_EQ(first.steps, second.steps);
+}
+
+TEST_P(GuestBehaviour, TraceCoversEveryExecutedInstruction) {
+  const Guest& guest = *GetParam();
+  const elf::Image image = guests::build_image(guest);
+  emu::RunConfig config;
+  config.record_trace = true;
+  const emu::RunResult run = emu::run_image(image, guest.bad_input, config);
+  ASSERT_EQ(run.reason, emu::StopReason::kExited);
+  EXPECT_EQ(run.trace.size(), run.steps);
+  for (const emu::TraceEntry& entry : run.trace) {
+    EXPECT_GT(entry.length, 0u);
+    EXPECT_TRUE(image.segment_containing(entry.address) != nullptr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGuests, GuestBehaviour,
+                         testing::ValuesIn(guests::all_guests()),
+                         [](const testing::TestParamInfo<const Guest*>& info) {
+                           return info.param->name;
+                         });
+
+TEST(GuestMeta, FirmwareHashMatchesHostFnv) {
+  // The digest baked into the bootloader must match the host-side FNV-1a of
+  // the good firmware (the test would catch drift between the two).
+  EXPECT_NE(guests::fnv1a(guests::good_firmware()),
+            guests::fnv1a(guests::bootloader().bad_input));
+}
+
+TEST(GuestMeta, GuestsHaveDistinctObservableBehaviours) {
+  for (const Guest* guest : guests::all_guests()) {
+    EXPECT_NE(guest->good_output, guest->bad_output) << guest->name;
+    EXPECT_NE(guest->good_exit, guest->bad_exit) << guest->name;
+  }
+}
+
+}  // namespace
+}  // namespace r2r

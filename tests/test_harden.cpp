@@ -1,0 +1,68 @@
+// harden layer: table rendering and end-to-end driver invariants across
+// countermeasure configurations.
+#include <gtest/gtest.h>
+
+#include "guests/guests.h"
+#include "harden/hybrid.h"
+#include "harden/report.h"
+
+namespace r2r::harden {
+namespace {
+
+TEST(TextTable, AlignsColumnsAndDrawsHeaderRule) {
+  TextTable table;
+  table.add_row({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer-name", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("|-------------|-------|"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 22    |"), std::string::npos);
+}
+
+TEST(TextTable, ToleratesRaggedRows) {
+  TextTable table;
+  table.add_row({"a", "b", "c"});
+  table.add_row({"1"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| 1 |"), std::string::npos);
+}
+
+TEST(HybridDriver, CountermeasureConfigsProduceOrderedSizes) {
+  // none < branch hardening < instruction duplication, on the same input.
+  const elf::Image input = guests::build_image(guests::toymov());
+  HybridConfig none;
+  none.countermeasure = HybridCountermeasure::kNone;
+  HybridConfig hardening;  // default = branch hardening
+  HybridConfig duplication;
+  duplication.countermeasure = HybridCountermeasure::kInstructionDuplication;
+
+  const std::uint64_t size_none = hybrid_harden(input, none).hardened_code_size;
+  const std::uint64_t size_hardened = hybrid_harden(input, hardening).hardened_code_size;
+  const std::uint64_t size_dup = hybrid_harden(input, duplication).hardened_code_size;
+  EXPECT_LT(size_none, size_hardened);
+  EXPECT_LT(size_hardened, size_dup);
+}
+
+TEST(HybridDriver, CleanupReducesCodeSize) {
+  const elf::Image input = guests::build_image(guests::pincheck());
+  HybridConfig raw;
+  raw.countermeasure = HybridCountermeasure::kNone;
+  raw.cleanup = false;
+  HybridConfig cleaned;
+  cleaned.countermeasure = HybridCountermeasure::kNone;
+  EXPECT_GT(hybrid_harden(input, raw).hardened_code_size,
+            hybrid_harden(input, cleaned).hardened_code_size);
+}
+
+TEST(HybridDriver, ReportsIrCountsBeforeAndAfter) {
+  const elf::Image input = guests::build_image(guests::toymov());
+  const HybridResult result = hybrid_harden(input);
+  EXPECT_GT(result.ir_before.total, 0u);
+  EXPECT_GT(result.ir_after.total, result.ir_before.total);
+  EXPECT_EQ(result.original_code_size, input.code_size());
+  EXPECT_GT(result.overhead_percent(), 0.0);
+}
+
+}  // namespace
+}  // namespace r2r::harden

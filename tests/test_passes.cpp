@@ -1,0 +1,425 @@
+// IR passes: DCE, constant folding, state promotion, global store
+// elimination, branch hardening (incl. the Algorithm 1 checksum algebra
+// property), instruction duplication.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/interpreter.h"
+#include "ir/verifier.h"
+#include "passes/pass.h"
+#include "passes/stats.h"
+#include "support/rng.h"
+
+namespace r2r::passes {
+namespace {
+
+using ir::BasicBlock;
+using ir::Builder;
+using ir::Function;
+using ir::GlobalVariable;
+using ir::Instr;
+using ir::Module;
+using ir::Opcode;
+using ir::Pred;
+using ir::Type;
+
+TEST(Dce, RemovesUnusedComputation) {
+  Module module;
+  Function* main = module.add_function("main");
+  Builder builder(module);
+  builder.set_insert_point(main->add_block("entry"));
+  builder.add(builder.const_i64(1), builder.const_i64(2));  // dead
+  builder.ret();
+  EXPECT_TRUE(make_dce()->run(module));
+  EXPECT_EQ(main->entry()->instrs.size(), 1u);
+}
+
+TEST(Dce, KeepsSideEffects) {
+  Module module;
+  GlobalVariable* out = module.add_global("out", 8);
+  Function* main = module.add_function("main");
+  Builder builder(module);
+  builder.set_insert_point(main->add_block("entry"));
+  builder.store(builder.const_i64(1), out);
+  builder.ret();
+  EXPECT_FALSE(make_dce()->run(module));
+  EXPECT_EQ(main->entry()->instrs.size(), 2u);
+}
+
+TEST(Dce, RemovesChainsTransitively) {
+  Module module;
+  Function* main = module.add_function("main");
+  Builder builder(module);
+  builder.set_insert_point(main->add_block("entry"));
+  Instr* a = builder.add(builder.const_i64(1), builder.const_i64(2));
+  builder.mul(a, builder.const_i64(3));  // uses a; both dead
+  builder.ret();
+  EXPECT_TRUE(make_dce()->run(module));
+  EXPECT_EQ(main->entry()->instrs.size(), 1u);
+}
+
+TEST(ConstantFold, FoldsArithmeticIntoStores) {
+  Module module;
+  GlobalVariable* out = module.add_global("out", 8);
+  Function* main = module.add_function("main");
+  Builder builder(module);
+  builder.set_insert_point(main->add_block("entry"));
+  Instr* sum = builder.add(builder.const_i64(40), builder.const_i64(2));
+  builder.store(sum, out);
+  builder.ret();
+  EXPECT_TRUE(make_constant_fold()->run(module));
+  make_dce()->run(module);
+  ASSERT_EQ(main->entry()->instrs.size(), 2u);
+  const Instr& store = *main->entry()->instrs[0];
+  ASSERT_EQ(store.opcode(), Opcode::kStore);
+  ASSERT_EQ(store.operands[0]->kind(), ir::Value::Kind::kConstant);
+  EXPECT_EQ(static_cast<const ir::Constant*>(store.operands[0])->value(), 42u);
+}
+
+TEST(ConstantFold, FoldsCompareAndSelect) {
+  Module module;
+  GlobalVariable* out = module.add_global("out", 8);
+  Function* main = module.add_function("main");
+  Builder builder(module);
+  builder.set_insert_point(main->add_block("entry"));
+  Instr* cond = builder.icmp(Pred::kUlt, builder.const_i64(1), builder.const_i64(2));
+  Instr* chosen = builder.select(cond, builder.const_i64(7), builder.const_i64(9));
+  builder.store(chosen, out);
+  builder.ret();
+  make_constant_fold()->run(module);
+  make_dce()->run(module);
+  const Instr& store = *main->entry()->instrs[0];
+  EXPECT_EQ(static_cast<const ir::Constant*>(store.operands[0])->value(), 7u);
+}
+
+TEST(StatePromotion, ForwardsStoredValueToLoad) {
+  Module module;
+  GlobalVariable* reg = module.add_global("g_rax", 8);
+  GlobalVariable* out = module.add_global("out", 8);
+  Function* main = module.add_function("main");
+  Builder builder(module);
+  builder.set_insert_point(main->add_block("entry"));
+  builder.store(builder.const_i64(5), reg);
+  Instr* load = builder.load(Type::kI64, reg);
+  builder.store(load, out);
+  builder.ret();
+  EXPECT_TRUE(make_state_promotion()->run(module));
+  make_dce()->run(module);
+  // The load is gone; out receives the constant directly.
+  for (const auto& instr : main->entry()->instrs) {
+    EXPECT_NE(instr->opcode(), Opcode::kLoad);
+  }
+}
+
+TEST(StatePromotion, RemovesOverwrittenStore) {
+  Module module;
+  GlobalVariable* reg = module.add_global("g_rax", 8);
+  Function* main = module.add_function("main");
+  Builder builder(module);
+  builder.set_insert_point(main->add_block("entry"));
+  builder.store(builder.const_i64(1), reg);  // dead: overwritten unread
+  builder.store(builder.const_i64(2), reg);
+  builder.ret();
+  EXPECT_TRUE(make_state_promotion()->run(module));
+  EXPECT_EQ(main->entry()->instrs.size(), 2u);
+}
+
+TEST(StatePromotion, CallsAreBarriers) {
+  Module module;
+  GlobalVariable* reg = module.add_global("g_rax", 8);
+  Function* callee = module.add_function("callee");
+  Function* main = module.add_function("main");
+  Builder builder(module);
+  builder.set_insert_point(callee->add_block("entry"));
+  builder.ret();
+  builder.set_insert_point(main->add_block("entry"));
+  builder.store(builder.const_i64(1), reg);
+  builder.call(callee);
+  builder.store(builder.const_i64(2), reg);  // first store must survive
+  builder.ret();
+  make_state_promotion()->run(module);
+  unsigned stores = 0;
+  for (const auto& instr : main->entry()->instrs) {
+    if (instr->opcode() == Opcode::kStore) ++stores;
+  }
+  EXPECT_EQ(stores, 2u);
+}
+
+TEST(GlobalStoreElim, RemovesCrossBlockDeadFlagStore) {
+  // Block A stores a flag; both successors overwrite it before reading.
+  Module module;
+  GlobalVariable* flag = module.add_global("g_zf", 1);
+  Function* main = module.add_function("main");
+  BasicBlock* entry = main->add_block("entry");
+  BasicBlock* next = main->add_block("next");
+  BasicBlock* exit_block = main->add_block("exit");
+  Builder builder(module);
+  builder.set_insert_point(entry);
+  builder.store(builder.const_i8(1), flag);  // dead across blocks
+  builder.br(next);
+  builder.set_insert_point(next);
+  builder.store(builder.const_i8(0), flag);
+  builder.br(exit_block);
+  builder.set_insert_point(exit_block);
+  builder.unreachable();  // nothing live at program end
+  EXPECT_TRUE(make_global_store_elim()->run(module));
+  EXPECT_EQ(entry->instrs.size(), 1u);  // only the br remains
+}
+
+TEST(GlobalStoreElim, KeepsStoreReadOnOnePath) {
+  // entry stores the flag, then branches: one path reads it, the other
+  // does not. The store must survive because of the reading path.
+  Module module;
+  GlobalVariable* flag = module.add_global("g_zf", 1);
+  Function* main = module.add_function("main");
+  BasicBlock* entry = main->add_block("entry");
+  BasicBlock* reader = main->add_block("reader");
+  BasicBlock* silent = main->add_block("silent");
+  Builder builder(module);
+  builder.set_insert_point(entry);
+  builder.store(builder.const_i8(1), flag);
+  Instr* cond = builder.icmp(Pred::kEq, builder.const_i64(1), builder.const_i64(1));
+  builder.cond_br(cond, reader, silent);
+  builder.set_insert_point(reader);
+  Instr* load = builder.load(Type::kI8, flag);
+  // Use through a non-tracked address so the read matters observationally.
+  builder.store(builder.zext(load, Type::kI64), builder.const_i64(0x7000));
+  builder.unreachable();
+  builder.set_insert_point(silent);
+  builder.unreachable();
+  EXPECT_FALSE(make_global_store_elim()->run(module));
+  // The flag store must still be the first instruction.
+  EXPECT_EQ(entry->instrs[0]->opcode(), Opcode::kStore);
+}
+
+TEST(GlobalStoreElim, RetKeepsEverythingLive) {
+  Module module;
+  GlobalVariable* reg = module.add_global("g_rax", 8);
+  Function* main = module.add_function("main");
+  Builder builder(module);
+  builder.set_insert_point(main->add_block("entry"));
+  builder.store(builder.const_i64(1), reg);  // caller may observe: keep
+  builder.ret();
+  EXPECT_FALSE(make_global_store_elim()->run(module));
+}
+
+TEST(GlobalStoreElim, EscapedGlobalsAreUntouched) {
+  Module module;
+  GlobalVariable* array = module.add_global("g_stack", 64);
+  Function* main = module.add_function("main");
+  Builder builder(module);
+  builder.set_insert_point(main->add_block("entry"));
+  // Address escapes into arithmetic: the global must not participate.
+  Instr* address = builder.add(array, builder.const_i64(8));
+  builder.store(builder.const_i64(1), address);
+  builder.store(builder.const_i64(2), array);
+  builder.unreachable();
+  EXPECT_FALSE(make_global_store_elim()->run(module));
+}
+
+// ---- branch hardening ------------------------------------------------------------
+
+/// Algorithm 1, reimplemented directly for the property test.
+std::uint64_t checksum_reference(bool cmp_res, std::uint64_t uid_t, std::uint64_t uid_f,
+                                 std::uint64_t uid_src) {
+  const std::uint64_t const_t = uid_t ^ uid_src;
+  const std::uint64_t const_f = uid_f ^ uid_src;
+  const std::uint64_t ext = cmp_res ? 1 : 0;
+  const std::uint64_t mask = ext - 1;
+  return (~mask & const_t) | (mask & const_f);
+}
+
+TEST(BranchHardeningAlgebra, ChecksumSelectsTakenEdgeConstant) {
+  support::Rng rng(4242);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t uid_src = rng.next() & 0x7FFFFFFF;
+    const std::uint64_t uid_t = rng.next() & 0x7FFFFFFF;
+    const std::uint64_t uid_f = rng.next() & 0x7FFFFFFF;
+    EXPECT_EQ(checksum_reference(true, uid_t, uid_f, uid_src), uid_t ^ uid_src);
+    EXPECT_EQ(checksum_reference(false, uid_t, uid_f, uid_src), uid_f ^ uid_src);
+  }
+}
+
+/// A module with one conditional branch: out = cond ? 11 : 22.
+Module branch_module(std::uint64_t value) {
+  Module module;
+  GlobalVariable* out = module.add_global("out", 8);
+  Function* main = module.add_function("main");
+  BasicBlock* entry = main->add_block("entry");
+  BasicBlock* t = main->add_block("t");
+  BasicBlock* f = main->add_block("f");
+  BasicBlock* done = main->add_block("done");
+  Builder builder(module);
+  builder.set_insert_point(entry);
+  Instr* cond = builder.icmp(Pred::kEq, builder.const_i64(value), builder.const_i64(7));
+  builder.cond_br(cond, t, f);
+  builder.set_insert_point(t);
+  builder.store(builder.const_i64(11), out);
+  builder.br(done);
+  builder.set_insert_point(f);
+  builder.store(builder.const_i64(22), out);
+  builder.br(done);
+  builder.set_insert_point(done);
+  builder.ret();
+  module.entry_function = "main";
+  return module;
+}
+
+TEST(BranchHardening, PreservesSemanticsOnBothEdges) {
+  for (const std::uint64_t value : {7ULL, 9ULL}) {
+    Module module = branch_module(value);
+    make_branch_hardening()->run(module);
+    ir::verify(module);
+    emu::Memory memory;
+    const ir::InterpResult result = ir::interpret(module, memory, "");
+    EXPECT_EQ(result.stop, ir::InterpStop::kReturned) << result.crash_detail;
+    EXPECT_EQ(memory.read(module.find_global("out")->address, 8),
+              value == 7 ? 11u : 22u);
+  }
+}
+
+TEST(BranchHardening, AddsFourSwitchesAndChecksumOpsPerBranch) {
+  Module module = branch_module(7);
+  const OpcodeCounts before = count_ops(module);
+  EXPECT_TRUE(make_branch_hardening()->run(module));
+  const OpcodeCounts after = count_ops(module);
+  // Table IV shape (per protected branch).
+  EXPECT_EQ(after.count(Opcode::kSwitch) - before.count(Opcode::kSwitch), 4u);
+  EXPECT_EQ(after.count(Opcode::kZExt) - before.count(Opcode::kZExt), 2u);
+  EXPECT_EQ(after.count(Opcode::kSub) - before.count(Opcode::kSub), 2u);
+  EXPECT_EQ(after.count(Opcode::kXor) - before.count(Opcode::kXor), 6u);
+  EXPECT_EQ(after.count(Opcode::kOr) - before.count(Opcode::kOr), 2u);
+  EXPECT_EQ(after.count(Opcode::kAnd) - before.count(Opcode::kAnd), 4u);
+  // The comparison is re-executed (C2).
+  EXPECT_EQ(after.count(Opcode::kICmp) - before.count(Opcode::kICmp), 1u);
+}
+
+TEST(BranchHardening, CorruptedChecksumTraps) {
+  // Force D1 to a wrong constant after hardening: validation must trap.
+  Module module = branch_module(7);
+  make_branch_hardening()->run(module);
+  // Find the first switch and corrupt its tested value with a fresh
+  // constant that matches no case.
+  for (auto& fn : module.functions) {
+    for (auto& block : fn->blocks) {
+      for (auto& instr : block->instrs) {
+        if (instr->opcode() == Opcode::kSwitch) {
+          instr->operands[0] = module.get_constant(Type::kI64, 0xDEAD);
+          ir::verify(module);
+          emu::Memory memory;
+          const ir::InterpResult result = ir::interpret(module, memory, "");
+          EXPECT_EQ(result.stop, ir::InterpStop::kTrapped);
+          return;
+        }
+      }
+    }
+  }
+  FAIL() << "no switch found after hardening";
+}
+
+TEST(BranchHardening, UnconditionalCodeIsUntouched) {
+  Module module;
+  GlobalVariable* out = module.add_global("out", 8);
+  Function* main = module.add_function("main");
+  Builder builder(module);
+  builder.set_insert_point(main->add_block("entry"));
+  builder.store(builder.const_i64(1), out);
+  builder.ret();
+  EXPECT_FALSE(make_branch_hardening()->run(module));
+}
+
+TEST(InstructionDuplication, PreservesSemantics) {
+  Module module = branch_module(7);
+  EXPECT_TRUE(make_instruction_duplication()->run(module));
+  ir::verify(module);
+  emu::Memory memory;
+  const ir::InterpResult result = ir::interpret(module, memory, "");
+  EXPECT_EQ(result.stop, ir::InterpStop::kReturned) << result.crash_detail;
+  EXPECT_EQ(memory.read(module.find_global("out")->address, 8), 11u);
+}
+
+TEST(InstructionDuplication, AddsCompareAndTrapPerDuplicable) {
+  Module module;
+  GlobalVariable* out = module.add_global("out", 8);
+  Function* main = module.add_function("main");
+  Builder builder(module);
+  builder.set_insert_point(main->add_block("entry"));
+  Instr* sum = builder.add(builder.const_i64(1), builder.const_i64(2));
+  builder.store(sum, out);
+  builder.ret();
+  const OpcodeCounts before = count_ops(module);
+  make_instruction_duplication()->run(module);
+  ir::verify(module);
+  const OpcodeCounts after = count_ops(module);
+  EXPECT_EQ(after.count(Opcode::kAdd) - before.count(Opcode::kAdd), 1u);  // the duplicate
+  EXPECT_GE(after.count(Opcode::kICmp), 1u);
+  EXPECT_GE(after.count(Opcode::kCall), 1u);  // trap call
+  EXPECT_GT(after.total, 2 * before.total);   // the >=300% spirit at IR level
+}
+
+TEST(CallGuard, PoisonsReturnRegisterBeforeGuardableCall) {
+  Module module;
+  GlobalVariable* rax = module.add_global("g_rax", 8);
+  Function* callee = module.add_function("callee");
+  Builder builder(module);
+  builder.set_insert_point(callee->add_block("entry"));
+  builder.store(builder.const_i64(1), rax);  // writes g_rax first: guardable
+  builder.ret();
+  Function* main = module.add_function("main");
+  builder.set_insert_point(main->add_block("entry"));
+  builder.call(callee);
+  builder.ret();
+
+  EXPECT_TRUE(make_call_guard()->run(module));
+  ir::verify(module);
+  // The poison store must precede the call.
+  const auto& instrs = main->entry()->instrs;
+  ASSERT_GE(instrs.size(), 3u);
+  EXPECT_EQ(instrs[0]->opcode(), Opcode::kStore);
+  EXPECT_EQ(instrs[0]->operands[1], rax);
+  EXPECT_EQ(instrs[1]->opcode(), Opcode::kCall);
+}
+
+TEST(CallGuard, SkipsCalleesThatReadTheReturnRegister) {
+  Module module;
+  GlobalVariable* rax = module.add_global("g_rax", 8);
+  GlobalVariable* out = module.add_global("out", 8);
+  Function* callee = module.add_function("callee");
+  Builder builder(module);
+  builder.set_insert_point(callee->add_block("entry"));
+  builder.store(builder.load(ir::Type::kI64, rax), out);  // reads g_rax first
+  builder.ret();
+  Function* main = module.add_function("main");
+  builder.set_insert_point(main->add_block("entry"));
+  builder.call(callee);
+  builder.ret();
+  EXPECT_FALSE(make_call_guard()->run(module));
+}
+
+TEST(CallGuard, NoOpWithoutLiftedStateGlobals) {
+  Module module = branch_module(7);
+  EXPECT_FALSE(make_call_guard()->run(module));
+}
+
+TEST(PassManager, FixpointTerminates) {
+  Module module = branch_module(7);
+  PassManager pm;
+  pm.add(make_constant_fold());
+  pm.add(make_dce());
+  EXPECT_TRUE(pm.run_to_fixpoint(module));
+  // Re-running a second time changes nothing.
+  EXPECT_FALSE(pm.run_to_fixpoint(module));
+}
+
+TEST(Stats, CountsMatchModuleContents) {
+  Module module = branch_module(7);
+  const OpcodeCounts counts = count_ops(module);
+  EXPECT_EQ(counts.count(Opcode::kICmp), 1u);
+  EXPECT_EQ(counts.count(Opcode::kCondBr), 1u);
+  EXPECT_EQ(counts.count(Opcode::kStore), 2u);
+  EXPECT_EQ(counts.blocks, 4u);
+  EXPECT_FALSE(to_string(counts).empty());
+}
+
+}  // namespace
+}  // namespace r2r::passes

@@ -1,0 +1,184 @@
+// Local protection patterns (Tables I-III): behaviour preservation and
+// fault-killing power at the patched site.
+#include <gtest/gtest.h>
+
+#include "bir/assemble.h"
+#include "bir/recover.h"
+#include "emu/machine.h"
+#include "fault/campaign.h"
+#include "guests/guests.h"
+#include "patch/patcher.h"
+#include "patch/patterns.h"
+
+namespace r2r {
+namespace {
+
+using guests::Guest;
+using patch::PatternKind;
+
+elf::Image assemble_fresh(bir::Module& module) { return bir::assemble(module); }
+
+/// Patches every protectable instruction in the module (the "holistic"
+/// application of the local patterns), used to check behaviour preservation
+/// under maximal insertion.
+void protect_everything(bir::Module& module) {
+  // Walk by address snapshot: collect indices of original instructions
+  // first, then patch from the last to the first so indices stay valid.
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < module.text.size(); ++i) {
+    if (patch::classify_pattern(module, i) != PatternKind::kNone) indices.push_back(i);
+  }
+  for (auto it = indices.rbegin(); it != indices.rend(); ++it) {
+    patch::protect_instruction(module, *it);
+  }
+}
+
+class PatternBehaviour : public testing::TestWithParam<const Guest*> {};
+
+TEST_P(PatternBehaviour, FullyPatchedGuestPreservesBothBehaviours) {
+  const Guest& guest = *GetParam();
+  bir::Module module = guests::build_module(guest);
+  protect_everything(module);
+  const elf::Image image = assemble_fresh(module);
+
+  const emu::RunResult good = emu::run_image(image, guest.good_input);
+  ASSERT_EQ(good.reason, emu::StopReason::kExited) << good.crash_detail;
+  EXPECT_EQ(good.output, guest.good_output);
+  EXPECT_EQ(good.exit_code, guest.good_exit);
+
+  const emu::RunResult bad = emu::run_image(image, guest.bad_input);
+  ASSERT_EQ(bad.reason, emu::StopReason::kExited) << bad.crash_detail;
+  EXPECT_EQ(bad.output, guest.bad_output);
+  EXPECT_EQ(bad.exit_code, guest.bad_exit);
+}
+
+TEST_P(PatternBehaviour, FullyPatchedGuestGrowsCode) {
+  const Guest& guest = *GetParam();
+  bir::Module module = guests::build_module(guest);
+  const elf::Image before = assemble_fresh(module);
+  protect_everything(module);
+  const elf::Image after = assemble_fresh(module);
+  EXPECT_GT(after.code_size(), before.code_size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGuests, PatternBehaviour,
+                         testing::ValuesIn(guests::all_guests()),
+                         [](const testing::TestParamInfo<const Guest*>& info) {
+                           return info.param->name;
+                         });
+
+TEST(Patterns, FaultHandlerIsInjectedOnce) {
+  bir::Module module = guests::build_module(guests::toymov());
+  const std::string first = patch::ensure_fault_handler(module);
+  const std::size_t size_after_first = module.text.size();
+  const std::string second = patch::ensure_fault_handler(module);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(module.text.size(), size_after_first);
+}
+
+TEST(Patterns, JccPatternKillsSkipFaultOnBranch) {
+  // Find the jne in toymov, patch it, and verify the skip fault that
+  // previously granted access is now impossible at that site.
+  const Guest& guest = guests::toymov();
+
+  bir::Module module = guests::build_module(guest);
+  elf::Image unprotected = bir::assemble(module);
+  fault::CampaignConfig skip_only;
+  skip_only.model_bit_flip = false;
+  const fault::CampaignResult before =
+      fault::run_campaign(unprotected, guest.good_input, guest.bad_input, skip_only);
+  ASSERT_FALSE(before.vulnerabilities.empty())
+      << "unprotected toymov must be skip-vulnerable";
+
+  const patch::PatchStats stats = patch::apply_patches(module, before.vulnerabilities);
+  EXPECT_GT(stats.total_applied(), 0u);
+
+  elf::Image patched = bir::assemble(module);
+  const fault::CampaignResult after =
+      fault::run_campaign(patched, guest.good_input, guest.bad_input, skip_only);
+  EXPECT_LT(after.vulnerabilities.size(), before.vulnerabilities.size());
+}
+
+TEST(Patterns, CmpPatternDetectsInconsistentComparison) {
+  // The cmp pattern must keep behaviour identical when no fault occurs.
+  const Guest& guest = guests::pincheck();
+  bir::Module module = guests::build_module(guest);
+
+  // Protect exactly the cmp instructions.
+  std::vector<std::size_t> cmps;
+  for (std::size_t i = 0; i < module.text.size(); ++i) {
+    if (module.text[i].is_instruction() &&
+        module.text[i].instr->mnemonic == isa::Mnemonic::kCmp) {
+      cmps.push_back(i);
+    }
+  }
+  ASSERT_FALSE(cmps.empty());
+  for (auto it = cmps.rbegin(); it != cmps.rend(); ++it) {
+    EXPECT_EQ(patch::protect_instruction(module, *it), PatternKind::kCmp);
+  }
+  const elf::Image image = bir::assemble(module);
+  const emu::RunResult good = emu::run_image(image, guest.good_input);
+  EXPECT_EQ(good.output, guest.good_output);
+  const emu::RunResult bad = emu::run_image(image, guest.bad_input);
+  EXPECT_EQ(bad.output, guest.bad_output);
+}
+
+TEST(Patterns, SynthesizedCodeIsNeverRepatched) {
+  bir::Module module = guests::build_module(guests::toymov());
+  // Patch one mov, then ensure all inserted items refuse further patching.
+  std::size_t mov_index = 0;
+  for (std::size_t i = 0; i < module.text.size(); ++i) {
+    if (module.text[i].is_instruction() &&
+        module.text[i].instr->mnemonic == isa::Mnemonic::kMov) {
+      mov_index = i;
+      break;
+    }
+  }
+  ASSERT_NE(patch::protect_instruction(module, mov_index), PatternKind::kNone);
+  for (std::size_t i = 0; i < module.text.size(); ++i) {
+    if (module.text[i].synthesized) {
+      EXPECT_EQ(patch::classify_pattern(module, i), PatternKind::kNone);
+    }
+  }
+}
+
+TEST(Patterns, FlagsLivenessDetectsConsumingJcc) {
+  // mov between cmp and jcc: flags are live, pattern must preserve them.
+  bir::Module module = bir::module_from_assembly(
+      ".global _start\n"
+      "_start:\n"
+      "    mov rbx, 7\n"
+      "    cmp rbx, 7\n"
+      "    mov rcx, 1\n"   // <- patched mov with live flags
+      "    jne bad\n"
+      "    mov rax, 60\n"
+      "    mov rdi, 0\n"
+      "    syscall\n"
+      "bad:\n"
+      "    mov rax, 60\n"
+      "    mov rdi, 1\n"
+      "    syscall\n");
+  const auto index = [&module]() -> std::size_t {
+    for (std::size_t i = 0; i < module.text.size(); ++i) {
+      if (module.text[i].is_instruction() &&
+          module.text[i].instr->mnemonic == isa::Mnemonic::kMov &&
+          isa::is_imm(module.text[i].instr->op(1)) &&
+          std::get<isa::ImmOperand>(module.text[i].instr->op(1)).value == 1) {
+        return i;
+      }
+    }
+    return SIZE_MAX;
+  }();
+  ASSERT_NE(index, SIZE_MAX);
+  EXPECT_TRUE(patch::flags_live_after(module, index));
+  ASSERT_EQ(patch::protect_instruction(module, index), PatternKind::kMov);
+
+  // Behaviour must be unchanged: exit 0 (the jne must not fire).
+  const elf::Image image = bir::assemble(module);
+  const emu::RunResult run = emu::run_image(image, "");
+  ASSERT_EQ(run.reason, emu::StopReason::kExited) << run.crash_detail;
+  EXPECT_EQ(run.exit_code, 0);
+}
+
+}  // namespace
+}  // namespace r2r

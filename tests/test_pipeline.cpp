@@ -1,0 +1,114 @@
+// The Faulter+Patcher fix-point loop (Fig. 2) on both case studies: the
+// paper's Section V-C claims, instruction-skip model.
+#include <gtest/gtest.h>
+
+#include "emu/machine.h"
+#include "fault/campaign.h"
+#include "guests/guests.h"
+#include "patch/pipeline.h"
+
+namespace r2r {
+namespace {
+
+using guests::Guest;
+
+fault::CampaignConfig skip_only() {
+  fault::CampaignConfig config;
+  config.model_bit_flip = false;
+  return config;
+}
+
+class SkipPipeline : public testing::TestWithParam<const Guest*> {};
+
+TEST_P(SkipPipeline, ReachesFixpointWithZeroSkipVulnerabilities) {
+  const Guest& guest = *GetParam();
+  const elf::Image input = guests::build_image(guest);
+
+  patch::PipelineConfig config;
+  config.campaign = skip_only();
+  const patch::PipelineResult result =
+      patch::faulter_patcher(input, guest.good_input, guest.bad_input, config);
+
+  EXPECT_TRUE(result.fixpoint);
+  // Section V-C: "In the case of the instruction skip fault model, we were
+  // able to resolve all the vulnerabilities".
+  EXPECT_EQ(result.final_campaign.vulnerabilities.size(), 0u)
+      << guest.name << " retains skip vulnerabilities after patching";
+}
+
+TEST_P(SkipPipeline, HardenedBinaryPreservesBehaviour) {
+  const Guest& guest = *GetParam();
+  const elf::Image input = guests::build_image(guest);
+  patch::PipelineConfig config;
+  config.campaign = skip_only();
+  const patch::PipelineResult result =
+      patch::faulter_patcher(input, guest.good_input, guest.bad_input, config);
+
+  const emu::RunResult good = emu::run_image(result.hardened, guest.good_input);
+  EXPECT_EQ(good.output, guest.good_output);
+  EXPECT_EQ(good.exit_code, guest.good_exit);
+  const emu::RunResult bad = emu::run_image(result.hardened, guest.bad_input);
+  EXPECT_EQ(bad.output, guest.bad_output);
+  EXPECT_EQ(bad.exit_code, guest.bad_exit);
+}
+
+TEST_P(SkipPipeline, OverheadIsTargetedNotHolistic) {
+  // Table V shape: the Faulter+Patcher overhead stays well below the
+  // Hybrid/holistic range because only vulnerable points are patched.
+  const Guest& guest = *GetParam();
+  const elf::Image input = guests::build_image(guest);
+  patch::PipelineConfig config;
+  config.campaign = skip_only();
+  const patch::PipelineResult result =
+      patch::faulter_patcher(input, guest.good_input, guest.bad_input, config);
+
+  EXPECT_GT(result.hardened_code_size, result.original_code_size);
+  EXPECT_LT(result.overhead_percent(), 100.0) << "targeted patching exploded";
+}
+
+INSTANTIATE_TEST_SUITE_P(CaseStudies, SkipPipeline,
+                         testing::Values(&guests::pincheck(), &guests::bootloader(),
+                                         &guests::toymov()),
+                         [](const testing::TestParamInfo<const Guest*>& info) {
+                           return info.param->name;
+                         });
+
+TEST(PipelineIterations, FirstIterationFindsVulnerabilitiesInPincheck) {
+  const Guest& guest = guests::pincheck();
+  const elf::Image input = guests::build_image(guest);
+  patch::PipelineConfig config;
+  config.campaign = skip_only();
+  const patch::PipelineResult result =
+      patch::faulter_patcher(input, guest.good_input, guest.bad_input, config);
+  ASSERT_FALSE(result.iterations.empty());
+  EXPECT_GT(result.iterations.front().successful_faults, 0u);
+  EXPECT_GT(result.iterations.front().patches_applied, 0u);
+  // The loop must actually iterate to a clean final campaign.
+  EXPECT_EQ(result.iterations.back().successful_faults, 0u);
+}
+
+TEST(PipelineBitFlip, BitFlipVulnerabilitiesAreReducedInPincheck) {
+  // Section V-C: "In the case of the single bit flip fault model we were
+  // able to reduce the number of vulnerable points by 50%".
+  const Guest& guest = guests::pincheck();
+  const elf::Image input = guests::build_image(guest);
+
+  fault::CampaignConfig flips;
+  flips.model_skip = false;
+  const fault::CampaignResult before =
+      fault::run_campaign(input, guest.good_input, guest.bad_input, flips);
+  ASSERT_GT(before.vulnerable_addresses().size(), 0u);
+
+  patch::PipelineConfig config;
+  config.campaign = flips;
+  config.max_iterations = 6;
+  const patch::PipelineResult result =
+      patch::faulter_patcher(input, guest.good_input, guest.bad_input, config);
+
+  const std::size_t after = result.final_campaign.vulnerable_addresses().size();
+  EXPECT_LE(after, before.vulnerable_addresses().size() / 2)
+      << "bit-flip vulnerable points not reduced by at least 50%";
+}
+
+}  // namespace
+}  // namespace r2r

@@ -1,0 +1,175 @@
+// Unit tests for r2r::support primitives.
+#include <gtest/gtest.h>
+
+#include "support/bits.h"
+#include "support/bytes.h"
+#include "support/error.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace r2r::support {
+namespace {
+
+TEST(Bits, FitsInt8Boundaries) {
+  EXPECT_TRUE(fits_int8(127));
+  EXPECT_TRUE(fits_int8(-128));
+  EXPECT_FALSE(fits_int8(128));
+  EXPECT_FALSE(fits_int8(-129));
+}
+
+TEST(Bits, FitsInt32Boundaries) {
+  EXPECT_TRUE(fits_int32(2147483647LL));
+  EXPECT_TRUE(fits_int32(-2147483648LL));
+  EXPECT_FALSE(fits_int32(2147483648LL));
+  EXPECT_FALSE(fits_int32(-2147483649LL));
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(sign_extend(0xFF, 8), -1);
+  EXPECT_EQ(sign_extend(0x7F, 8), 127);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0xFFFF'FFFF, 32), -1);
+  EXPECT_EQ(sign_extend(5, 64), 5);
+}
+
+TEST(Bits, ParityMatchesPopcountOfLowByte) {
+  for (unsigned v = 0; v < 256; ++v) {
+    const bool even = __builtin_popcount(v) % 2 == 0;
+    EXPECT_EQ(parity_even_low8(v), even) << v;
+  }
+}
+
+TEST(Bits, TruncateMasksHighBits) {
+  EXPECT_EQ(truncate(0x1FF, 8), 0xFFu);
+  EXPECT_EQ(truncate(0xFFFF'FFFF'FFFF'FFFFULL, 32), 0xFFFF'FFFFULL);
+  EXPECT_EQ(truncate(42, 64), 42u);
+}
+
+TEST(ByteBuffer, LittleEndianAppend) {
+  ByteBuffer buf;
+  buf.append_u32(0x11223344);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.bytes()[0], 0x44);
+  EXPECT_EQ(buf.bytes()[3], 0x11);
+}
+
+TEST(ByteBuffer, PatchU32) {
+  ByteBuffer buf;
+  buf.append_u64(0);
+  buf.patch_u32(2, 0xAABBCCDD);
+  EXPECT_EQ(buf.bytes()[2], 0xDD);
+  EXPECT_EQ(buf.bytes()[5], 0xAA);
+}
+
+TEST(ByteBuffer, AlignTo) {
+  ByteBuffer buf;
+  buf.append_u8(1);
+  buf.align_to(8);
+  EXPECT_EQ(buf.size(), 8u);
+}
+
+TEST(ByteReader, ReadsBackWhatBufferWrote) {
+  ByteBuffer buf;
+  buf.append_u8(7);
+  buf.append_u16(0x1234);
+  buf.append_u32(0xDEADBEEF);
+  buf.append_u64(0x1122334455667788ULL);
+  ByteReader reader(buf.span());
+  EXPECT_EQ(reader.read_u8(), 7);
+  EXPECT_EQ(reader.read_u16(), 0x1234);
+  EXPECT_EQ(reader.read_u32(), 0xDEADBEEF);
+  EXPECT_EQ(reader.read_u64(), 0x1122334455667788ULL);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(ByteReader, UnderrunThrows) {
+  const std::vector<std::uint8_t> data{1, 2};
+  ByteReader reader(data);
+  reader.read_u16();
+  EXPECT_THROW(reader.read_u8(), Error);
+}
+
+TEST(Hexdump, FormatsRows) {
+  const std::vector<std::uint8_t> data{'H', 'i', 0, 0xFF};
+  const std::string dump = hexdump(data, 0x400000);
+  EXPECT_NE(dump.find("0000000000400000"), std::string::npos);
+  EXPECT_NE(dump.find("48 69 00 ff"), std::string::npos);
+  EXPECT_NE(dump.find("|Hi..|"), std::string::npos);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+}
+
+TEST(Strings, SplitKeepsEmptyPieces) {
+  const auto parts = split("a, b,, c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, SplitWhitespace) {
+  const auto parts = split_whitespace("  mov   rax, 5 ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "mov");
+}
+
+TEST(Strings, ParseInteger) {
+  EXPECT_EQ(parse_integer("42"), 42);
+  EXPECT_EQ(parse_integer("-1"), -1);
+  EXPECT_EQ(parse_integer("0x10"), 16);
+  EXPECT_EQ(parse_integer("'A'"), 65);
+  EXPECT_EQ(parse_integer("0xcbf29ce484222325"),
+            static_cast<std::int64_t>(0xcbf29ce484222325ULL));
+  EXPECT_FALSE(parse_integer("12x").has_value());
+  EXPECT_FALSE(parse_integer("").has_value());
+}
+
+TEST(Strings, HexString) {
+  EXPECT_EQ(hex_string(0x400000), "0x400000");
+  EXPECT_EQ(hex_string(0), "0x0");
+}
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(format_fixed(17.613, 2), "17.61");
+  EXPECT_EQ(format_fixed(100.0, 2), "100.00");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  bool diverged = false;
+  for (int i = 0; i < 10 && !diverged; ++i) diverged = a.next() != b.next();
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(ErrorType, CarriesKindAndMessage) {
+  try {
+    fail(ErrorKind::kDecode, "boom");
+    FAIL() << "should have thrown";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.kind(), ErrorKind::kDecode);
+    EXPECT_NE(std::string(error.what()).find("decode"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(ErrorType, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(check(true, ErrorKind::kParse, "unused"));
+  EXPECT_THROW(check(false, ErrorKind::kParse, "used"), Error);
+}
+
+}  // namespace
+}  // namespace r2r::support
