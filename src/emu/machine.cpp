@@ -418,7 +418,7 @@ RunResult Machine::run(const RunConfig& config) {
   RunResult result;
   const FaultSpec* fault = config.fault ? &*config.fault : nullptr;
   try {
-    while (result.steps < config.fuel) {
+    while (steps_ < config.fuel) {
       TraceEntry* entry = nullptr;
       if (config.record_trace) {
         // The entry is created before execution so the trace covers
@@ -426,8 +426,8 @@ RunResult Machine::run(const RunConfig& config) {
         result.trace.push_back(TraceEntry{cpu_.rip, 0});
         entry = &result.trace.back();
       }
-      const bool faulted = fault != nullptr && result.steps == fault->trace_index;
-      ++result.steps;  // count attempted instructions, including the last
+      const bool faulted = fault != nullptr && steps_ == fault->trace_index;
+      ++steps_;  // count attempted instructions, including the last
       step(faulted, fault, entry);
     }
     result.reason = StopReason::kFuelExhausted;
@@ -438,6 +438,7 @@ RunResult Machine::run(const RunConfig& config) {
     result.reason = StopReason::kCrashed;
     result.crash_detail = error.what();
   }
+  result.steps = steps_;
   result.output = output_;
   return result;
 }

@@ -35,6 +35,8 @@ struct FaultSpec {
   /// kRegisterBitFlip: register number * 64 + bit.
   /// kFlagFlip: 0=CF 1=PF 2=AF 3=ZF 4=SF 5=OF.
   std::uint32_t bit_offset = 0;
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
 };
 
 enum class StopReason : std::uint8_t {
@@ -53,6 +55,8 @@ struct RunResult {
   std::int64_t exit_code = -1;
   std::string output;        ///< stdout+stderr interleaved as written
   std::string crash_detail;  ///< populated when reason == kCrashed
+  /// Attempted instructions since machine construction (or the last
+  /// snapshot restore that reset the counter) — the trace-index clock.
   std::uint64_t steps = 0;
   std::vector<TraceEntry> trace;  ///< filled only when requested
 
@@ -64,6 +68,9 @@ struct RunResult {
 };
 
 struct RunConfig {
+  /// Absolute step budget: run() stops once the machine's step counter
+  /// reaches this value. Fresh machines start at step 0, so for the
+  /// common one-shot use this is simply "max instructions to execute".
   std::uint64_t fuel = 2'000'000;
   bool record_trace = false;
   std::optional<FaultSpec> fault;
@@ -74,10 +81,26 @@ class Machine {
   /// Loads `image` plus a 1 MiB stack; `stdin_data` backs read(2).
   Machine(const elf::Image& image, std::string stdin_data);
 
+  /// Runs until exit/crash or until the step counter reaches config.fuel.
+  /// Calling run() again on a fuel-exhausted machine resumes execution —
+  /// the sim:: engine uses this to pause at checkpoint boundaries.
   RunResult run(const RunConfig& config);
 
   [[nodiscard]] Cpu& cpu() noexcept { return cpu_; }
+  [[nodiscard]] const Cpu& cpu() const noexcept { return cpu_; }
   [[nodiscard]] Memory& memory() noexcept { return memory_; }
+  [[nodiscard]] const Memory& memory() const noexcept { return memory_; }
+
+  // --- snapshot hooks (used by sim::MachineSnapshot) ------------------------
+  // The full guest-visible machine state is (cpu, memory, steps, stdin_pos,
+  // output); capturing and restoring all five makes a resumed run
+  // indistinguishable from one replayed from entry.
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+  void set_steps(std::uint64_t steps) noexcept { steps_ = steps; }
+  [[nodiscard]] std::size_t stdin_pos() const noexcept { return stdin_pos_; }
+  void set_stdin_pos(std::size_t pos) noexcept { stdin_pos_ = pos; }
+  [[nodiscard]] const std::string& output() const noexcept { return output_; }
+  void set_output(std::string output) { output_ = std::move(output); }
 
   static constexpr std::uint64_t kStackBase = 0x7FFF'0000'0000ULL;
   static constexpr std::uint64_t kStackSize = 1ULL << 20;
@@ -104,6 +127,7 @@ class Machine {
   std::string stdin_data_;
   std::size_t stdin_pos_ = 0;
   std::string output_;
+  std::uint64_t steps_ = 0;
 };
 
 /// Convenience wrapper used everywhere: fresh machine, one run.

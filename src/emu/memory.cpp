@@ -36,6 +36,8 @@ void Memory::map(std::string name, std::uint64_t base, std::uint64_t size,
   region.perms = perms;
   region.bytes.assign(size, 0);
   std::copy(initial.begin(), initial.end(), region.bytes.begin());
+  region.dirty.assign(region.page_count(), false);
+  region.synced.assign(region.page_count(), nullptr);
   regions_.push_back(std::move(region));
 }
 
@@ -87,6 +89,7 @@ void Memory::write(std::uint64_t address, std::uint64_t value, unsigned bytes) {
   check((region->perms & elf::kWrite) != 0, ErrorKind::kMemory,
         "permission violation writing " + support::hex_string(address));
   const std::size_t offset = address - region->base;
+  region->mark_dirty(offset, bytes);
   for (unsigned i = 0; i < bytes; ++i) {
     region->bytes[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
   }
@@ -119,8 +122,77 @@ void Memory::write_block(std::uint64_t address, std::span<const std::uint8_t> da
   Region* region = region_for(address, data.size());
   support::check(region != nullptr, ErrorKind::kMemory,
                  "unmapped block write at " + support::hex_string(address));
+  if (!data.empty()) region->mark_dirty(address - region->base, data.size());
   std::copy(data.begin(), data.end(),
             region->bytes.begin() + static_cast<std::ptrdiff_t>(address - region->base));
+}
+
+Memory::Snapshot Memory::capture() {
+  Snapshot snapshot;
+  snapshot.regions.reserve(regions_.size());
+  for (Region& region : regions_) {
+    Snapshot::RegionState state;
+    state.base = region.base;
+    state.size = region.bytes.size();
+    const std::size_t pages = region.page_count();
+    state.pages.reserve(pages);
+    for (std::size_t page = 0; page < pages; ++page) {
+      if (!region.dirty[page] && region.synced[page] != nullptr) {
+        state.pages.push_back(region.synced[page]);
+        continue;
+      }
+      const std::size_t offset = page * kPageSize;
+      const std::size_t length =
+          std::min<std::size_t>(kPageSize, region.bytes.size() - offset);
+      auto copy = std::make_shared<Page>(
+          region.bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+          region.bytes.begin() + static_cast<std::ptrdiff_t>(offset + length));
+      region.synced[page] = copy;
+      region.dirty[page] = false;
+      state.pages.push_back(std::move(copy));
+    }
+    snapshot.regions.push_back(std::move(state));
+  }
+  return snapshot;
+}
+
+void Memory::restore(const Snapshot& snapshot) {
+  check(snapshot.regions.size() == regions_.size(), ErrorKind::kInvalidArgument,
+        "snapshot region count does not match this address space");
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    Region& region = regions_[i];
+    const Snapshot::RegionState& state = snapshot.regions[i];
+    check(state.base == region.base && state.size == region.bytes.size(),
+          ErrorKind::kInvalidArgument,
+          "snapshot region layout does not match '" + region.name + "'");
+    for (std::size_t page = 0; page < state.pages.size(); ++page) {
+      if (!region.dirty[page] && region.synced[page] == state.pages[page]) continue;
+      const Page& content = *state.pages[page];
+      std::copy(content.begin(), content.end(),
+                region.bytes.begin() + static_cast<std::ptrdiff_t>(page * kPageSize));
+      region.synced[page] = state.pages[page];
+      region.dirty[page] = false;
+    }
+  }
+}
+
+bool Memory::equals(const Snapshot& snapshot) const noexcept {
+  if (snapshot.regions.size() != regions_.size()) return false;
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    const Region& region = regions_[i];
+    const Snapshot::RegionState& state = snapshot.regions[i];
+    if (state.base != region.base || state.size != region.bytes.size()) return false;
+    for (std::size_t page = 0; page < state.pages.size(); ++page) {
+      if (!region.dirty[page] && region.synced[page] == state.pages[page]) continue;
+      const Page& content = *state.pages[page];
+      if (!std::equal(content.begin(), content.end(),
+                      region.bytes.begin() +
+                          static_cast<std::ptrdiff_t>(page * kPageSize))) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace r2r::emu

@@ -3,9 +3,17 @@
 // Regions never overlap; accesses are permission-checked and throw
 // Error{kMemory} on violation, which the machine converts into a crash
 // outcome (the fault-campaign "crash" classification).
+//
+// The memory additionally supports page-granular copy-on-write snapshots
+// (the substrate of the sim:: fault-simulation engine): capture() copies
+// only pages written since the previous capture/restore and shares the
+// rest, restore() rewrites only pages that differ from the target
+// snapshot, and equals() compares mostly by page identity. Writes maintain
+// a per-page dirty bit to make all three operations cheap on the hot path.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -18,6 +26,24 @@ enum class Access : std::uint8_t { kRead, kWrite, kExecute };
 
 class Memory {
  public:
+  static constexpr std::uint64_t kPageSize = 4096;
+
+  /// Immutable page content shared between snapshots of the same lineage.
+  /// The last page of a region may be shorter than kPageSize.
+  using Page = std::vector<std::uint8_t>;
+
+  /// Page-granular copy-on-write snapshot of the full address space.
+  /// Snapshots are value types: cheap to copy (shared pages), safe to
+  /// share across threads (pages are immutable once captured).
+  struct Snapshot {
+    struct RegionState {
+      std::uint64_t base = 0;
+      std::uint64_t size = 0;
+      std::vector<std::shared_ptr<const Page>> pages;
+    };
+    std::vector<RegionState> regions;
+  };
+
   /// Maps a zero-initialized region; `initial` (if any) seeds the prefix.
   void map(std::string name, std::uint64_t base, std::uint64_t size, std::uint32_t perms,
            std::span<const std::uint8_t> initial = {});
@@ -39,16 +65,44 @@ class Memory {
   /// Bulk write without permission checks (host-side setup).
   void write_block(std::uint64_t address, std::span<const std::uint8_t> data);
 
+  /// Captures the current contents. Pages untouched since the last
+  /// capture/restore are shared with that sync point instead of copied.
+  Snapshot capture();
+
+  /// Rewrites the address space to match `snapshot`, copying only pages
+  /// that can differ (dirty since the last sync, or synced to different
+  /// page content). The region layout must match the one the snapshot was
+  /// captured from; throws Error{kInvalidArgument} otherwise.
+  void restore(const Snapshot& snapshot);
+
+  /// True when guest-visible memory is byte-identical to `snapshot`.
+  /// Clean pages synced to the same page object compare by identity;
+  /// only dirty or divergent pages are memcmp'd.
+  [[nodiscard]] bool equals(const Snapshot& snapshot) const noexcept;
+
  private:
   struct Region {
     std::string name;
     std::uint64_t base = 0;
     std::uint32_t perms = 0;
     std::vector<std::uint8_t> bytes;
+    /// Per-page: written since the last capture()/restore() sync point.
+    std::vector<bool> dirty;
+    /// Per-page: the page content this page matched at the last sync point
+    /// (null before the first snapshot operation).
+    std::vector<std::shared_ptr<const Page>> synced;
 
     [[nodiscard]] bool contains(std::uint64_t address, std::uint64_t size) const noexcept {
       return address >= base && address + size <= base + bytes.size() &&
              address + size >= address;
+    }
+    [[nodiscard]] std::size_t page_count() const noexcept {
+      return (bytes.size() + kPageSize - 1) / kPageSize;
+    }
+    void mark_dirty(std::size_t offset, std::size_t length) noexcept {
+      const std::size_t first = offset / kPageSize;
+      const std::size_t last = (offset + length - 1) / kPageSize;
+      for (std::size_t page = first; page <= last; ++page) dirty[page] = true;
     }
   };
 

@@ -1,31 +1,9 @@
 #include "fault/campaign.h"
 
 #include <algorithm>
-
-#include "support/error.h"
+#include <utility>
 
 namespace r2r::fault {
-
-namespace {
-using emu::FaultSpec;
-using emu::RunConfig;
-using emu::RunResult;
-using emu::StopReason;
-using support::check;
-using support::ErrorKind;
-}  // namespace
-
-std::string_view to_string(Outcome outcome) noexcept {
-  switch (outcome) {
-    case Outcome::kNoEffect: return "no-effect";
-    case Outcome::kSuccess: return "successful-fault";
-    case Outcome::kCrash: return "crash";
-    case Outcome::kHang: return "hang";
-    case Outcome::kDetected: return "detected";
-    case Outcome::kOtherBehavior: return "other";
-  }
-  return "?";
-}
 
 std::vector<std::uint64_t> CampaignResult::vulnerable_addresses() const {
   std::vector<std::uint64_t> addresses;
@@ -35,100 +13,43 @@ std::vector<std::uint64_t> CampaignResult::vulnerable_addresses() const {
   return addresses;
 }
 
-Outcome Oracle::classify(const RunResult& run, int detected_exit_code) const {
-  if (run.reason == StopReason::kExited && run.exit_code == detected_exit_code) {
-    return Outcome::kDetected;
-  }
-  if (run.observably_equal(good_reference)) return Outcome::kSuccess;
-  if (run.observably_equal(bad_reference)) return Outcome::kNoEffect;
-  if (run.reason == StopReason::kCrashed) return Outcome::kCrash;
-  if (run.reason == StopReason::kFuelExhausted) return Outcome::kHang;
-  return Outcome::kOtherBehavior;
+Outcome Oracle::classify(const emu::RunResult& run, int detected_exit_code) const {
+  return sim::classify(good_reference, bad_reference, run, detected_exit_code);
 }
 
 Oracle make_oracle(const elf::Image& image, const std::string& good_input,
                    const std::string& bad_input) {
+  sim::References refs = sim::make_references(image, good_input, bad_input);
   Oracle oracle;
-  RunConfig config;
-  oracle.good_reference = emu::run_image(image, good_input, config);
-  check(oracle.good_reference.reason == StopReason::kExited, ErrorKind::kExecution,
-        "good-input golden run did not exit cleanly: " +
-            oracle.good_reference.crash_detail);
-
-  config.record_trace = true;
-  RunResult bad = emu::run_image(image, bad_input, config);
-  check(bad.reason == StopReason::kExited, ErrorKind::kExecution,
-        "bad-input golden run did not exit cleanly: " + bad.crash_detail);
-  check(!bad.observably_equal(oracle.good_reference), ErrorKind::kExecution,
-        "good and bad inputs are observationally identical; nothing to protect");
-  oracle.bad_trace = std::move(bad.trace);
-  bad.trace.clear();
-  oracle.bad_reference = std::move(bad);
+  oracle.good_reference = std::move(refs.good_reference);
+  oracle.bad_reference = std::move(refs.bad_reference);
+  oracle.bad_trace = std::move(refs.bad_trace);
   return oracle;
 }
 
 CampaignResult run_campaign(const elf::Image& image, const std::string& good_input,
                             const std::string& bad_input, const CampaignConfig& config) {
-  const Oracle oracle = make_oracle(image, good_input, bad_input);
+  sim::EngineConfig engine_config;
+  engine_config.threads = config.threads;
+  engine_config.detected_exit_code = config.detected_exit_code;
+  engine_config.fuel_multiplier = config.fuel_multiplier;
+  engine_config.fuel_slack = config.fuel_slack;
+  const sim::Engine engine(image, good_input, bad_input, engine_config);
+
+  sim::FaultModels models;
+  models.skip = config.model_skip;
+  models.bit_flip = config.model_bit_flip;
+  models.register_flip = config.model_register_flip;
+  models.flag_flip = config.model_flag_flip;
+  models.register_flip_regs = config.register_flip_regs;
+  models.register_flip_bit_stride = config.register_flip_bit_stride;
+
+  sim::CampaignResult swept = engine.run(models);
   CampaignResult result;
-  result.trace_length = oracle.bad_trace.size();
-
-  RunConfig run_config;
-  run_config.fuel =
-      oracle.bad_reference.steps * config.fuel_multiplier + config.fuel_slack;
-
-  const auto inject = [&](const FaultSpec& spec, std::uint64_t address) {
-    run_config.fault = spec;
-    const RunResult run = emu::run_image(image, bad_input, run_config);
-    const Outcome outcome = oracle.classify(run, config.detected_exit_code);
-    ++result.outcome_counts[outcome];
-    ++result.total_faults;
-    if (outcome == Outcome::kSuccess) {
-      result.vulnerabilities.push_back(Vulnerability{spec, address});
-    }
-  };
-
-  for (std::uint64_t index = 0; index < oracle.bad_trace.size(); ++index) {
-    const emu::TraceEntry& entry = oracle.bad_trace[index];
-    if (config.model_skip) {
-      FaultSpec spec;
-      spec.kind = FaultSpec::Kind::kSkip;
-      spec.trace_index = index;
-      inject(spec, entry.address);
-    }
-    if (config.model_bit_flip) {
-      const std::uint32_t bits = static_cast<std::uint32_t>(entry.length) * 8;
-      for (std::uint32_t bit = 0; bit < bits; ++bit) {
-        FaultSpec spec;
-        spec.kind = FaultSpec::Kind::kBitFlip;
-        spec.trace_index = index;
-        spec.bit_offset = bit;
-        inject(spec, entry.address);
-      }
-    }
-    if (config.model_register_flip) {
-      const unsigned stride =
-          config.register_flip_bit_stride == 0 ? 1 : config.register_flip_bit_stride;
-      for (const unsigned reg : config.register_flip_regs) {
-        for (unsigned bit = 0; bit < 64; bit += stride) {
-          FaultSpec spec;
-          spec.kind = FaultSpec::Kind::kRegisterBitFlip;
-          spec.trace_index = index;
-          spec.bit_offset = reg * 64 + bit;
-          inject(spec, entry.address);
-        }
-      }
-    }
-    if (config.model_flag_flip) {
-      for (unsigned flag = 0; flag < 6; ++flag) {
-        FaultSpec spec;
-        spec.kind = FaultSpec::Kind::kFlagFlip;
-        spec.trace_index = index;
-        spec.bit_offset = flag;
-        inject(spec, entry.address);
-      }
-    }
-  }
+  result.vulnerabilities = std::move(swept.vulnerabilities);
+  result.outcome_counts = std::move(swept.outcome_counts);
+  result.total_faults = swept.total_faults;
+  result.trace_length = swept.trace_length;
   return result;
 }
 

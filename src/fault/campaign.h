@@ -6,6 +6,11 @@
 // allows and classify the observable outcome. A fault is a vulnerability
 // ("successful fault") when the bad-input run becomes observably identical
 // to the good-input run.
+//
+// This layer is a thin client of the sim:: engine, which executes the
+// sweep from copy-on-write snapshots (optionally across worker threads)
+// instead of replaying every faulted run from entry. A single-threaded
+// campaign classifies bit-identically to the seed full-replay faulter.
 #pragma once
 
 #include <cstdint>
@@ -15,27 +20,15 @@
 
 #include "elf/image.h"
 #include "emu/machine.h"
+#include "sim/engine.h"
 
 namespace r2r::fault {
 
-enum class Outcome : std::uint8_t {
-  kNoEffect,       ///< still behaves like the bad-input reference
-  kSuccess,        ///< behaves like the good-input reference: VULNERABLE
-  kCrash,          ///< memory fault / invalid opcode / trap
-  kHang,           ///< fuel exhausted
-  kDetected,       ///< countermeasure fired (fault-handler exit code)
-  kOtherBehavior,  ///< none of the above (e.g. garbled output)
-};
-
-std::string_view to_string(Outcome outcome) noexcept;
-
-/// One successful fault: where it hit and what it was.
-struct Vulnerability {
-  emu::FaultSpec spec;
-  std::uint64_t address = 0;  ///< static address of the faulted instruction
-
-  friend bool operator==(const Vulnerability&, const Vulnerability&) = default;
-};
+// The classification vocabulary and vulnerability record are defined by
+// the engine; fault:: re-exports them as its public campaign API.
+using sim::Outcome;
+using sim::to_string;
+using sim::Vulnerability;
 
 struct CampaignConfig {
   bool model_skip = true;      ///< the paper's "instruction skip" model
@@ -52,6 +45,9 @@ struct CampaignConfig {
   /// exceed golden_steps * multiplier + slack are classified kHang).
   std::uint64_t fuel_multiplier = 8;
   std::uint64_t fuel_slack = 4096;
+  /// Worker threads for the sweep (0 = hardware concurrency). Results are
+  /// bit-identical for every thread count.
+  unsigned threads = 1;
 };
 
 struct CampaignResult {

@@ -2,6 +2,11 @@
 
 namespace r2r::passes {
 
+StatsRegistry& StatsRegistry::instance() noexcept {
+  static StatsRegistry registry;
+  return registry;
+}
+
 OpcodeCounts count_ops(const ir::Function& fn) {
   OpcodeCounts out;
   for (const auto& block : fn.blocks) {
@@ -11,6 +16,7 @@ OpcodeCounts count_ops(const ir::Function& fn) {
       ++out.total;
     }
   }
+  StatsRegistry::instance().record(out);
   return out;
 }
 

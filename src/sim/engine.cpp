@@ -1,0 +1,317 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace r2r::sim {
+
+namespace {
+using emu::FaultSpec;
+using emu::RunConfig;
+using emu::RunResult;
+using emu::StopReason;
+using support::check;
+using support::ErrorKind;
+
+std::string_view kind_name(FaultSpec::Kind kind) noexcept {
+  switch (kind) {
+    case FaultSpec::Kind::kSkip: return "skip";
+    case FaultSpec::Kind::kBitFlip: return "bit-flip";
+    case FaultSpec::Kind::kRegisterBitFlip: return "register-flip";
+    case FaultSpec::Kind::kFlagFlip: return "flag-flip";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string_view to_string(Outcome outcome) noexcept {
+  switch (outcome) {
+    case Outcome::kNoEffect: return "no-effect";
+    case Outcome::kSuccess: return "successful-fault";
+    case Outcome::kCrash: return "crash";
+    case Outcome::kHang: return "hang";
+    case Outcome::kDetected: return "detected";
+    case Outcome::kOtherBehavior: return "other";
+  }
+  return "?";
+}
+
+std::vector<PlannedFault> enumerate_faults(const FaultModels& models,
+                                           const std::vector<emu::TraceEntry>& trace) {
+  std::vector<PlannedFault> plan;
+  for (std::uint64_t index = 0; index < trace.size(); ++index) {
+    const emu::TraceEntry& entry = trace[index];
+    const auto add = [&](FaultSpec::Kind kind, std::uint32_t bit_offset) {
+      FaultSpec spec;
+      spec.kind = kind;
+      spec.trace_index = index;
+      spec.bit_offset = bit_offset;
+      plan.push_back(PlannedFault{spec, entry.address});
+    };
+    if (models.skip) add(FaultSpec::Kind::kSkip, 0);
+    if (models.bit_flip) {
+      const std::uint32_t bits = static_cast<std::uint32_t>(entry.length) * 8;
+      for (std::uint32_t bit = 0; bit < bits; ++bit) add(FaultSpec::Kind::kBitFlip, bit);
+    }
+    if (models.register_flip) {
+      const unsigned stride =
+          models.register_flip_bit_stride == 0 ? 1 : models.register_flip_bit_stride;
+      for (const unsigned reg : models.register_flip_regs) {
+        for (unsigned bit = 0; bit < 64; bit += stride) {
+          add(FaultSpec::Kind::kRegisterBitFlip, reg * 64 + bit);
+        }
+      }
+    }
+    if (models.flag_flip) {
+      for (unsigned flag = 0; flag < 6; ++flag) add(FaultSpec::Kind::kFlagFlip, flag);
+    }
+  }
+  return plan;
+}
+
+std::uint64_t SnapshotPolicy::interval_for(std::uint64_t trace_length) const noexcept {
+  if (fixed_interval) return std::max<std::uint64_t>(1, *fixed_interval);
+  const auto sqrt_interval = static_cast<std::uint64_t>(
+      std::llround(std::sqrt(static_cast<double>(trace_length))));
+  return std::clamp(std::max<std::uint64_t>(1, sqrt_interval), min_interval, max_interval);
+}
+
+References make_references(const elf::Image& image, const std::string& good_input,
+                           const std::string& bad_input) {
+  References refs;
+  RunConfig config;
+  refs.good_reference = emu::run_image(image, good_input, config);
+  check(refs.good_reference.reason == StopReason::kExited, ErrorKind::kExecution,
+        "good-input golden run did not exit cleanly: " +
+            refs.good_reference.crash_detail);
+
+  config.record_trace = true;
+  RunResult bad = emu::run_image(image, bad_input, config);
+  check(bad.reason == StopReason::kExited, ErrorKind::kExecution,
+        "bad-input golden run did not exit cleanly: " + bad.crash_detail);
+  check(!bad.observably_equal(refs.good_reference), ErrorKind::kExecution,
+        "good and bad inputs are observationally identical; nothing to protect");
+  refs.bad_trace = std::move(bad.trace);
+  bad.trace.clear();
+  refs.bad_reference = std::move(bad);
+  return refs;
+}
+
+Outcome classify(const RunResult& good_reference, const RunResult& bad_reference,
+                 const RunResult& run, int detected_exit_code) noexcept {
+  if (run.reason == StopReason::kExited && run.exit_code == detected_exit_code) {
+    return Outcome::kDetected;
+  }
+  if (run.observably_equal(good_reference)) return Outcome::kSuccess;
+  if (run.observably_equal(bad_reference)) return Outcome::kNoEffect;
+  if (run.reason == StopReason::kCrashed) return Outcome::kCrash;
+  if (run.reason == StopReason::kFuelExhausted) return Outcome::kHang;
+  return Outcome::kOtherBehavior;
+}
+
+Engine::Engine(elf::Image image, std::string good_input, std::string bad_input,
+               EngineConfig config)
+    : image_(std::move(image)),
+      bad_input_(std::move(bad_input)),
+      config_(config),
+      refs_(make_references(image_, good_input, bad_input_)) {
+  interval_ = config_.policy.interval_for(refs_.bad_trace.size());
+  fuel_ = refs_.bad_reference.steps * config_.fuel_multiplier + config_.fuel_slack;
+  bad_reference_outcome_ =
+      classify(refs_, refs_.bad_reference, config_.detected_exit_code);
+
+  // Record the checkpoint chain: the golden bad-input machine frozen at
+  // every multiple of the interval. Pages are shared between neighbouring
+  // checkpoints, so chain memory grows with the write set, not the trace.
+  emu::Machine recorder(image_, bad_input_);
+  chain_.push_back(capture(recorder));
+  RunConfig record_config;
+  while (true) {
+    record_config.fuel = static_cast<std::uint64_t>(chain_.size()) * interval_;
+    const RunResult segment = recorder.run(record_config);
+    if (segment.reason != StopReason::kFuelExhausted) break;
+    chain_.push_back(capture(recorder));
+  }
+
+  std::unordered_set<const emu::Memory::Page*> unique_pages;
+  for (const MachineSnapshot& snapshot : chain_) {
+    for (const auto& region : snapshot.memory.regions) {
+      for (const auto& page : region.pages) {
+        if (unique_pages.insert(page.get()).second) chain_bytes_ += page->size();
+      }
+    }
+  }
+  chain_pages_ = unique_pages.size();
+}
+
+Outcome Engine::simulate_one(emu::Machine& machine, const PlannedFault& fault,
+                             WorkerStats& stats) const {
+  const std::uint64_t index = fault.spec.trace_index;
+  const std::size_t nearest =
+      std::min<std::size_t>(index / interval_, chain_.size() - 1);
+  restore(chain_[nearest], machine);
+
+  RunConfig config;
+  config.fault = fault.spec;
+  if (!config_.convergence_pruning) {
+    config.fuel = fuel_;
+    return classify(refs_, machine.run(config), config_.detected_exit_code);
+  }
+
+  // Run to each checkpoint boundary past the injection; if the faulted
+  // machine is back in the golden state there, its future is the golden
+  // future — classify without simulating the suffix.
+  std::uint64_t boundary = (index / interval_ + 1) * interval_;
+  while (true) {
+    config.fuel = std::min(boundary, fuel_);
+    const RunResult run = machine.run(config);
+    if (run.reason != StopReason::kFuelExhausted || config.fuel >= fuel_) {
+      return classify(refs_, run, config_.detected_exit_code);
+    }
+    const std::size_t checkpoint = boundary / interval_;
+    if (checkpoint >= chain_.size()) {
+      // Past the last golden checkpoint; no reference state to compare.
+      config.fuel = fuel_;
+      return classify(refs_, machine.run(config), config_.detected_exit_code);
+    }
+    if (same_state(chain_[checkpoint], machine)) {
+      ++stats.pruned;
+      return bad_reference_outcome_;
+    }
+    boundary += interval_;
+  }
+}
+
+CampaignResult Engine::run(const FaultModels& models) const {
+  const std::vector<PlannedFault> plan = enumerate_faults(models, refs_.bad_trace);
+  std::vector<Outcome> outcomes(plan.size(), Outcome::kNoEffect);
+
+  unsigned threads = config_.threads != 0 ? config_.threads
+                                          : std::max(1u, std::thread::hardware_concurrency());
+  if (plan.size() < threads) {
+    threads = static_cast<unsigned>(std::max<std::size_t>(1, plan.size()));
+  }
+
+  // Dynamic chunked scheduling: workers pull fixed-size index ranges from a
+  // shared cursor. The outcome of fault i always lands in slot i, so the
+  // aggregation below is deterministic for every thread count.
+  constexpr std::size_t kChunk = 64;
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::uint64_t> pruned_total{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&]() {
+    try {
+      emu::Machine machine(image_, bad_input_);
+      WorkerStats stats;
+      while (!failed.load(std::memory_order_relaxed)) {
+        const std::size_t begin = cursor.fetch_add(kChunk, std::memory_order_relaxed);
+        if (begin >= plan.size()) break;
+        const std::size_t end = std::min(plan.size(), begin + kChunk);
+        for (std::size_t i = begin; i < end; ++i) {
+          outcomes[i] = simulate_one(machine, plan[i], stats);
+        }
+      }
+      pruned_total.fetch_add(stats.pruned, std::memory_order_relaxed);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& thread : pool) thread.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  CampaignResult result;
+  result.trace_length = refs_.bad_trace.size();
+  result.total_faults = plan.size();
+  result.checkpoint_interval = interval_;
+  result.snapshot_count = chain_.size();
+  result.pruned_faults = pruned_total.load();
+  result.threads_used = threads;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    ++result.outcome_counts[outcomes[i]];
+    if (outcomes[i] == Outcome::kSuccess) {
+      result.vulnerabilities.push_back(Vulnerability{plan[i].spec, plan[i].address});
+    }
+  }
+  return result;
+}
+
+std::vector<std::uint64_t> CampaignResult::vulnerable_addresses() const {
+  std::vector<std::uint64_t> addresses;
+  for (const Vulnerability& v : vulnerabilities) addresses.push_back(v.address);
+  std::sort(addresses.begin(), addresses.end());
+  addresses.erase(std::unique(addresses.begin(), addresses.end()), addresses.end());
+  return addresses;
+}
+
+std::vector<CampaignResult::AddressReport> CampaignResult::merged_by_address() const {
+  std::map<std::uint64_t, AddressReport> merged;
+  for (const Vulnerability& v : vulnerabilities) {
+    AddressReport& report = merged[v.address];
+    report.address = v.address;
+    ++report.hits;
+    ++report.by_kind[v.spec.kind];
+  }
+  std::vector<AddressReport> out;
+  out.reserve(merged.size());
+  for (auto& [address, report] : merged) out.push_back(std::move(report));
+  return out;
+}
+
+std::string CampaignResult::to_json() const {
+  std::string json = "{\n";
+  json += "  \"trace_length\": " + std::to_string(trace_length) + ",\n";
+  json += "  \"total_faults\": " + std::to_string(total_faults) + ",\n";
+  json += "  \"checkpoint_interval\": " + std::to_string(checkpoint_interval) + ",\n";
+  json += "  \"snapshot_count\": " + std::to_string(snapshot_count) + ",\n";
+  json += "  \"pruned_faults\": " + std::to_string(pruned_faults) + ",\n";
+  json += "  \"threads\": " + std::to_string(threads_used) + ",\n";
+  json += "  \"outcomes\": {";
+  bool first = true;
+  for (const auto& [outcome, count] : outcome_counts) {
+    if (!first) json += ", ";
+    first = false;
+    json += "\"" + std::string(to_string(outcome)) + "\": " + std::to_string(count);
+  }
+  json += "},\n";
+  json += "  \"vulnerable_points\": [";
+  first = true;
+  for (const AddressReport& report : merged_by_address()) {
+    if (!first) json += ", ";
+    first = false;
+    json += "{\"address\": \"" + support::hex_string(report.address) +
+            "\", \"hits\": " + std::to_string(report.hits) + ", \"by_kind\": {";
+    bool first_kind = true;
+    for (const auto& [kind, count] : report.by_kind) {
+      if (!first_kind) json += ", ";
+      first_kind = false;
+      json += "\"" + std::string(kind_name(kind)) + "\": " + std::to_string(count);
+    }
+    json += "}}";
+  }
+  json += "]\n}\n";
+  return json;
+}
+
+}  // namespace r2r::sim

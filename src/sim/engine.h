@@ -1,0 +1,214 @@
+// r2r::sim — snapshot-based parallel fault-simulation engine.
+//
+// The engine answers the question the paper's faulter (Fig. 2) asks —
+// "what does every allowed fault at every dynamic instruction do to the
+// bad-input run?" — without the seed's O(trace²) full-replay sweep:
+//
+//   1. One golden bad-input run is recorded and checkpointed every
+//      `interval` steps into a chain of copy-on-write MachineSnapshots
+//      (SnapshotPolicy tunes the interval to the trace length).
+//   2. The (trace-index × fault-model) sweep is enumerated up front into a
+//      flat, deterministically ordered fault plan.
+//   3. A FaultScheduler shards the plan across N worker threads. Each
+//      worker owns a private Machine, rehydrates it from the nearest
+//      checkpoint at or before the injection point, injects, and runs.
+//   4. A faulted run that returns to the golden machine state at the next
+//      checkpoint boundary is classified immediately with the golden
+//      outcome (convergence pruning): a deterministic machine in an
+//      identical state has an identical future. This prunes the long
+//      common suffix of masked faults.
+//   5. Outcomes land in a slot-per-fault result vector, so aggregation
+//      order — and therefore every counter and the vulnerability list —
+//      is identical regardless of thread count.
+//
+// fault::run_campaign is a thin client of this engine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "elf/image.h"
+#include "emu/machine.h"
+#include "sim/snapshot.h"
+
+namespace r2r::sim {
+
+/// Classification of one faulted run against the golden references.
+enum class Outcome : std::uint8_t {
+  kNoEffect,       ///< still behaves like the bad-input reference
+  kSuccess,        ///< behaves like the good-input reference: VULNERABLE
+  kCrash,          ///< memory fault / invalid opcode / trap
+  kHang,           ///< fuel exhausted
+  kDetected,       ///< countermeasure fired (fault-handler exit code)
+  kOtherBehavior,  ///< none of the above (e.g. garbled output)
+};
+
+std::string_view to_string(Outcome outcome) noexcept;
+
+/// One successful fault: where it hit and what it was.
+struct Vulnerability {
+  emu::FaultSpec spec;
+  std::uint64_t address = 0;  ///< static address of the faulted instruction
+
+  friend bool operator==(const Vulnerability&, const Vulnerability&) = default;
+};
+
+/// Which faults to enumerate at each dynamic instruction (mirrors the
+/// paper's models plus the r2r extensions).
+struct FaultModels {
+  bool skip = true;
+  bool bit_flip = true;
+  bool register_flip = false;
+  bool flag_flip = false;
+  std::vector<unsigned> register_flip_regs = {0, 1, 2, 3, 6, 7};
+  unsigned register_flip_bit_stride = 8;
+};
+
+/// One planned injection of the sweep, in deterministic enumeration order.
+struct PlannedFault {
+  emu::FaultSpec spec;
+  std::uint64_t address = 0;
+};
+
+/// Expands the (trace-index × fault-model) product into a flat plan.
+/// The order is the canonical campaign order: ascending trace index, and
+/// per index skip → bit flips → register flips → flag flips.
+std::vector<PlannedFault> enumerate_faults(const FaultModels& models,
+                                           const std::vector<emu::TraceEntry>& trace);
+
+/// Checkpoint-interval policy. The default tunes the interval to roughly
+/// sqrt(trace length): checkpoint memory grows with the square root of the
+/// trace while the replay prefix per injection stays bounded by the same
+/// square root — the classic snapshot-sweep balance point.
+struct SnapshotPolicy {
+  std::uint64_t min_interval = 16;
+  std::uint64_t max_interval = 8192;
+  /// When set, overrides the sqrt heuristic.
+  std::optional<std::uint64_t> fixed_interval;
+
+  [[nodiscard]] std::uint64_t interval_for(std::uint64_t trace_length) const noexcept;
+};
+
+/// Golden (fault-free) references for both inputs, plus the recorded
+/// bad-input trace the sweep iterates over. Construction throws
+/// Error{kExecution} when the binary does not show the expected
+/// differential behaviour (same checks as the seed faulter).
+struct References {
+  emu::RunResult good_reference;
+  emu::RunResult bad_reference;
+  std::vector<emu::TraceEntry> bad_trace;
+};
+
+References make_references(const elf::Image& image, const std::string& good_input,
+                           const std::string& bad_input);
+
+/// Classifies one faulted run against the two golden references.
+Outcome classify(const emu::RunResult& good_reference,
+                 const emu::RunResult& bad_reference, const emu::RunResult& run,
+                 int detected_exit_code) noexcept;
+
+inline Outcome classify(const References& refs, const emu::RunResult& run,
+                        int detected_exit_code) noexcept {
+  return classify(refs.good_reference, refs.bad_reference, run, detected_exit_code);
+}
+
+struct EngineConfig {
+  /// Worker threads for the sweep; 0 means hardware concurrency. Results
+  /// are bit-identical for every value.
+  unsigned threads = 1;
+  SnapshotPolicy policy;
+  int detected_exit_code = 42;
+  /// Faulted runs get fuel = golden_bad_steps * multiplier + slack; runs
+  /// that exceed it classify as kHang.
+  std::uint64_t fuel_multiplier = 8;
+  std::uint64_t fuel_slack = 4096;
+  /// Classify a faulted run as soon as it provably reconverges with the
+  /// golden run at a checkpoint boundary (sound: the machine is
+  /// deterministic). Disable to force every run to completion.
+  bool convergence_pruning = true;
+};
+
+/// Sweep outcome aggregation (deterministic across thread counts).
+struct CampaignResult {
+  std::vector<Vulnerability> vulnerabilities;
+  std::map<Outcome, std::uint64_t> outcome_counts;
+  std::uint64_t total_faults = 0;
+  std::uint64_t trace_length = 0;
+
+  // Engine telemetry.
+  std::uint64_t checkpoint_interval = 0;
+  std::uint64_t snapshot_count = 0;
+  std::uint64_t pruned_faults = 0;  ///< classified via convergence pruning
+  unsigned threads_used = 0;
+
+  [[nodiscard]] std::uint64_t count(Outcome outcome) const {
+    const auto it = outcome_counts.find(outcome);
+    return it == outcome_counts.end() ? 0 : it->second;
+  }
+  /// Distinct static instruction addresses with at least one successful
+  /// fault — the paper's "number of vulnerable points".
+  [[nodiscard]] std::vector<std::uint64_t> vulnerable_addresses() const;
+
+  /// Per-address merge of the vulnerability list.
+  struct AddressReport {
+    std::uint64_t address = 0;
+    std::uint64_t hits = 0;  ///< successful faults at this static address
+    std::map<emu::FaultSpec::Kind, std::uint64_t> by_kind;
+  };
+  [[nodiscard]] std::vector<AddressReport> merged_by_address() const;
+
+  /// JSON document for downstream tooling: outcome counters, engine
+  /// telemetry, and the per-address vulnerability merge.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// The reusable engine: build once per (image, input pair), sweep many
+/// fault models against the same snapshot chain.
+class Engine {
+ public:
+  /// Records the golden references and the checkpoint chain. Throws
+  /// Error{kExecution} on non-differential behaviour.
+  Engine(elf::Image image, std::string good_input, std::string bad_input,
+         EngineConfig config = {});
+
+  /// Runs the full sweep for `models`. The sweep spawns and joins its own
+  /// worker threads; run one sweep at a time per engine.
+  CampaignResult run(const FaultModels& models) const;
+
+  [[nodiscard]] const References& references() const noexcept { return refs_; }
+  [[nodiscard]] std::uint64_t checkpoint_interval() const noexcept { return interval_; }
+  [[nodiscard]] std::size_t snapshot_count() const noexcept { return chain_.size(); }
+  /// Distinct pages held by the whole checkpoint chain — the COW resident
+  /// set. A full-copy chain would hold snapshot_count × address-space
+  /// pages; the gap between the two is the sharing win.
+  [[nodiscard]] std::size_t chain_unique_pages() const noexcept { return chain_pages_; }
+  [[nodiscard]] std::size_t chain_resident_bytes() const noexcept { return chain_bytes_; }
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+ private:
+  struct WorkerStats {
+    std::uint64_t pruned = 0;
+  };
+
+  /// Simulates one planned fault on a worker-owned machine.
+  Outcome simulate_one(emu::Machine& machine, const PlannedFault& fault,
+                       WorkerStats& stats) const;
+
+  elf::Image image_;
+  std::string bad_input_;
+  EngineConfig config_;
+  References refs_;
+  std::uint64_t interval_ = 0;
+  std::uint64_t fuel_ = 0;
+  Outcome bad_reference_outcome_ = Outcome::kNoEffect;
+  /// chain_[k] is the golden bad-input machine at step k * interval_.
+  std::vector<MachineSnapshot> chain_;
+  std::size_t chain_pages_ = 0;
+  std::size_t chain_bytes_ = 0;
+};
+
+}  // namespace r2r::sim

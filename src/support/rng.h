@@ -43,6 +43,42 @@ class Rng {
 
   bool next_bool() noexcept { return (next() & 1U) != 0; }
 
+  /// Advances the state by 2^128 draws (the canonical xoshiro256** jump
+  /// polynomial) without generating them. Repeated jumps carve the period
+  /// into non-overlapping substreams of 2^128 values each.
+  void jump() noexcept {
+    static constexpr std::uint64_t kJump[4] = {
+        0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL,
+        0xA9582618E03FC9AAULL, 0x39ABDC4529B1661CULL};
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (const std::uint64_t word : kJump) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if ((word & (1ULL << bit)) != 0) {
+          s0 ^= state_[0];
+          s1 ^= state_[1];
+          s2 ^= state_[2];
+          s3 ^= state_[3];
+        }
+        next();
+      }
+    }
+    state_[0] = s0;
+    state_[1] = s1;
+    state_[2] = s2;
+    state_[3] = s3;
+  }
+
+  /// Deterministic per-worker stream: every worker seeds with the same
+  /// campaign seed and its own stream index, and is guaranteed a
+  /// non-overlapping sequence regardless of how many values the other
+  /// workers draw. Rng itself is not thread-safe — give each thread its
+  /// own stream instance.
+  static Rng for_stream(std::uint64_t seed, unsigned stream) noexcept {
+    Rng rng(seed);
+    for (unsigned i = 0; i < stream; ++i) rng.jump();
+    return rng;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
     return (v << k) | (v >> (64 - k));

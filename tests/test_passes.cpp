@@ -3,6 +3,9 @@
 // property), instruction duplication.
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "ir/builder.h"
 #include "ir/interpreter.h"
 #include "ir/verifier.h"
@@ -419,6 +422,31 @@ TEST(Stats, CountsMatchModuleContents) {
   EXPECT_EQ(counts.count(Opcode::kStore), 2u);
   EXPECT_EQ(counts.blocks, 4u);
   EXPECT_FALSE(to_string(counts).empty());
+}
+
+TEST(Stats, RegistryTalliesConcurrentCounting) {
+  StatsRegistry& registry = StatsRegistry::instance();
+  registry.reset();
+
+  Module module = branch_module(7);
+  const OpcodeCounts counts = count_ops(module);
+  registry.reset();
+
+  constexpr unsigned kThreads = 8;
+  constexpr unsigned kRounds = 50;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&module] {
+      for (unsigned round = 0; round < kRounds; ++round) count_ops(module);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  const std::uint64_t runs = kThreads * kRounds;
+  EXPECT_EQ(registry.ops_counted(), runs * counts.total);
+  EXPECT_EQ(registry.blocks_counted(), runs * counts.blocks);
+  EXPECT_EQ(registry.functions_counted(), runs);  // branch_module: one function
 }
 
 }  // namespace

@@ -1,0 +1,238 @@
+// sim:: engine — snapshot round-trips, copy-on-write page isolation,
+// checkpoint policy, scheduler determinism across thread counts, and
+// bit-identical classification against the seed full-replay sweep.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "fault/campaign.h"
+#include "guests/guests.h"
+#include "sim/engine.h"
+#include "sim/snapshot.h"
+#include "support/error.h"
+
+namespace r2r::sim {
+namespace {
+
+using guests::Guest;
+
+TEST(MachineSnapshot, RoundTripRestoresFullState) {
+  const Guest& guest = guests::pincheck();
+  const elf::Image image = guests::build_image(guest);
+  emu::Machine machine(image, guest.bad_input);
+
+  emu::RunConfig config;
+  config.fuel = 8;
+  ASSERT_EQ(machine.run(config).reason, emu::StopReason::kFuelExhausted);
+
+  const MachineSnapshot snapshot = capture(machine);
+  EXPECT_TRUE(same_state(snapshot, machine));
+  EXPECT_EQ(snapshot.steps, 8u);
+
+  config.fuel = 16;
+  ASSERT_EQ(machine.run(config).reason, emu::StopReason::kFuelExhausted);
+  EXPECT_FALSE(same_state(snapshot, machine));
+
+  restore(snapshot, machine);
+  EXPECT_TRUE(same_state(snapshot, machine));
+  EXPECT_EQ(machine.steps(), 8u);
+
+  // The resumed continuation is indistinguishable from an untouched replay.
+  emu::RunConfig full;
+  const emu::RunResult resumed = machine.run(full);
+  const emu::RunResult replayed = emu::run_image(image, guest.bad_input, full);
+  EXPECT_TRUE(resumed.observably_equal(replayed));
+  EXPECT_EQ(resumed.steps, replayed.steps);
+}
+
+TEST(MachineSnapshot, PagesAreSharedUntilWritten) {
+  const Guest& guest = guests::toymov();
+  const elf::Image image = guests::build_image(guest);
+  emu::Machine machine(image, guest.bad_input);
+
+  const MachineSnapshot first = capture(machine);
+  const MachineSnapshot second = capture(machine);
+  ASSERT_EQ(first.memory.regions.size(), second.memory.regions.size());
+  for (std::size_t r = 0; r < first.memory.regions.size(); ++r) {
+    const auto& a = first.memory.regions[r];
+    const auto& b = second.memory.regions[r];
+    ASSERT_EQ(a.pages.size(), b.pages.size());
+    for (std::size_t p = 0; p < a.pages.size(); ++p) {
+      EXPECT_EQ(a.pages[p].get(), b.pages[p].get())
+          << "untouched page copied instead of shared";
+    }
+  }
+
+  // One write dirties exactly one page; the next capture copies only it.
+  const std::uint64_t address = emu::Machine::kStackBase - 64;
+  machine.memory().write(address, 0xAB, 1);
+  const MachineSnapshot third = capture(machine);
+  std::size_t copied_pages = 0;
+  for (std::size_t r = 0; r < third.memory.regions.size(); ++r) {
+    const auto& before = second.memory.regions[r];
+    const auto& after = third.memory.regions[r];
+    for (std::size_t p = 0; p < after.pages.size(); ++p) {
+      if (before.pages[p].get() != after.pages[p].get()) ++copied_pages;
+    }
+  }
+  EXPECT_EQ(copied_pages, 1u);
+}
+
+TEST(MachineSnapshot, CowIsolatesWorkerMachines) {
+  const Guest& guest = guests::toymov();
+  const elf::Image image = guests::build_image(guest);
+  emu::Machine recorder(image, guest.bad_input);
+  const MachineSnapshot snapshot = capture(recorder);
+
+  emu::Machine worker(image, guest.bad_input);
+  restore(snapshot, worker);
+  ASSERT_TRUE(same_state(snapshot, worker));
+
+  // A worker scribbling over shared pages must not leak into the snapshot
+  // or into the machine the snapshot was captured from.
+  const std::uint64_t address = emu::Machine::kStackBase - 128;
+  worker.memory().write(address, 0xDEAD, 2);
+  EXPECT_FALSE(same_state(snapshot, worker));
+  EXPECT_TRUE(same_state(snapshot, recorder));
+  EXPECT_NE(worker.memory().read(address, 2), recorder.memory().read(address, 2));
+
+  // Restoring rewinds the scribble.
+  restore(snapshot, worker);
+  EXPECT_TRUE(same_state(snapshot, worker));
+}
+
+TEST(SnapshotPolicy, TunesIntervalToTraceLength) {
+  const SnapshotPolicy policy;
+  EXPECT_EQ(policy.interval_for(0), policy.min_interval);
+  EXPECT_EQ(policy.interval_for(100), policy.min_interval);  // sqrt(100) < min
+  EXPECT_EQ(policy.interval_for(10'000), 100u);
+  EXPECT_EQ(policy.interval_for(1'000'000), 1000u);
+  EXPECT_EQ(policy.interval_for(~0ULL), policy.max_interval);
+
+  SnapshotPolicy fixed;
+  fixed.fixed_interval = 7;
+  EXPECT_EQ(fixed.interval_for(1'000'000), 7u);
+}
+
+FaultModels paper_models() {
+  FaultModels models;
+  models.skip = true;
+  models.bit_flip = true;
+  return models;
+}
+
+TEST(Engine, SerialSweepMatchesFullReplaySeedSemantics) {
+  // Reference implementation: the seed faulter's O(trace²) loop — a fresh
+  // machine replayed from entry for every planned fault.
+  const Guest& guest = guests::toymov();
+  const elf::Image image = guests::build_image(guest);
+  const fault::Oracle oracle =
+      fault::make_oracle(image, guest.good_input, guest.bad_input);
+
+  const Engine engine(image, guest.good_input, guest.bad_input, EngineConfig{});
+  const std::vector<PlannedFault> plan =
+      enumerate_faults(paper_models(), oracle.bad_trace);
+
+  emu::RunConfig replay;
+  replay.fuel = oracle.bad_reference.steps * 8 + 4096;
+  std::vector<Vulnerability> expected_vulnerabilities;
+  std::map<Outcome, std::uint64_t> expected_counts;
+  for (const PlannedFault& fault : plan) {
+    replay.fault = fault.spec;
+    const emu::RunResult run = emu::run_image(image, guest.bad_input, replay);
+    const Outcome outcome = oracle.classify(run, 42);
+    ++expected_counts[outcome];
+    if (outcome == Outcome::kSuccess) {
+      expected_vulnerabilities.push_back(Vulnerability{fault.spec, fault.address});
+    }
+  }
+
+  const CampaignResult result = engine.run(paper_models());
+  EXPECT_EQ(result.total_faults, plan.size());
+  EXPECT_EQ(result.outcome_counts, expected_counts);
+  EXPECT_EQ(result.vulnerabilities, expected_vulnerabilities);
+  EXPECT_GT(result.count(Outcome::kSuccess), 0u);
+}
+
+TEST(Engine, ConvergencePruningDoesNotChangeClassification) {
+  const Guest& guest = guests::pincheck();
+  const elf::Image image = guests::build_image(guest);
+
+  EngineConfig pruned_config;
+  pruned_config.convergence_pruning = true;
+  EngineConfig full_config;
+  full_config.convergence_pruning = false;
+
+  const Engine pruned(image, guest.good_input, guest.bad_input, pruned_config);
+  const Engine full(image, guest.good_input, guest.bad_input, full_config);
+  const CampaignResult a = pruned.run(paper_models());
+  const CampaignResult b = full.run(paper_models());
+
+  EXPECT_EQ(a.outcome_counts, b.outcome_counts);
+  EXPECT_EQ(a.vulnerabilities, b.vulnerabilities);
+  EXPECT_GT(a.pruned_faults, 0u) << "pruning never fired on a real guest";
+  EXPECT_EQ(b.pruned_faults, 0u);
+}
+
+TEST(Scheduler, ThreadCountDoesNotChangeResults) {
+  for (const Guest* guest : guests::all_guests()) {
+    const elf::Image image = guests::build_image(*guest);
+    fault::CampaignConfig serial;
+    serial.threads = 1;
+    fault::CampaignConfig parallel;
+    parallel.threads = 8;
+    const fault::CampaignResult one =
+        fault::run_campaign(image, guest->good_input, guest->bad_input, serial);
+    const fault::CampaignResult eight =
+        fault::run_campaign(image, guest->good_input, guest->bad_input, parallel);
+    EXPECT_EQ(one.vulnerabilities, eight.vulnerabilities) << guest->name;
+    EXPECT_EQ(one.outcome_counts, eight.outcome_counts) << guest->name;
+    EXPECT_EQ(one.total_faults, eight.total_faults) << guest->name;
+    EXPECT_EQ(one.trace_length, eight.trace_length) << guest->name;
+  }
+}
+
+TEST(Engine, ExportsJsonForDownstreamTooling) {
+  const Guest& guest = guests::toymov();
+  const elf::Image image = guests::build_image(guest);
+  const Engine engine(image, guest.good_input, guest.bad_input, EngineConfig{});
+  const CampaignResult result = engine.run(paper_models());
+
+  const std::string json = result.to_json();
+  EXPECT_NE(json.find("\"total_faults\""), std::string::npos);
+  EXPECT_NE(json.find("\"outcomes\""), std::string::npos);
+  EXPECT_NE(json.find("\"vulnerable_points\""), std::string::npos);
+  EXPECT_NE(json.find("successful-fault"), std::string::npos);
+
+  const auto merged = result.merged_by_address();
+  ASSERT_FALSE(merged.empty());
+  std::uint64_t merged_hits = 0;
+  for (const auto& report : merged) merged_hits += report.hits;
+  EXPECT_EQ(merged_hits, result.vulnerabilities.size());
+  EXPECT_EQ(merged.size(), result.vulnerable_addresses().size());
+}
+
+TEST(Engine, TelemetryReflectsCheckpointChain) {
+  const Guest& guest = guests::bootloader();
+  const elf::Image image = guests::build_image(guest);
+  const Engine engine(image, guest.good_input, guest.bad_input, EngineConfig{});
+  EXPECT_GE(engine.snapshot_count(), 2u) << "trace long enough for checkpoints";
+  EXPECT_EQ(engine.checkpoint_interval(),
+            EngineConfig{}.policy.interval_for(engine.references().bad_trace.size()));
+
+  // COW effectiveness: the chain's resident set must be far below what
+  // snapshot_count full address-space copies would occupy.
+  emu::Machine machine(image, guest.bad_input);
+  const MachineSnapshot one_copy = capture(machine);
+  std::size_t address_space_bytes = 0;
+  for (const auto& region : one_copy.memory.regions) address_space_bytes += region.size;
+  const std::size_t full_copies = engine.snapshot_count() * address_space_bytes;
+  EXPECT_GT(engine.chain_unique_pages(), 0u);
+  EXPECT_GT(engine.chain_resident_bytes(), 0u);
+  EXPECT_LT(engine.chain_resident_bytes(), full_copies / 4)
+      << "checkpoint chain is not sharing pages";
+}
+
+}  // namespace
+}  // namespace r2r::sim
