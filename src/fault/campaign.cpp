@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "support/error.h"
+
 namespace r2r::fault {
 
 std::vector<std::uint64_t> CampaignResult::vulnerable_addresses() const {
@@ -29,11 +31,14 @@ Oracle make_oracle(const elf::Image& image, const std::string& good_input,
 
 CampaignResult run_campaign(const elf::Image& image, const std::string& good_input,
                             const std::string& bad_input, const CampaignConfig& config) {
+  support::check(config.order == 1 || config.order == 2, support::ErrorKind::kExecution,
+                 "campaign order must be 1 (single faults) or 2 (fault pairs)");
   sim::EngineConfig engine_config;
   engine_config.threads = config.threads;
   engine_config.detected_exit_code = config.detected_exit_code;
   engine_config.fuel_multiplier = config.fuel_multiplier;
   engine_config.fuel_slack = config.fuel_slack;
+  engine_config.pair_outcome_reuse = config.pair_outcome_reuse;
   const sim::Engine engine(image, good_input, bad_input, engine_config);
 
   sim::FaultModels models;
@@ -43,9 +48,24 @@ CampaignResult run_campaign(const elf::Image& image, const std::string& good_inp
   models.flag_flip = config.model_flag_flip;
   models.register_flip_regs = config.register_flip_regs;
   models.register_flip_bit_stride = config.register_flip_bit_stride;
+  models.order = config.order;
+  models.pair_window = config.pair_window;
+
+  CampaignResult result;
+  if (config.order >= 2) {
+    sim::PairCampaignResult swept = engine.run_pairs(models);
+    result.vulnerabilities = std::move(swept.order1.vulnerabilities);
+    result.outcome_counts = std::move(swept.order1.outcome_counts);
+    result.total_faults = swept.order1.total_faults;
+    result.trace_length = swept.trace_length;
+    result.pair_vulnerabilities = std::move(swept.vulnerabilities);
+    result.pair_outcome_counts = std::move(swept.outcome_counts);
+    result.total_pairs = swept.total_pairs;
+    result.reused_pairs = swept.reused_pairs();
+    return result;
+  }
 
   sim::CampaignResult swept = engine.run(models);
-  CampaignResult result;
   result.vulnerabilities = std::move(swept.vulnerabilities);
   result.outcome_counts = std::move(swept.outcome_counts);
   result.total_faults = swept.total_faults;

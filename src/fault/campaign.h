@@ -27,6 +27,7 @@ namespace r2r::fault {
 // The classification vocabulary and vulnerability record are defined by
 // the engine; fault:: re-exports them as its public campaign API.
 using sim::Outcome;
+using sim::PairVulnerability;
 using sim::to_string;
 using sim::Vulnerability;
 
@@ -48,6 +49,15 @@ struct CampaignConfig {
   /// Worker threads for the sweep (0 = hardware concurrency). Results are
   /// bit-identical for every thread count.
   unsigned threads = 1;
+  /// Campaign order: 1 sweeps single faults (the paper's scenario), 2
+  /// additionally sweeps fault *pairs* within `pair_window` — the
+  /// multi-fault scenario that defeats duplication-style countermeasures.
+  unsigned order = 1;
+  /// Order 2: maximum trace distance t2 - t1 between the two faults.
+  std::uint64_t pair_window = 8;
+  /// Order 2: classify pairs from the order-1 profiles where provably
+  /// equivalent instead of simulating them (exact; see sim::EngineConfig).
+  bool pair_outcome_reuse = true;
 };
 
 struct CampaignResult {
@@ -56,9 +66,20 @@ struct CampaignResult {
   std::uint64_t total_faults = 0;
   std::uint64_t trace_length = 0;
 
+  /// Order-2 extension: filled only when CampaignConfig::order == 2. The
+  /// order-1 fields above are still populated (phase A of the pair sweep).
+  std::vector<PairVulnerability> pair_vulnerabilities;
+  std::map<Outcome, std::uint64_t> pair_outcome_counts;
+  std::uint64_t total_pairs = 0;
+  std::uint64_t reused_pairs = 0;  ///< pairs classified without simulation
+
   [[nodiscard]] std::uint64_t count(Outcome outcome) const {
     const auto it = outcome_counts.find(outcome);
     return it == outcome_counts.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::uint64_t pair_count(Outcome outcome) const {
+    const auto it = pair_outcome_counts.find(outcome);
+    return it == pair_outcome_counts.end() ? 0 : it->second;
   }
   /// Distinct static instruction addresses with at least one successful
   /// fault — the paper's "number of vulnerable points".

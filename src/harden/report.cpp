@@ -1,5 +1,8 @@
 #include "harden/report.h"
 
+#include "sim/engine.h"
+#include "support/strings.h"
+
 namespace r2r::harden {
 
 std::string TextTable::render() const {
@@ -27,6 +30,50 @@ std::string TextTable::render() const {
       out += "\n";
     }
   }
+  return out;
+}
+
+std::string residual_double_fault_section(const std::string& binary_name,
+                                          const sim::PairCampaignResult& order2) {
+  std::string out = "residual double-fault campaign: " + binary_name + "\n";
+  out += "  order-1 faults: " + std::to_string(order2.order1.total_faults) +
+         " (" + std::to_string(order2.order1.count(sim::Outcome::kSuccess)) +
+         " successful)\n";
+  out += "  order-2 pairs:  " + std::to_string(order2.total_pairs) + " within window " +
+         std::to_string(order2.pair_window) + " (" +
+         std::to_string(order2.count(sim::Outcome::kSuccess)) + " successful, " +
+         std::to_string(order2.strictly_higher_order().size()) +
+         " invisible to order 1)\n";
+  const double reuse_rate =
+      order2.total_pairs == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(order2.reused_pairs()) /
+                static_cast<double>(order2.total_pairs);
+  out += "  pruning:        " + std::to_string(order2.reused_pairs()) +
+         " pairs reused from order-1 profiles (" +
+         support::format_fixed(reuse_rate, 1) + "%), " +
+         std::to_string(order2.simulated_pairs) + " simulated, " +
+         std::to_string(order2.fully_pruned_first_faults) +
+         " first faults fully pruned\n";
+
+  TextTable outcomes;
+  outcomes.add_row({"pair outcome", "count"});
+  for (const auto& [outcome, count] : order2.outcome_counts) {
+    outcomes.add_row({std::string(sim::to_string(outcome)), std::to_string(count)});
+  }
+  out += outcomes.render();
+
+  if (order2.vulnerabilities.empty()) {
+    out += "no residual double-fault vulnerabilities.\n";
+    return out;
+  }
+  TextTable table;
+  table.add_row({"first fault", "second fault", "successful pairs"});
+  for (const auto& [addresses, count] : order2.merged_vulnerable_pairs()) {
+    table.add_row({support::hex_string(addresses.first),
+                   support::hex_string(addresses.second), std::to_string(count)});
+  }
+  out += table.render();
   return out;
 }
 

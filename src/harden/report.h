@@ -4,6 +4,10 @@
 #include <string>
 #include <vector>
 
+namespace r2r::sim {
+struct PairCampaignResult;
+}  // namespace r2r::sim
+
 namespace r2r::harden {
 
 /// Fixed-width text table: first row is the header.
@@ -15,5 +19,12 @@ class TextTable {
  private:
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// The residual-double-fault section of a hardening report: what an order-2
+/// campaign still finds on a binary after (single-fault) hardening —
+/// outcome counters, prune telemetry, and the successful pairs that no
+/// order-1 sweep can surface, merged by static address pair.
+std::string residual_double_fault_section(const std::string& binary_name,
+                                          const sim::PairCampaignResult& order2);
 
 }  // namespace r2r::harden

@@ -289,7 +289,7 @@ Decoded decode(std::span<const std::uint8_t> bytes, std::uint64_t address) {
     case 0xB4: case 0xB5: case 0xB6: case 0xB7:
       instr = make2(Mnemonic::kMov,
                     reg_from_number((opcode - 0xB0U) | (rex.b ? 8U : 0U)),
-                    ImmOperand{static_cast<std::int64_t>(cur.u8()), {}}, Width::b8);
+                    ImmOperand{cur.i8(), {}}, Width::b8);
       break;
     case 0xB8: case 0xB9: case 0xBA: case 0xBB:
     case 0xBC: case 0xBD: case 0xBE: case 0xBF: {
@@ -299,7 +299,7 @@ Decoded decode(std::span<const std::uint8_t> bytes, std::uint64_t address) {
                       ImmOperand{static_cast<std::int64_t>(cur.u64()), {}}, Width::b64);
       } else {
         instr = make2(Mnemonic::kMov, reg,
-                      ImmOperand{static_cast<std::int64_t>(cur.u32()), {}}, Width::b32);
+                      ImmOperand{cur.i32(), {}}, Width::b32);
       }
       break;
     }
@@ -345,18 +345,16 @@ Decoded decode(std::span<const std::uint8_t> bytes, std::uint64_t address) {
       const ModRm modrm = read_modrm(cur, rex);
       check((modrm.reg_field & 7) == 0, ErrorKind::kDecode, "bad C6 extension");
       instr = make2(Mnemonic::kMov, modrm.rm,
-                    ImmOperand{static_cast<std::int64_t>(cur.u8()), {}}, Width::b8);
+                    ImmOperand{cur.i8(), {}}, Width::b8);
       break;
     }
     case 0xC7: {
       const ModRm modrm = read_modrm(cur, rex);
       check((modrm.reg_field & 7) == 0, ErrorKind::kDecode, "bad C7 extension");
-      // With REX.W the imm32 is sign-extended to 64 bits (semantic value);
-      // at 32-bit width the value is the raw 32-bit pattern, matching what
-      // the B8+r form decodes to.
-      const std::int64_t value =
-          rex.w ? cur.i32() : static_cast<std::int64_t>(cur.u32());
-      instr = make2(Mnemonic::kMov, modrm.rm, ImmOperand{value, {}}, w);
+      // Canonical immediate form: sign-extended at the operand width, the
+      // same convention as the group-1 ALU immediates. (The mov reg,imm and
+      // imm8 encoder paths also accept the zero-extended alias byte-for-byte.)
+      instr = make2(Mnemonic::kMov, modrm.rm, ImmOperand{cur.i32(), {}}, w);
       break;
     }
 
@@ -385,7 +383,7 @@ Decoded decode(std::span<const std::uint8_t> bytes, std::uint64_t address) {
       switch (modrm.reg_field & 7) {
         case 0:
           instr = make2(Mnemonic::kTest, modrm.rm,
-                        ImmOperand{static_cast<std::int64_t>(cur.u8()), {}}, Width::b8);
+                        ImmOperand{cur.i8(), {}}, Width::b8);
           break;
         case 2: instr = make1(Mnemonic::kNot, modrm.rm, Width::b8); break;
         case 3: instr = make1(Mnemonic::kNeg, modrm.rm, Width::b8); break;

@@ -15,6 +15,12 @@ using support::ErrorKind;
 using support::fits_int32;
 using support::fits_int8;
 
+/// An imm8 field accepts the sign-extended value or its zero-extended
+/// alias; both denote the same byte.
+constexpr bool fits_imm8(std::int64_t value) noexcept {
+  return fits_int8(value) || (value >= 0 && value <= 0xFF);
+}
+
 /// Incremental emitter with deferred PC-relative fix-ups. x86 PC-relative
 /// fields (rel32 of branches, disp32 of RIP-relative operands) are relative
 /// to the *end* of the instruction, which is only known once every byte has
@@ -262,7 +268,7 @@ std::vector<std::uint8_t> encode(const Instruction& instr, std::uint64_t address
       const std::int64_t value = imm_value(src);
       RmEncoding enc = rm_operand(opc.imm_ext, dst, w);
       if (byte_op) {
-        check(fits_int8(value) || (value >= 0 && value <= 0xFF), ErrorKind::kEncode,
+        check(fits_imm8(value), ErrorKind::kEncode,
               "8-bit immediate out of range");
         emit_form(out, w, std::move(enc), {0x80}, Reg::rax, false);
         out.u8(static_cast<std::uint8_t>(value));
@@ -301,6 +307,8 @@ std::vector<std::uint8_t> encode(const Instruction& instr, std::uint64_t address
         if (is_reg(dst)) {
           const Reg dst_reg = std::get<Reg>(dst);
           if (byte_op) {
+            check(fits_imm8(value), ErrorKind::kEncode,
+                  "8-bit immediate out of range");
             Rex rex;
             rex.b = reg_number(dst_reg) >= 8;
             rex.force = needs_rex_for_byte_reg(dst_reg, w);
@@ -333,6 +341,8 @@ std::vector<std::uint8_t> encode(const Instruction& instr, std::uint64_t address
           check(is_mem(dst), ErrorKind::kEncode, "mov immediate needs reg or mem dst");
           RmEncoding enc = rm_operand(0, dst, w);
           if (byte_op) {
+            check(fits_imm8(value), ErrorKind::kEncode,
+                  "8-bit immediate out of range");
             emit_form(out, w, std::move(enc), {0xC6}, Reg::rax, false);
             out.u8(static_cast<std::uint8_t>(value));
           } else {
@@ -400,6 +410,8 @@ std::vector<std::uint8_t> encode(const Instruction& instr, std::uint64_t address
         const std::int64_t value = imm_value(src);
         RmEncoding enc = rm_operand(0, dst, w);
         if (byte_op) {
+          check(fits_imm8(value), ErrorKind::kEncode,
+                "8-bit immediate out of range");
           emit_form(out, w, std::move(enc), {0xF6}, Reg::rax, false);
           out.u8(static_cast<std::uint8_t>(value));
         } else {

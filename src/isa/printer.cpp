@@ -10,7 +10,11 @@ namespace {
 
 std::string imm_to_string(std::int64_t value) {
   if (value >= -255 && value <= 255) return std::to_string(value);
-  if (value < 0) return "-" + support::hex_string(static_cast<std::uint64_t>(-value));
+  if (value < 0) {
+    // Negate in unsigned space: well-defined for INT64_MIN, which prints
+    // as its own two's-complement magnitude.
+    return "-" + support::hex_string(0ULL - static_cast<std::uint64_t>(value));
+  }
   return support::hex_string(static_cast<std::uint64_t>(value));
 }
 

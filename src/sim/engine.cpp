@@ -4,8 +4,11 @@
 #include <atomic>
 #include <cmath>
 #include <exception>
+#include <limits>
 #include <mutex>
+#include <set>
 #include <thread>
+#include <tuple>
 #include <unordered_set>
 #include <utility>
 
@@ -30,6 +33,95 @@ std::string_view kind_name(FaultSpec::Kind kind) noexcept {
     case FaultSpec::Kind::kFlagFlip: return "flag-flip";
   }
   return "?";
+}
+
+/// Chunked dynamic scheduling shared by every sweep: workers pull fixed-size
+/// index ranges from a shared cursor and each owns a private Machine. Slot i
+/// of the caller's result vector is written only by per_item(machine, i), so
+/// aggregation order — and every derived counter — is identical for every
+/// thread count. The first worker exception is rethrown after the join.
+/// Returns the thread count actually used.
+template <typename PerItem>
+unsigned run_sharded(const elf::Image& image, const std::string& stdin_data,
+                     unsigned configured_threads, std::size_t count,
+                     const PerItem& per_item) {
+  unsigned threads = configured_threads != 0
+                         ? configured_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  if (count < threads) {
+    threads = static_cast<unsigned>(std::max<std::size_t>(1, count));
+  }
+
+  constexpr std::size_t kChunk = 64;
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&]() {
+    try {
+      emu::Machine machine(image, stdin_data);
+      while (!failed.load(std::memory_order_relaxed)) {
+        const std::size_t begin = cursor.fetch_add(kChunk, std::memory_order_relaxed);
+        if (begin >= count) break;
+        const std::size_t end = std::min(count, begin + kChunk);
+        for (std::size_t i = begin; i < end; ++i) per_item(machine, i);
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& thread : pool) thread.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return threads;
+}
+
+/// [begin, end) range of each trace index's fault group within the order-1
+/// plan (the plan is grouped by ascending trace index).
+std::vector<std::pair<std::size_t, std::size_t>> index_ranges(
+    const std::vector<PlannedFault>& plan, std::size_t trace_length) {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(trace_length, {0, 0});
+  for (std::size_t i = 0; i < plan.size();) {
+    const std::uint64_t index = plan[i].spec.trace_index;
+    std::size_t j = i;
+    while (j < plan.size() && plan[j].spec.trace_index == index) ++j;
+    ranges[index] = {i, j};
+    i = j;
+  }
+  return ranges;
+}
+
+/// Canonical pair enumeration order, shared by enumerate_fault_pairs and the
+/// engine's order-2 sweep: ascending first fault (order-1 plan order), then
+/// ascending second-fault trace index within the window, then canonical
+/// order within that index. fn receives order-1 plan indices (i, j).
+template <typename Fn>
+void for_each_pair(const std::vector<PlannedFault>& plan,
+                   const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+                   std::uint64_t pair_window, const Fn& fn) {
+  const std::uint64_t trace_length = ranges.size();
+  // Clamp to the trace so `t1 + window` cannot wrap for huge ("unbounded")
+  // window values. A zero window enumerates no pairs, per the
+  // 0 < t2 - t1 <= pair_window contract.
+  const std::uint64_t window = std::min(pair_window, trace_length);
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const std::uint64_t t1 = plan[i].spec.trace_index;
+    if (t1 + 1 >= trace_length) continue;
+    const std::uint64_t last = std::min(t1 + window, trace_length - 1);
+    for (std::uint64_t t2 = t1 + 1; t2 <= last; ++t2) {
+      for (std::size_t j = ranges[t2].first; j < ranges[t2].second; ++j) fn(i, j);
+    }
+  }
 }
 }  // namespace
 
@@ -76,6 +168,18 @@ std::vector<PlannedFault> enumerate_faults(const FaultModels& models,
     }
   }
   return plan;
+}
+
+std::vector<PlannedPair> enumerate_fault_pairs(const FaultModels& models,
+                                               const std::vector<emu::TraceEntry>& trace) {
+  const std::vector<PlannedFault> plan = enumerate_faults(models, trace);
+  const auto ranges = index_ranges(plan, trace.size());
+  std::vector<PlannedPair> pairs;
+  for_each_pair(plan, ranges, models.pair_window, [&](std::size_t i, std::size_t j) {
+    pairs.push_back(PlannedPair{plan[i].spec, plan[j].spec, plan[i].address,
+                                plan[j].address});
+  });
+  return pairs;
 }
 
 std::uint64_t SnapshotPolicy::interval_for(std::uint64_t trace_length) const noexcept {
@@ -153,106 +257,248 @@ Engine::Engine(elf::Image image, std::string good_input, std::string bad_input,
   chain_pages_ = unique_pages.size();
 }
 
-Outcome Engine::simulate_one(emu::Machine& machine, const PlannedFault& fault,
-                             WorkerStats& stats) const {
-  const std::uint64_t index = fault.spec.trace_index;
-  const std::size_t nearest =
-      std::min<std::size_t>(index / interval_, chain_.size() - 1);
-  restore(chain_[nearest], machine);
+Engine::FaultProfile Engine::finish_with_pruning(emu::Machine& machine,
+                                                 const emu::FaultSpec& fault,
+                                                 std::uint64_t boundary,
+                                                 std::atomic<std::uint64_t>& pruned) const {
+  FaultProfile profile;
+  const auto finish = [&](const RunResult& run) {
+    profile.outcome = classify(refs_, run, config_.detected_exit_code);
+    // A terminated run pins the step past which a further fault can no
+    // longer fire; a fuel-exhausted (hang) run never terminates.
+    if (run.reason != StopReason::kFuelExhausted) profile.end_step = run.steps;
+    return profile;
+  };
 
   RunConfig config;
-  config.fault = fault.spec;
+  config.fault = fault;
   if (!config_.convergence_pruning) {
     config.fuel = fuel_;
-    return classify(refs_, machine.run(config), config_.detected_exit_code);
+    return finish(machine.run(config));
   }
 
   // Run to each checkpoint boundary past the injection; if the faulted
   // machine is back in the golden state there, its future is the golden
   // future — classify without simulating the suffix.
-  std::uint64_t boundary = (index / interval_ + 1) * interval_;
   while (true) {
     config.fuel = std::min(boundary, fuel_);
     const RunResult run = machine.run(config);
     if (run.reason != StopReason::kFuelExhausted || config.fuel >= fuel_) {
-      return classify(refs_, run, config_.detected_exit_code);
+      return finish(run);
     }
     const std::size_t checkpoint = boundary / interval_;
     if (checkpoint >= chain_.size()) {
       // Past the last golden checkpoint; no reference state to compare.
       config.fuel = fuel_;
-      return classify(refs_, machine.run(config), config_.detected_exit_code);
+      return finish(machine.run(config));
     }
     if (same_state(chain_[checkpoint], machine)) {
-      ++stats.pruned;
-      return bad_reference_outcome_;
+      pruned.fetch_add(1, std::memory_order_relaxed);
+      profile.outcome = bad_reference_outcome_;
+      profile.reconverge_step = boundary;
+      profile.end_step = refs_.bad_reference.steps;
+      return profile;
     }
     boundary += interval_;
   }
 }
 
-CampaignResult Engine::run(const FaultModels& models) const {
-  const std::vector<PlannedFault> plan = enumerate_faults(models, refs_.bad_trace);
-  std::vector<Outcome> outcomes(plan.size(), Outcome::kNoEffect);
+Engine::FaultProfile Engine::profile_one(emu::Machine& machine, const PlannedFault& fault,
+                                         std::atomic<std::uint64_t>& pruned) const {
+  const std::uint64_t index = fault.spec.trace_index;
+  const std::size_t nearest =
+      std::min<std::size_t>(index / interval_, chain_.size() - 1);
+  restore(chain_[nearest], machine);
+  return finish_with_pruning(machine, fault.spec, (index / interval_ + 1) * interval_,
+                             pruned);
+}
 
-  unsigned threads = config_.threads != 0 ? config_.threads
-                                          : std::max(1u, std::thread::hardware_concurrency());
-  if (plan.size() < threads) {
-    threads = static_cast<unsigned>(std::max<std::size_t>(1, plan.size()));
+Outcome Engine::simulate_pair(emu::Machine& machine, const emu::FaultSpec& first,
+                              const emu::FaultSpec& second,
+                              std::atomic<std::uint64_t>& converged) const {
+  const std::uint64_t t1 = first.trace_index;
+  const std::uint64_t t2 = second.trace_index;
+  const std::size_t nearest = std::min<std::size_t>(t1 / interval_, chain_.size() - 1);
+  restore(chain_[nearest], machine);
+
+  // Leg 1: run with the first fault armed, pausing just before the second
+  // injection point. A run that terminates here is the first fault alone.
+  RunConfig config;
+  config.fault = first;
+  config.fuel = std::min(t2, fuel_);
+  const RunResult leg1 = machine.run(config);
+  if (leg1.reason != StopReason::kFuelExhausted || config.fuel >= fuel_) {
+    return classify(refs_, leg1, config_.detected_exit_code);
   }
 
-  // Dynamic chunked scheduling: workers pull fixed-size index ranges from a
-  // shared cursor. The outcome of fault i always lands in slot i, so the
-  // aggregation below is deterministic for every thread count.
-  constexpr std::size_t kChunk = 64;
-  std::atomic<std::size_t> cursor{0};
-  std::atomic<std::uint64_t> pruned_total{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  // Leg 2: arm the second fault and resume, with the same convergence
+  // pruning as the order-1 sweep past the second injection.
+  return finish_with_pruning(machine, second, (t2 / interval_ + 1) * interval_,
+                             converged)
+      .outcome;
+}
 
-  const auto worker = [&]() {
-    try {
-      emu::Machine machine(image_, bad_input_);
-      WorkerStats stats;
-      while (!failed.load(std::memory_order_relaxed)) {
-        const std::size_t begin = cursor.fetch_add(kChunk, std::memory_order_relaxed);
-        if (begin >= plan.size()) break;
-        const std::size_t end = std::min(plan.size(), begin + kChunk);
-        for (std::size_t i = begin; i < end; ++i) {
-          outcomes[i] = simulate_one(machine, plan[i], stats);
-        }
-      }
-      pruned_total.fetch_add(stats.pruned, std::memory_order_relaxed);
-    } catch (...) {
-      const std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
-      failed.store(true, std::memory_order_relaxed);
-    }
-  };
-
-  if (threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (std::thread& thread : pool) thread.join();
-  }
-  if (first_error) std::rethrow_exception(first_error);
-
+CampaignResult Engine::aggregate_order1(const std::vector<PlannedFault>& plan,
+                                        const std::vector<Outcome>& outcomes,
+                                        std::uint64_t pruned, unsigned threads) const {
   CampaignResult result;
   result.trace_length = refs_.bad_trace.size();
   result.total_faults = plan.size();
   result.checkpoint_interval = interval_;
   result.snapshot_count = chain_.size();
-  result.pruned_faults = pruned_total.load();
+  result.pruned_faults = pruned;
   result.threads_used = threads;
   for (std::size_t i = 0; i < plan.size(); ++i) {
     ++result.outcome_counts[outcomes[i]];
     if (outcomes[i] == Outcome::kSuccess) {
       result.vulnerabilities.push_back(Vulnerability{plan[i].spec, plan[i].address});
     }
+  }
+  return result;
+}
+
+CampaignResult Engine::run(const FaultModels& models) const {
+  check(models.order == 1, ErrorKind::kExecution,
+        "the order-1 sweep requires FaultModels::order == 1; order-2 models "
+        "go to run_pairs()");
+  const std::vector<PlannedFault> plan = enumerate_faults(models, refs_.bad_trace);
+  std::vector<Outcome> outcomes(plan.size(), Outcome::kNoEffect);
+  std::atomic<std::uint64_t> pruned_total{0};
+
+  const unsigned threads = run_sharded(
+      image_, bad_input_, config_.threads, plan.size(),
+      [&](emu::Machine& machine, std::size_t i) {
+        outcomes[i] = profile_one(machine, plan[i], pruned_total).outcome;
+      });
+
+  return aggregate_order1(plan, outcomes, pruned_total.load(), threads);
+}
+
+PairCampaignResult Engine::run_pairs(const FaultModels& models) const {
+  check(models.order == 2, ErrorKind::kExecution,
+        "run_pairs() requires FaultModels::order == 2");
+  const std::vector<PlannedFault> plan = enumerate_faults(models, refs_.bad_trace);
+  check(plan.size() <= std::numeric_limits<std::uint32_t>::max(), ErrorKind::kExecution,
+        "order-2 sweep: order-1 plan exceeds 2^32 faults");
+  const auto ranges = index_ranges(plan, refs_.bad_trace.size());
+
+  // Pre-count the fan-out (prefix sums over the per-index fault counts) and
+  // refuse oversized sweeps with a clear error instead of exhausting memory
+  // materialising the pair plan below.
+  {
+    const std::uint64_t trace_length = ranges.size();
+    const std::uint64_t window =
+        std::min(models.pair_window, trace_length);
+    std::vector<std::uint64_t> prefix(trace_length + 1, 0);
+    for (std::uint64_t t = 0; t < trace_length; ++t) {
+      prefix[t + 1] = prefix[t] + (ranges[t].second - ranges[t].first);
+    }
+    std::uint64_t pair_count = 0;
+    for (std::uint64_t t1 = 0; t1 + 1 < trace_length; ++t1) {
+      const std::uint64_t faults_here = ranges[t1].second - ranges[t1].first;
+      const std::uint64_t last = std::min(t1 + window, trace_length - 1);
+      pair_count += faults_here * (prefix[last + 1] - prefix[t1 + 1]);
+      check(pair_count <= config_.max_pairs, ErrorKind::kExecution,
+            "order-2 sweep exceeds EngineConfig::max_pairs (" +
+                std::to_string(config_.max_pairs) +
+                "); narrow the fault models or pair_window");
+    }
+  }
+
+  PairCampaignResult result;
+  result.trace_length = refs_.bad_trace.size();
+  result.pair_window = models.pair_window;
+
+  // ---- phase A: profile every single fault. This *is* the order-1 sweep
+  // (bit-identical to run(models)), plus the reconvergence/termination
+  // metadata pairs are pruned with.
+  std::vector<FaultProfile> profiles(plan.size());
+  std::atomic<std::uint64_t> pruned_total{0};
+  const unsigned threads_profile = run_sharded(
+      image_, bad_input_, config_.threads, plan.size(),
+      [&](emu::Machine& machine, std::size_t i) {
+        profiles[i] = profile_one(machine, plan[i], pruned_total);
+      });
+
+  std::vector<Outcome> order1_outcomes(profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    order1_outcomes[i] = profiles[i].outcome;
+  }
+  result.order1 =
+      aggregate_order1(plan, order1_outcomes, pruned_total.load(), threads_profile);
+
+  // ---- phase B: enumerate the pair plan and classify by outcome reuse
+  // wherever the first fault's profile proves the answer. Both rules are
+  // exact, not heuristic: a first fault that reconverged with golden by
+  // step b makes every pair with t2 >= b identical to the second fault
+  // alone, and one that terminated at step e makes every pair with t2 >= e
+  // identical to the first fault alone (the second never fires).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for_each_pair(plan, ranges, models.pair_window, [&](std::size_t i, std::size_t j) {
+    pairs.emplace_back(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j));
+  });
+
+  std::vector<Outcome> outcomes(pairs.size(), Outcome::kNoEffect);
+  std::vector<std::uint8_t> needs_sim(pairs.size(), 1);
+  if (config_.pair_outcome_reuse && config_.convergence_pruning) {
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+      const FaultProfile& first = profiles[pairs[k].first];
+      const std::uint64_t t2 = plan[pairs[k].second].spec.trace_index;
+      if (t2 >= first.reconverge_step) {
+        outcomes[k] = profiles[pairs[k].second].outcome;
+        needs_sim[k] = 0;
+        ++result.reused_from_second;
+      } else if (t2 >= first.end_step) {
+        outcomes[k] = first.outcome;
+        needs_sim[k] = 0;
+        ++result.reused_from_first;
+      }
+    }
+  }
+
+  // ---- phase C: simulate only the pairs reuse could not classify. The
+  // plan is compacted first so worker chunks stay uniformly full of real
+  // work at high prune rates; slot k is still written only by pair k.
+  std::vector<std::size_t> sim_indices;
+  sim_indices.reserve(pairs.size());
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    if (needs_sim[k] != 0) sim_indices.push_back(k);
+  }
+  std::atomic<std::uint64_t> converged_total{0};
+  unsigned threads_pairs = 0;
+  if (!sim_indices.empty()) {
+    threads_pairs = run_sharded(
+        image_, bad_input_, config_.threads, sim_indices.size(),
+        [&](emu::Machine& machine, std::size_t s) {
+          const std::size_t k = sim_indices[s];
+          outcomes[k] = simulate_pair(machine, plan[pairs[k].first].spec,
+                                      plan[pairs[k].second].spec, converged_total);
+        });
+  }
+
+  result.total_pairs = pairs.size();
+  result.converged_pairs = converged_total.load();
+  result.simulated_pairs = pairs.size() - result.reused_pairs();
+  result.threads_used = std::max(threads_profile, threads_pairs);
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    ++result.outcome_counts[outcomes[k]];
+    if (outcomes[k] == Outcome::kSuccess) {
+      result.vulnerabilities.push_back(
+          PairVulnerability{plan[pairs[k].first].spec, plan[pairs[k].second].spec,
+                            plan[pairs[k].first].address, plan[pairs[k].second].address});
+    }
+  }
+
+  // Pair enumeration is grouped by first fault, so one scan counts the
+  // first faults whose entire second-fault fan-out was classified by reuse.
+  for (std::size_t scan = 0; scan < pairs.size();) {
+    const std::uint32_t i = pairs[scan].first;
+    bool all_reused = true;
+    while (scan < pairs.size() && pairs[scan].first == i) {
+      if (needs_sim[scan] != 0) all_reused = false;
+      ++scan;
+    }
+    if (all_reused) ++result.fully_pruned_first_faults;
   }
   return result;
 }
@@ -309,6 +555,77 @@ std::string CampaignResult::to_json() const {
       json += "\"" + std::string(kind_name(kind)) + "\": " + std::to_string(count);
     }
     json += "}}";
+  }
+  json += "]\n}\n";
+  return json;
+}
+
+std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t>
+PairCampaignResult::merged_vulnerable_pairs() const {
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> merged;
+  for (const PairVulnerability& v : vulnerabilities) {
+    ++merged[{v.first_address, v.second_address}];
+  }
+  return merged;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+PairCampaignResult::vulnerable_address_pairs() const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> addresses;
+  for (const auto& [address_pair, hits] : merged_vulnerable_pairs()) {
+    addresses.push_back(address_pair);
+  }
+  return addresses;
+}
+
+std::vector<PairVulnerability> PairCampaignResult::strictly_higher_order() const {
+  const auto key = [](const emu::FaultSpec& spec) {
+    return std::tuple(static_cast<unsigned>(spec.kind), spec.trace_index, spec.bit_offset);
+  };
+  std::set<std::tuple<unsigned, std::uint64_t, std::uint32_t>> single;
+  for (const Vulnerability& v : order1.vulnerabilities) single.insert(key(v.spec));
+
+  std::vector<PairVulnerability> out;
+  for (const PairVulnerability& pair : vulnerabilities) {
+    if (!single.contains(key(pair.first)) && !single.contains(key(pair.second))) {
+      out.push_back(pair);
+    }
+  }
+  return out;
+}
+
+std::string PairCampaignResult::to_json() const {
+  std::string json = "{\n";
+  json += "  \"trace_length\": " + std::to_string(trace_length) + ",\n";
+  json += "  \"pair_window\": " + std::to_string(pair_window) + ",\n";
+  json += "  \"total_pairs\": " + std::to_string(total_pairs) + ",\n";
+  json += "  \"reused_from_first\": " + std::to_string(reused_from_first) + ",\n";
+  json += "  \"reused_from_second\": " + std::to_string(reused_from_second) + ",\n";
+  json += "  \"simulated_pairs\": " + std::to_string(simulated_pairs) + ",\n";
+  json += "  \"converged_pairs\": " + std::to_string(converged_pairs) + ",\n";
+  json += "  \"fully_pruned_first_faults\": " + std::to_string(fully_pruned_first_faults) +
+          ",\n";
+  json += "  \"threads\": " + std::to_string(threads_used) + ",\n";
+  json += "  \"order1_total_faults\": " + std::to_string(order1.total_faults) + ",\n";
+  json += "  \"order1_successful\": " + std::to_string(order1.count(Outcome::kSuccess)) +
+          ",\n";
+  json += "  \"outcomes\": {";
+  bool first = true;
+  for (const auto& [outcome, count] : outcome_counts) {
+    if (!first) json += ", ";
+    first = false;
+    json += "\"" + std::string(to_string(outcome)) + "\": " + std::to_string(count);
+  }
+  json += "},\n";
+
+  json += "  \"vulnerable_pairs\": [";
+  first = true;
+  for (const auto& [addresses, hits] : merged_vulnerable_pairs()) {
+    if (!first) json += ", ";
+    first = false;
+    json += "{\"first\": \"" + support::hex_string(addresses.first) +
+            "\", \"second\": \"" + support::hex_string(addresses.second) +
+            "\", \"hits\": " + std::to_string(hits) + "}";
   }
   json += "]\n}\n";
   return json;

@@ -24,11 +24,13 @@
 // fault::run_campaign is a thin client of this engine.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "elf/image.h"
@@ -66,6 +68,14 @@ struct FaultModels {
   bool flag_flip = false;
   std::vector<unsigned> register_flip_regs = {0, 1, 2, 3, 6, 7};
   unsigned register_flip_bit_stride = 8;
+
+  /// Campaign order: 1 sweeps single faults (Engine::run), 2 sweeps fault
+  /// *pairs* (f1 at t1, f2 at t2) with 0 < t2 - t1 <= pair_window
+  /// (Engine::run_pairs). Both faults of a pair draw from the same model
+  /// set above. Each entry point rejects models of the other order, so an
+  /// order-2 request can never silently degrade to an order-1 sweep.
+  unsigned order = 1;
+  std::uint64_t pair_window = 8;
 };
 
 /// One planned injection of the sweep, in deterministic enumeration order.
@@ -74,11 +84,29 @@ struct PlannedFault {
   std::uint64_t address = 0;
 };
 
+/// One planned fault pair of an order-2 sweep. `first` always strikes
+/// strictly before `second` (trace_index ordering).
+struct PlannedPair {
+  emu::FaultSpec first;
+  emu::FaultSpec second;
+  std::uint64_t first_address = 0;   ///< static address under the first fault
+  std::uint64_t second_address = 0;  ///< static address under the second fault
+
+  friend bool operator==(const PlannedPair&, const PlannedPair&) = default;
+};
+
 /// Expands the (trace-index × fault-model) product into a flat plan.
 /// The order is the canonical campaign order: ascending trace index, and
 /// per index skip → bit flips → register flips → flag flips.
 std::vector<PlannedFault> enumerate_faults(const FaultModels& models,
                                            const std::vector<emu::TraceEntry>& trace);
+
+/// Expands the order-2 plan: for every first fault f1 at t1 (canonical
+/// order-1 order), every second fault f2 at t2 in (t1, t1 + pair_window],
+/// again in canonical order. Materialises the full pair list — use modest
+/// models/windows; the count is |plan|·window·faults-per-index.
+std::vector<PlannedPair> enumerate_fault_pairs(const FaultModels& models,
+                                               const std::vector<emu::TraceEntry>& trace);
 
 /// Checkpoint-interval policy. The default tunes the interval to roughly
 /// sqrt(trace length): checkpoint memory grows with the square root of the
@@ -130,6 +158,18 @@ struct EngineConfig {
   /// golden run at a checkpoint boundary (sound: the machine is
   /// deterministic). Disable to force every run to completion.
   bool convergence_pruning = true;
+  /// Order-2 sweeps: classify a pair without simulating it whenever the
+  /// order-1 profile of the first fault proves the answer — the first
+  /// fault's run reconverged with golden before the second strikes (pair ≡
+  /// second fault alone), or terminated before the second strikes (pair ≡
+  /// first fault alone). Exact, hence bit-identical to exhaustive
+  /// enumeration; requires convergence_pruning. Disable to force every
+  /// pair through the simulator.
+  bool pair_outcome_reuse = true;
+  /// Order-2 sweeps materialise the pair plan up front (~18 bytes/pair of
+  /// bookkeeping); run_pairs pre-counts the fan-out and throws a clear
+  /// Error{kExecution} instead of exhausting memory when it exceeds this.
+  std::uint64_t max_pairs = 1ULL << 27;
 };
 
 /// Sweep outcome aggregation (deterministic across thread counts).
@@ -166,6 +206,61 @@ struct CampaignResult {
   [[nodiscard]] std::string to_json() const;
 };
 
+/// One successful fault pair: a second-order breach of the binary.
+struct PairVulnerability {
+  emu::FaultSpec first;
+  emu::FaultSpec second;
+  std::uint64_t first_address = 0;
+  std::uint64_t second_address = 0;
+
+  friend bool operator==(const PairVulnerability&, const PairVulnerability&) = default;
+};
+
+/// Order-2 sweep aggregation (deterministic across thread counts). Carries
+/// the order-1 sweep it was pruned against, so callers get the "does the
+/// second fault add anything?" comparison for free.
+struct PairCampaignResult {
+  std::vector<PairVulnerability> vulnerabilities;
+  std::map<Outcome, std::uint64_t> outcome_counts;  ///< per-pair outcome counts
+  std::uint64_t total_pairs = 0;
+  std::uint64_t trace_length = 0;
+  std::uint64_t pair_window = 0;
+
+  /// The order-1 sweep over the same models (phase A of the pair sweep);
+  /// bit-identical to Engine::run(models).
+  CampaignResult order1;
+
+  // Engine telemetry.
+  std::uint64_t reused_from_second = 0;  ///< pair ≡ second fault alone
+  std::uint64_t reused_from_first = 0;   ///< pair ≡ first fault alone
+  std::uint64_t simulated_pairs = 0;     ///< pairs that went through the simulator
+  std::uint64_t converged_pairs = 0;     ///< simulated pairs cut at a checkpoint
+  std::uint64_t fully_pruned_first_faults = 0;  ///< first faults whose whole fan-out was reused
+  unsigned threads_used = 0;
+
+  [[nodiscard]] std::uint64_t reused_pairs() const noexcept {
+    return reused_from_first + reused_from_second;
+  }
+  [[nodiscard]] std::uint64_t count(Outcome outcome) const {
+    const auto it = outcome_counts.find(outcome);
+    return it == outcome_counts.end() ? 0 : it->second;
+  }
+  /// Distinct (first, second) static address pairs with at least one
+  /// successful pair — the order-2 analogue of "vulnerable points".
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+  vulnerable_address_pairs() const;
+  /// Successful pairs merged by (first, second) static address — the one
+  /// merge key shared by to_json() and the text report.
+  [[nodiscard]] std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t>
+  merged_vulnerable_pairs() const;
+  /// Successful pairs neither of whose component faults succeeds alone —
+  /// the vulnerabilities only a higher-order campaign can surface.
+  [[nodiscard]] std::vector<PairVulnerability> strictly_higher_order() const;
+
+  /// JSON document for downstream tooling, mirroring CampaignResult.
+  [[nodiscard]] std::string to_json() const;
+};
+
 /// The reusable engine: build once per (image, input pair), sweep many
 /// fault models against the same snapshot chain.
 class Engine {
@@ -179,6 +274,13 @@ class Engine {
   /// worker threads; run one sweep at a time per engine.
   CampaignResult run(const FaultModels& models) const;
 
+  /// Runs the order-2 sweep: phase A profiles every single fault (the
+  /// order-1 sweep, plus reconvergence/termination metadata), phase B
+  /// classifies every pair — by outcome reuse where the profile proves the
+  /// answer, through the simulator otherwise. Bit-identical across thread
+  /// counts and across pair_outcome_reuse on/off.
+  PairCampaignResult run_pairs(const FaultModels& models) const;
+
   [[nodiscard]] const References& references() const noexcept { return refs_; }
   [[nodiscard]] std::uint64_t checkpoint_interval() const noexcept { return interval_; }
   [[nodiscard]] std::size_t snapshot_count() const noexcept { return chain_.size(); }
@@ -190,13 +292,48 @@ class Engine {
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
 
  private:
-  struct WorkerStats {
-    std::uint64_t pruned = 0;
+  static constexpr std::uint64_t kNeverStep = ~std::uint64_t{0};
+
+  /// What one first fault does on its own: the order-1 outcome plus the two
+  /// step counts the pair sweep prunes with. kNeverStep means "not before
+  /// the run ended / not observed".
+  struct FaultProfile {
+    Outcome outcome = Outcome::kNoEffect;
+    /// First checkpoint boundary where the faulted state matched golden;
+    /// from here on the run provably replays the golden future.
+    std::uint64_t reconverge_step = kNeverStep;
+    /// Step count at which the run terminated (exit/crash). A second fault
+    /// at t2 >= end_step never fires.
+    std::uint64_t end_step = kNeverStep;
   };
 
-  /// Simulates one planned fault on a worker-owned machine.
-  Outcome simulate_one(emu::Machine& machine, const PlannedFault& fault,
-                       WorkerStats& stats) const;
+  /// Simulates one planned fault on a worker-owned machine and records its
+  /// profile. With convergence pruning enabled the boundary scan both
+  /// classifies early and yields the reconvergence step the pair sweep
+  /// prunes with; `pruned` counts runs classified that way.
+  FaultProfile profile_one(emu::Machine& machine, const PlannedFault& fault,
+                           std::atomic<std::uint64_t>& pruned) const;
+
+  /// Runs `machine` to completion with `fault` armed, scanning checkpoint
+  /// boundaries from `boundary` on and pruning as soon as the state matches
+  /// golden. The one boundary loop shared by the order-1 and pair sweeps;
+  /// `pruned` counts runs classified via the state match.
+  FaultProfile finish_with_pruning(emu::Machine& machine, const emu::FaultSpec& fault,
+                                   std::uint64_t boundary,
+                                   std::atomic<std::uint64_t>& pruned) const;
+
+  /// Simulates one fault pair: rehydrate before the first fault, run to the
+  /// second injection point, continue with the second fault armed.
+  /// `converged` counts pair runs cut early at a checkpoint boundary.
+  Outcome simulate_pair(emu::Machine& machine, const emu::FaultSpec& first,
+                        const emu::FaultSpec& second,
+                        std::atomic<std::uint64_t>& converged) const;
+
+  /// The one order-1 aggregation shared by run() and run_pairs() phase A —
+  /// what keeps the two sweeps bit-identical by construction.
+  CampaignResult aggregate_order1(const std::vector<PlannedFault>& plan,
+                                  const std::vector<Outcome>& outcomes,
+                                  std::uint64_t pruned, unsigned threads) const;
 
   elf::Image image_;
   std::string bad_input_;

@@ -113,6 +113,40 @@ TEST(Campaign, VulnerableAddressesAreSortedUnique) {
   }
 }
 
+TEST(Campaign, OrderTwoKnobSweepsFaultPairs) {
+  const Guest& guest = guests::toymov();
+  const elf::Image image = guests::build_image(guest);
+  CampaignConfig config;
+  config.model_bit_flip = false;
+  config.order = 2;
+  config.pair_window = 4;
+  const CampaignResult result =
+      run_campaign(image, guest.good_input, guest.bad_input, config);
+
+  // The order-1 section is still the single-fault sweep...
+  CampaignConfig single = config;
+  single.order = 1;
+  const CampaignResult order1 =
+      run_campaign(image, guest.good_input, guest.bad_input, single);
+  EXPECT_EQ(result.vulnerabilities, order1.vulnerabilities);
+  EXPECT_EQ(result.outcome_counts, order1.outcome_counts);
+  EXPECT_EQ(result.total_faults, order1.total_faults);
+
+  // ...and the pair section covers every pair in the window exactly once.
+  EXPECT_GT(result.total_pairs, 0u);
+  std::uint64_t pair_sum = 0;
+  for (const auto& [outcome, count] : result.pair_outcome_counts) pair_sum += count;
+  EXPECT_EQ(pair_sum, result.total_pairs);
+  EXPECT_EQ(result.pair_count(Outcome::kSuccess), result.pair_vulnerabilities.size());
+  for (const PairVulnerability& pair : result.pair_vulnerabilities) {
+    EXPECT_LT(pair.first.trace_index, pair.second.trace_index);
+    EXPECT_LE(pair.second.trace_index - pair.first.trace_index, config.pair_window);
+  }
+  // An order-1 config leaves the pair section empty.
+  EXPECT_EQ(order1.total_pairs, 0u);
+  EXPECT_TRUE(order1.pair_vulnerabilities.empty());
+}
+
 TEST(OutcomeNames, AllDistinct) {
   std::set<std::string_view> names;
   for (const Outcome outcome :

@@ -3,11 +3,13 @@
 // bit-identical classification against the seed full-replay sweep.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "fault/campaign.h"
 #include "guests/guests.h"
+#include "patch/pipeline.h"
 #include "sim/engine.h"
 #include "sim/snapshot.h"
 #include "support/error.h"
@@ -190,6 +192,231 @@ TEST(Scheduler, ThreadCountDoesNotChangeResults) {
     EXPECT_EQ(one.outcome_counts, eight.outcome_counts) << guest->name;
     EXPECT_EQ(one.total_faults, eight.total_faults) << guest->name;
     EXPECT_EQ(one.trace_length, eight.trace_length) << guest->name;
+  }
+}
+
+// ---- order-2 (double fault) campaigns ---------------------------------------
+
+FaultModels pair_models(std::uint64_t window) {
+  FaultModels models;
+  models.order = 2;
+  models.pair_window = window;
+  return models;
+}
+
+TEST(PairEnumeration, RespectsWindowAndCanonicalOrder) {
+  std::vector<emu::TraceEntry> trace = {{0x10, 2}, {0x12, 1}, {0x13, 3}, {0x16, 1}};
+  FaultModels skip_only = pair_models(2);
+  skip_only.bit_flip = false;
+
+  const std::vector<PlannedPair> pairs = enumerate_fault_pairs(skip_only, trace);
+  // skip-only: one fault per index; pairs (t1, t2) with 0 < t2 - t1 <= 2.
+  ASSERT_EQ(pairs.size(), 5u);  // (0,1) (0,2) (1,2) (1,3) (2,3)
+  for (const PlannedPair& pair : pairs) {
+    EXPECT_LT(pair.first.trace_index, pair.second.trace_index);
+    EXPECT_LE(pair.second.trace_index - pair.first.trace_index, 2u);
+    EXPECT_EQ(pair.first.kind, emu::FaultSpec::Kind::kSkip);
+    EXPECT_EQ(pair.first_address, trace[pair.first.trace_index].address);
+    EXPECT_EQ(pair.second_address, trace[pair.second.trace_index].address);
+  }
+  // Canonical order: ascending first fault, then ascending second.
+  EXPECT_EQ(pairs[0].second.trace_index, 1u);
+  EXPECT_EQ(pairs[1].second.trace_index, 2u);
+  EXPECT_EQ(pairs[4].first.trace_index, 2u);
+
+  // A zero window enumerates no pairs (0 < t2 - t1 <= 0 is unsatisfiable).
+  EXPECT_TRUE(enumerate_fault_pairs(pair_models(0), trace).empty());
+
+  // With bit flips on, every pair of the per-index fault groups appears.
+  const std::vector<PlannedPair> full = enumerate_fault_pairs(pair_models(1), trace);
+  std::uint64_t expected = 0;
+  const auto faults_at = [&](std::size_t i) { return 1ULL + trace[i].length * 8ULL; };
+  for (std::size_t t = 0; t + 1 < trace.size(); ++t) {
+    expected += faults_at(t) * faults_at(t + 1);
+  }
+  EXPECT_EQ(full.size(), expected);
+}
+
+TEST(Engine, PairSweepMatchesBruteForceDoubleReplay) {
+  // Ground truth: a fresh machine replayed from entry for every pair — run
+  // with the first fault armed up to the second injection point, then
+  // resume with the second fault armed. No snapshots, no pruning.
+  const Guest& guest = guests::toymov();
+  const elf::Image image = guests::build_image(guest);
+  const fault::Oracle oracle =
+      fault::make_oracle(image, guest.good_input, guest.bad_input);
+
+  const FaultModels models = pair_models(3);
+  const std::uint64_t fuel = oracle.bad_reference.steps * 8 + 4096;
+  std::map<Outcome, std::uint64_t> expected_counts;
+  std::vector<PairVulnerability> expected_vulnerabilities;
+  for (const PlannedPair& pair : enumerate_fault_pairs(models, oracle.bad_trace)) {
+    emu::Machine machine(image, guest.bad_input);
+    emu::RunConfig leg1;
+    leg1.fault = pair.first;
+    leg1.fuel = pair.second.trace_index;
+    emu::RunResult run = machine.run(leg1);
+    if (run.reason == emu::StopReason::kFuelExhausted) {
+      emu::RunConfig leg2;
+      leg2.fault = pair.second;
+      leg2.fuel = fuel;
+      run = machine.run(leg2);
+    }
+    const Outcome outcome = oracle.classify(run, 42);
+    ++expected_counts[outcome];
+    if (outcome == Outcome::kSuccess) {
+      expected_vulnerabilities.push_back(PairVulnerability{
+          pair.first, pair.second, pair.first_address, pair.second_address});
+    }
+  }
+
+  const Engine engine(image, guest.good_input, guest.bad_input, EngineConfig{});
+  const PairCampaignResult result = engine.run_pairs(models);
+  EXPECT_EQ(result.outcome_counts, expected_counts);
+  EXPECT_EQ(result.vulnerabilities, expected_vulnerabilities);
+  EXPECT_EQ(result.total_pairs,
+            enumerate_fault_pairs(models, oracle.bad_trace).size());
+  EXPECT_GT(result.count(Outcome::kSuccess), 0u);
+}
+
+TEST(Engine, PairSweepEmbedsTheOrderOneSweep) {
+  const Guest& guest = guests::toymov();
+  const elf::Image image = guests::build_image(guest);
+  const Engine engine(image, guest.good_input, guest.bad_input, EngineConfig{});
+
+  const FaultModels models = pair_models(4);
+  FaultModels single = models;
+  single.order = 1;
+  const CampaignResult order1 = engine.run(single);
+  const PairCampaignResult order2 = engine.run_pairs(models);
+  EXPECT_EQ(order2.order1.outcome_counts, order1.outcome_counts);
+  EXPECT_EQ(order2.order1.vulnerabilities, order1.vulnerabilities);
+  EXPECT_EQ(order2.order1.total_faults, order1.total_faults);
+  EXPECT_EQ(order2.order1.pruned_faults, order1.pruned_faults);
+
+  // Each entry point rejects models of the other order — an order-2
+  // request can never silently degrade into an order-1 sweep.
+  EXPECT_THROW(engine.run(models), support::Error);
+  EXPECT_THROW(engine.run_pairs(single), support::Error);
+}
+
+TEST(Engine, PairOutcomeReuseIsExact) {
+  // Pruning soundness: outcome reuse + convergence pruning vs the fully
+  // exhaustive order-2 sweep must agree bit for bit — same pair
+  // vulnerability list, same per-pair outcome counts.
+  const Guest& guest = guests::pincheck();
+  const elf::Image image = guests::build_image(guest);
+
+  EngineConfig pruned_config;
+  EngineConfig exhaustive_config;
+  exhaustive_config.convergence_pruning = false;
+  exhaustive_config.pair_outcome_reuse = false;
+
+  FaultModels models = pair_models(8);
+  models.bit_flip = false;  // skip-only keeps the exhaustive sweep tractable
+
+  const Engine pruned(image, guest.good_input, guest.bad_input, pruned_config);
+  const Engine exhaustive(image, guest.good_input, guest.bad_input, exhaustive_config);
+  const PairCampaignResult a = pruned.run_pairs(models);
+  const PairCampaignResult b = exhaustive.run_pairs(models);
+
+  EXPECT_EQ(a.outcome_counts, b.outcome_counts);
+  EXPECT_EQ(a.vulnerabilities, b.vulnerabilities);
+  EXPECT_EQ(a.order1.outcome_counts, b.order1.outcome_counts);
+  EXPECT_EQ(a.order1.vulnerabilities, b.order1.vulnerabilities);
+  EXPECT_GT(a.reused_pairs(), 0u) << "outcome reuse never fired on a real guest";
+  EXPECT_LT(a.simulated_pairs, a.total_pairs);
+  EXPECT_EQ(b.reused_pairs(), 0u);
+  EXPECT_EQ(b.simulated_pairs, b.total_pairs);
+}
+
+TEST(Scheduler, ThreadCountDoesNotChangePairResults) {
+  const Guest& guest = guests::toymov();
+  const elf::Image image = guests::build_image(guest);
+
+  EngineConfig serial;
+  serial.threads = 1;
+  EngineConfig parallel;
+  parallel.threads = 8;
+  const Engine one(image, guest.good_input, guest.bad_input, serial);
+  const Engine eight(image, guest.good_input, guest.bad_input, parallel);
+
+  const FaultModels models = pair_models(4);
+  const PairCampaignResult a = one.run_pairs(models);
+  const PairCampaignResult b = eight.run_pairs(models);
+  EXPECT_EQ(a.vulnerabilities, b.vulnerabilities);
+  EXPECT_EQ(a.outcome_counts, b.outcome_counts);
+  EXPECT_EQ(a.order1.vulnerabilities, b.order1.vulnerabilities);
+  EXPECT_EQ(a.reused_pairs(), b.reused_pairs());
+  EXPECT_EQ(a.total_pairs, b.total_pairs);
+  EXPECT_EQ(b.threads_used, 8u);
+}
+
+TEST(Engine, HardenedPincheckFallsOnlyToDoubleFaults) {
+  // The acceptance scenario: pincheck hardened with the paper's duplication
+  // patterns (the Faulter+Patcher loop) is clean under single skip faults,
+  // yet the order-2 sweep still finds vulnerabilities — identically for
+  // pruned vs exhaustive enumeration at 1 and 8 threads.
+  const Guest& guest = guests::pincheck();
+  patch::PipelineConfig pipeline_config;
+  pipeline_config.campaign.model_bit_flip = false;
+  pipeline_config.campaign.threads = 0;
+  const patch::PipelineResult patched = patch::faulter_patcher(
+      guests::build_image(guest), guest.good_input, guest.bad_input, pipeline_config);
+
+  FaultModels models = pair_models(8);
+  models.bit_flip = false;
+
+  std::optional<PairCampaignResult> reference;
+  for (const unsigned threads : {1u, 8u}) {
+    for (const bool exhaustive : {false, true}) {
+      EngineConfig config;
+      config.threads = threads;
+      config.convergence_pruning = !exhaustive;
+      config.pair_outcome_reuse = !exhaustive;
+      const Engine engine(patched.hardened, guest.good_input, guest.bad_input, config);
+      const PairCampaignResult result = engine.run_pairs(models);
+      if (!reference) {
+        reference = result;
+        continue;
+      }
+      EXPECT_EQ(result.vulnerabilities, reference->vulnerabilities)
+          << "threads=" << threads << " exhaustive=" << exhaustive;
+      EXPECT_EQ(result.outcome_counts, reference->outcome_counts)
+          << "threads=" << threads << " exhaustive=" << exhaustive;
+      EXPECT_EQ(result.order1.vulnerabilities, reference->order1.vulnerabilities);
+    }
+  }
+  ASSERT_TRUE(reference.has_value());
+  EXPECT_EQ(reference->order1.count(Outcome::kSuccess), 0u)
+      << "hardened pincheck is not order-1 clean";
+  EXPECT_GE(reference->count(Outcome::kSuccess), 1u)
+      << "order-2 sweep found no residual double-fault vulnerability";
+  EXPECT_GE(reference->strictly_higher_order().size(), 1u)
+      << "every residual pair was already visible to order 1";
+}
+
+TEST(Engine, PairResultExportsJsonAndDerivedViews) {
+  const Guest& guest = guests::toymov();
+  const elf::Image image = guests::build_image(guest);
+  const Engine engine(image, guest.good_input, guest.bad_input, EngineConfig{});
+  const PairCampaignResult result = engine.run_pairs(pair_models(4));
+
+  const std::string json = result.to_json();
+  EXPECT_NE(json.find("\"total_pairs\""), std::string::npos);
+  EXPECT_NE(json.find("\"vulnerable_pairs\""), std::string::npos);
+  EXPECT_NE(json.find("\"order1_total_faults\""), std::string::npos);
+
+  const auto addresses = result.vulnerable_address_pairs();
+  EXPECT_LE(addresses.size(), result.vulnerabilities.size());
+  if (!result.vulnerabilities.empty()) EXPECT_FALSE(addresses.empty());
+  // Every strictly-second-order pair is a successful pair whose halves both
+  // fail alone.
+  for (const PairVulnerability& pair : result.strictly_higher_order()) {
+    for (const Vulnerability& single : result.order1.vulnerabilities) {
+      EXPECT_FALSE(single.spec == pair.first);
+      EXPECT_FALSE(single.spec == pair.second);
+    }
   }
 }
 
