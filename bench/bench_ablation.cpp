@@ -98,7 +98,7 @@ void print_iteration_cap_ablation() {
   const elf::Image input = guests::build_image(guest);
   for (const unsigned cap : {1u, 2u, 4u, 12u}) {
     patch::PipelineConfig config;
-    config.campaign.model_bit_flip = false;
+    config.campaign.models.bit_flip = false;
     config.max_iterations = cap;
     const patch::PipelineResult result =
         patch::faulter_patcher(input, guest.good_input, guest.bad_input, config);

@@ -19,7 +19,7 @@ void print_skip_claim() {
   for (const guests::Guest* guest : {&guests::pincheck(), &guests::bootloader()}) {
     const elf::Image input = guests::build_image(*guest);
     fault::CampaignConfig skip_only;
-    skip_only.model_bit_flip = false;
+    skip_only.models.bit_flip = false;
     const fault::CampaignResult baseline =
         fault::run_campaign(input, guest->good_input, guest->bad_input, skip_only);
 
@@ -51,7 +51,7 @@ void print_bitflip_claim() {
   for (const guests::Guest* guest : {&guests::pincheck()}) {
     const elf::Image input = guests::build_image(*guest);
     fault::CampaignConfig flips;
-    flips.model_skip = false;
+    flips.models.skip = false;
     const fault::CampaignResult before =
         fault::run_campaign(input, guest->good_input, guest->bad_input, flips);
 
@@ -106,7 +106,7 @@ void BM_SkipCampaignPincheck(benchmark::State& state) {
   const guests::Guest& guest = guests::pincheck();
   const elf::Image input = guests::build_image(guest);
   fault::CampaignConfig config;
-  config.model_bit_flip = false;
+  config.models.bit_flip = false;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         fault::run_campaign(input, guest.good_input, guest.bad_input, config));

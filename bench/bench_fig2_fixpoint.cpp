@@ -17,7 +17,7 @@ using namespace r2r;
 void print_series(const guests::Guest& guest, bool bit_flips) {
   const elf::Image input = guests::build_image(guest);
   patch::PipelineConfig config;
-  config.campaign.model_bit_flip = bit_flips;
+  config.campaign.models.bit_flip = bit_flips;
   const patch::PipelineResult result =
       patch::faulter_patcher(input, guest.good_input, guest.bad_input, config);
 
@@ -58,7 +58,7 @@ void BM_FixpointIterationToymov(benchmark::State& state) {
   const guests::Guest& guest = guests::toymov();
   const elf::Image input = guests::build_image(guest);
   patch::PipelineConfig config;
-  config.campaign.model_bit_flip = false;
+  config.campaign.models.bit_flip = false;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         patch::faulter_patcher(input, guest.good_input, guest.bad_input, config));

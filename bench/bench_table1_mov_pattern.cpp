@@ -94,7 +94,7 @@ void print_table() {
 
   // Fault-killing check: campaign over the unprotected vs protected binary.
   fault::CampaignConfig skip_only;
-  skip_only.model_bit_flip = false;
+  skip_only.models.bit_flip = false;
   bir::Module unprotected = mov_victim();
   elf::Image unprotected_image = bir::assemble(unprotected);
   const fault::CampaignResult before =

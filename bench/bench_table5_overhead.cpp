@@ -35,7 +35,7 @@ Row measure(const guests::Guest& guest) {
   const elf::Image input = guests::build_image(guest);
 
   patch::PipelineConfig skip_config;
-  skip_config.campaign.model_bit_flip = false;
+  skip_config.campaign.models.bit_flip = false;
   row.fp_skip = patch::faulter_patcher(input, guest.good_input, guest.bad_input,
                                        skip_config)
                     .overhead_percent();
@@ -82,7 +82,7 @@ void BM_FaulterPatcherPincheck(benchmark::State& state) {
   const guests::Guest& guest = guests::pincheck();
   const elf::Image input = guests::build_image(guest);
   patch::PipelineConfig config;
-  config.campaign.model_bit_flip = false;
+  config.campaign.models.bit_flip = false;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         patch::faulter_patcher(input, guest.good_input, guest.bad_input, config));

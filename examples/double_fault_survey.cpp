@@ -8,6 +8,10 @@
 // >=300% baseline) does not even reach order-1 cleanliness: conditional
 // branches cannot be duplicated, so skipping one still succeeds.
 //
+// The closer: re-running the loop with campaign order 2 — pair sweeps, pair
+// -> site attribution, deeper redundancy patterns — drives the residual
+// pair count to zero, for a Table-V-style overhead delta the survey prints.
+//
 // Build: cmake --build build && ./build/double_fault_survey
 #include <cstdio>
 #include <string>
@@ -56,7 +60,7 @@ int main() {
              harden::hybrid_harden(input, duplication).hardened, guest);
 
   patch::PipelineConfig pipeline_config;
-  pipeline_config.campaign.model_bit_flip = false;
+  pipeline_config.campaign.models.bit_flip = false;
   pipeline_config.campaign.threads = 0;
   const patch::PipelineResult patched = patch::faulter_patcher(
       input, guest.good_input, guest.bad_input, pipeline_config);
@@ -79,7 +83,27 @@ int main() {
     return 1;
   }
   std::printf("duplication baseline for comparison: %llu single-fault successes "
-              "remain (branches cannot be duplicated)\n",
+              "remain (branches cannot be duplicated)\n\n",
               static_cast<unsigned long long>(dup.order1.count(sim::Outcome::kSuccess)));
+
+  // And close the gap: the pair-aware loop (campaign order 2) maps every
+  // residual pair back to its static sites and reinforces them until the
+  // order-2 sweep comes back clean.
+  patch::PipelineConfig order2_config = pipeline_config;
+  order2_config.campaign.models.order = 2;
+  order2_config.campaign.models.pair_window = 8;
+  const patch::PipelineResult closed = patch::faulter_patcher(
+      input, guest.good_input, guest.bad_input, order2_config);
+  std::printf("%s\n", harden::order2_fixpoint_section(guest.name, closed).c_str());
+  std::printf("closer: order-2 hardened pincheck has %zu residual pairs "
+              "(order-2 fixpoint: %s) at +%.1f overhead points over order-1\n",
+              closed.final_campaign.pair_vulnerabilities.size(),
+              closed.order2_fixpoint ? "yes" : "NO",
+              closed.order2_overhead_delta_percent());
+  if (!closed.order2_fixpoint ||
+      !closed.final_campaign.pair_vulnerabilities.empty()) {
+    std::printf("FAILED: expected an order-2 fixpoint with zero residual pairs\n");
+    return 1;
+  }
   return 0;
 }

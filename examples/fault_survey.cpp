@@ -34,8 +34,8 @@ int main() {
         continue;
       }
       fault::CampaignConfig config;
-      config.model_skip = !bit_flips;
-      config.model_bit_flip = bit_flips;
+      config.models.skip = !bit_flips;
+      config.models.bit_flip = bit_flips;
       const fault::CampaignResult campaign =
           fault::run_campaign(image, guest.good_input, guest.bad_input, config);
 

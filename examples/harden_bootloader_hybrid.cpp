@@ -49,7 +49,7 @@ int main() {
 
   // Fault-simulate the hardened loader (skip model).
   fault::CampaignConfig config;
-  config.model_bit_flip = false;
+  config.models.bit_flip = false;
   const fault::CampaignResult campaign = fault::run_campaign(
       result.hardened, guest.good_input, guest.bad_input, config);
   std::printf("skip-model campaign on hardened loader: %llu faults, %zu successful, "

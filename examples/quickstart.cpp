@@ -75,7 +75,7 @@ no:  .asciz "NO\n"
 
   // 3. Fault campaign: which instruction-skips flip "NO" into "YES"?
   fault::CampaignConfig config;
-  config.model_bit_flip = false;  // instruction-skip model only
+  config.models.bit_flip = false;  // instruction-skip model only
   fault::CampaignResult campaign = fault::run_campaign(image, "A", "B", config);
   std::printf("fault campaign (skip model): %llu faults injected, %zu successful\n",
               static_cast<unsigned long long>(campaign.total_faults),

@@ -15,6 +15,10 @@ std::vector<std::uint64_t> CampaignResult::vulnerable_addresses() const {
   return addresses;
 }
 
+std::uint64_t CampaignResult::strictly_second_order_count() const {
+  return sim::strictly_higher_order(vulnerabilities, pair_vulnerabilities).size();
+}
+
 Outcome Oracle::classify(const emu::RunResult& run, int detected_exit_code) const {
   return sim::classify(good_reference, bad_reference, run, detected_exit_code);
 }
@@ -31,7 +35,8 @@ Oracle make_oracle(const elf::Image& image, const std::string& good_input,
 
 CampaignResult run_campaign(const elf::Image& image, const std::string& good_input,
                             const std::string& bad_input, const CampaignConfig& config) {
-  support::check(config.order == 1 || config.order == 2, support::ErrorKind::kExecution,
+  support::check(config.models.order == 1 || config.models.order == 2,
+                 support::ErrorKind::kExecution,
                  "campaign order must be 1 (single faults) or 2 (fault pairs)");
   sim::EngineConfig engine_config;
   engine_config.threads = config.threads;
@@ -41,19 +46,11 @@ CampaignResult run_campaign(const elf::Image& image, const std::string& good_inp
   engine_config.pair_outcome_reuse = config.pair_outcome_reuse;
   const sim::Engine engine(image, good_input, bad_input, engine_config);
 
-  sim::FaultModels models;
-  models.skip = config.model_skip;
-  models.bit_flip = config.model_bit_flip;
-  models.register_flip = config.model_register_flip;
-  models.flag_flip = config.model_flag_flip;
-  models.register_flip_regs = config.register_flip_regs;
-  models.register_flip_bit_stride = config.register_flip_bit_stride;
-  models.order = config.order;
-  models.pair_window = config.pair_window;
-
+  // The models go to the engine verbatim — CampaignConfig embeds the
+  // engine's own struct precisely so there is no per-field copy to drift.
   CampaignResult result;
-  if (config.order >= 2) {
-    sim::PairCampaignResult swept = engine.run_pairs(models);
+  if (config.models.order >= 2) {
+    sim::PairCampaignResult swept = engine.run_pairs(config.models);
     result.vulnerabilities = std::move(swept.order1.vulnerabilities);
     result.outcome_counts = std::move(swept.order1.outcome_counts);
     result.total_faults = swept.order1.total_faults;
@@ -65,7 +62,7 @@ CampaignResult run_campaign(const elf::Image& image, const std::string& good_inp
     return result;
   }
 
-  sim::CampaignResult swept = engine.run(models);
+  sim::CampaignResult swept = engine.run(config.models);
   result.vulnerabilities = std::move(swept.vulnerabilities);
   result.outcome_counts = std::move(swept.outcome_counts);
   result.total_faults = swept.total_faults;

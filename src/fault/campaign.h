@@ -20,6 +20,7 @@
 
 #include "elf/image.h"
 #include "emu/machine.h"
+#include "patch/detected_exit.h"
 #include "sim/engine.h"
 
 namespace r2r::fault {
@@ -27,21 +28,22 @@ namespace r2r::fault {
 // The classification vocabulary and vulnerability record are defined by
 // the engine; fault:: re-exports them as its public campaign API.
 using sim::Outcome;
+using sim::pair_patch_sites;
 using sim::PairVulnerability;
 using sim::to_string;
 using sim::Vulnerability;
 
 struct CampaignConfig {
-  bool model_skip = true;      ///< the paper's "instruction skip" model
-  bool model_bit_flip = true;  ///< the paper's "single bit flip" model
-  // r2r extension models (off by default; the paper evaluates the two above).
-  bool model_register_flip = false;  ///< GPR bit flips before each instruction
-  bool model_flag_flip = false;      ///< status-flag flips before each instruction
-  /// Registers swept by the register-flip model (kept small: the full
-  /// 16x64 matrix per trace entry is rarely worth the time).
-  std::vector<unsigned> register_flip_regs = {0, 1, 2, 3, 6, 7};  // rax..rbx,rsi,rdi
-  unsigned register_flip_bit_stride = 8;  ///< test every Nth bit of each register
-  int detected_exit_code = 42; ///< exit code the injected fault handler uses
+  /// The fault models the campaign sweeps, handed to the sim:: engine
+  /// verbatim — one struct shared with the engine, so a model added to
+  /// sim::FaultModels is automatically campaign-visible (the previous
+  /// field-by-field copy silently dropped any knob it didn't know about).
+  /// Covers the paper's models (skip, bit_flip), the r2r extension models,
+  /// and the campaign order / pair_window of order-2 sweeps.
+  sim::FaultModels models;
+  /// Exit code the injected fault handler uses; defaults to the one
+  /// patch-layer constant so the faulter and the patcher cannot drift.
+  int detected_exit_code = patch::kDetectedExit;
   /// Extra fuel multiplier over the golden bad-input run (faulted runs that
   /// exceed golden_steps * multiplier + slack are classified kHang).
   std::uint64_t fuel_multiplier = 8;
@@ -49,12 +51,6 @@ struct CampaignConfig {
   /// Worker threads for the sweep (0 = hardware concurrency). Results are
   /// bit-identical for every thread count.
   unsigned threads = 1;
-  /// Campaign order: 1 sweeps single faults (the paper's scenario), 2
-  /// additionally sweeps fault *pairs* within `pair_window` — the
-  /// multi-fault scenario that defeats duplication-style countermeasures.
-  unsigned order = 1;
-  /// Order 2: maximum trace distance t2 - t1 between the two faults.
-  std::uint64_t pair_window = 8;
   /// Order 2: classify pairs from the order-1 profiles where provably
   /// equivalent instead of simulating them (exact; see sim::EngineConfig).
   bool pair_outcome_reuse = true;
@@ -66,8 +62,9 @@ struct CampaignResult {
   std::uint64_t total_faults = 0;
   std::uint64_t trace_length = 0;
 
-  /// Order-2 extension: filled only when CampaignConfig::order == 2. The
-  /// order-1 fields above are still populated (phase A of the pair sweep).
+  /// Order-2 extension: filled only when CampaignConfig::models.order == 2.
+  /// The order-1 fields above are still populated (phase A of the pair
+  /// sweep).
   std::vector<PairVulnerability> pair_vulnerabilities;
   std::map<Outcome, std::uint64_t> pair_outcome_counts;
   std::uint64_t total_pairs = 0;
@@ -84,6 +81,9 @@ struct CampaignResult {
   /// Distinct static instruction addresses with at least one successful
   /// fault — the paper's "number of vulnerable points".
   [[nodiscard]] std::vector<std::uint64_t> vulnerable_addresses() const;
+  /// Successful pairs neither of whose component faults succeeds alone —
+  /// the flattened analogue of sim::PairCampaignResult::strictly_higher_order.
+  [[nodiscard]] std::uint64_t strictly_second_order_count() const;
 };
 
 /// Golden (fault-free) references for both inputs. Throws Error{kExecution}

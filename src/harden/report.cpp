@@ -1,5 +1,6 @@
 #include "harden/report.h"
 
+#include "patch/pipeline.h"
 #include "sim/engine.h"
 #include "support/strings.h"
 
@@ -55,6 +56,15 @@ std::string residual_double_fault_section(const std::string& binary_name,
          std::to_string(order2.simulated_pairs) + " simulated, " +
          std::to_string(order2.fully_pruned_first_faults) +
          " first faults fully pruned\n";
+  if (!order2.vulnerabilities.empty()) {
+    const auto sites = order2.patch_sites();
+    out += "  patch sites:    ";
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += support::hex_string(sites[i]);
+    }
+    out += "\n";
+  }
 
   TextTable outcomes;
   outcomes.add_row({"pair outcome", "count"});
@@ -74,6 +84,38 @@ std::string residual_double_fault_section(const std::string& binary_name,
                    support::hex_string(addresses.second), std::to_string(count)});
   }
   out += table.render();
+  return out;
+}
+
+std::string order2_fixpoint_section(const std::string& binary_name,
+                                    const patch::PipelineResult& result) {
+  std::string out = "order-2 fix-point trajectory: " + binary_name + "\n";
+
+  TextTable table;
+  table.add_row({"iteration", "order", "faults", "pairs", "sites", "patched",
+                 "code bytes"});
+  for (std::size_t i = 0; i < result.iterations.size(); ++i) {
+    const patch::IterationReport& it = result.iterations[i];
+    table.add_row({std::to_string(i), std::to_string(it.order),
+                   std::to_string(it.successful_faults),
+                   it.order >= 2 ? std::to_string(it.successful_pairs) +
+                                       "/" + std::to_string(it.total_pairs)
+                                 : std::string("-"),
+                   it.order >= 2 ? std::to_string(it.pair_patch_sites)
+                                 : std::string("-"),
+                   std::to_string(it.patches_applied),
+                   std::to_string(it.code_size)});
+  }
+  out += table.render();
+
+  out += "  fix-point: " + std::string(result.fixpoint ? "yes" : "NO (cap hit)") +
+         ", order-2 clean: " + std::string(result.order2_fixpoint ? "yes" : "NO") +
+         "\n";
+  out += "  overhead (Table-V style): order-1 " +
+         support::format_fixed(result.order1_overhead_percent(), 1) +
+         "% -> order-2 " + support::format_fixed(result.overhead_percent(), 1) +
+         "% (+" + support::format_fixed(result.order2_overhead_delta_percent(), 1) +
+         " points for closing the order-2 gap)\n";
   return out;
 }
 

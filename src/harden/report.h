@@ -8,6 +8,10 @@ namespace r2r::sim {
 struct PairCampaignResult;
 }  // namespace r2r::sim
 
+namespace r2r::patch {
+struct PipelineResult;
+}  // namespace r2r::patch
+
 namespace r2r::harden {
 
 /// Fixed-width text table: first row is the header.
@@ -26,5 +30,13 @@ class TextTable {
 /// order-1 sweep can surface, merged by static address pair.
 std::string residual_double_fault_section(const std::string& binary_name,
                                           const sim::PairCampaignResult& order2);
+
+/// The order-2 fix-point section of a hardening report: the per-iteration
+/// trajectory of the pair-aware Faulter+Patcher loop (campaign order, faults
+/// and residual pairs found, implicated sites, patches applied, code size)
+/// plus the Table-V-style overhead split — what order-1 hardening cost, and
+/// what closing the order-2 gap added on top.
+std::string order2_fixpoint_section(const std::string& binary_name,
+                                    const patch::PipelineResult& result);
 
 }  // namespace r2r::harden

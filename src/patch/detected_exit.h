@@ -1,0 +1,16 @@
+// r2r::patch — the detected-fault exit-code contract.
+//
+// The injected fault handler (patch::ensure_fault_handler), the lowered
+// r2r.trap() intrinsic, and the campaign/engine classifiers all agree on one
+// exit code meaning "a countermeasure fired". This leaf header is the single
+// definition every layer references; it has no dependencies so the lower
+// layers (sim, fault, lower) can include it without a cycle.
+#pragma once
+
+namespace r2r::patch {
+
+/// Exit code of the injected fault-response routine. Runs exiting with this
+/// code classify as Outcome::kDetected.
+inline constexpr int kDetectedExit = 42;
+
+}  // namespace r2r::patch

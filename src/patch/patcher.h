@@ -31,4 +31,22 @@ struct PatchStats {
 PatchStats apply_patches(bir::Module& module,
                          const std::vector<fault::Vulnerability>& vulnerabilities);
 
+/// Order-2 analogue: reinforces each given static site once per call —
+/// original instructions get the ordinary order-1 pattern, synthesized
+/// countermeasure code gets the deeper redundancy patterns
+/// (reinforce_instruction). Sites with no applicable reinforcement are
+/// reported in `unpatchable`; a pair is only truly unpatchable when both
+/// of its sites are. Sites come from fault::pair_patch_sites (callers may
+/// pre-filter, e.g. addresses the order-1 patcher already protected in the
+/// same round).
+PatchStats reinforce_sites(bir::Module& module, std::vector<std::uint64_t> sites,
+                           std::uint64_t pair_window);
+
+/// pair → site attribution + reinforcement in one step: reinforce_sites
+/// over fault::pair_patch_sites(pairs) — the first fault's address plus
+/// the address the second fault actually struck, per pair.
+PatchStats apply_pair_patches(bir::Module& module,
+                              const std::vector<fault::PairVulnerability>& pairs,
+                              std::uint64_t pair_window);
+
 }  // namespace r2r::patch

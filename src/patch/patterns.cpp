@@ -471,9 +471,74 @@ PatternKind protect_instruction(bir::Module& module, std::size_t index) {
     case PatternKind::kJcc: return apply_jcc(module, index);
     case PatternKind::kCallGuard: return apply_call_guard(module, index);
     case PatternKind::kRetDup: return apply_ret_dup(module, index);
-    case PatternKind::kNone: return PatternKind::kNone;
+    default: return PatternKind::kNone;
   }
-  return PatternKind::kNone;
+}
+
+PatternKind reinforce_instruction(bir::Module& module, std::size_t index,
+                                  std::uint64_t pair_window) {
+  if (index >= module.text.size()) return PatternKind::kNone;
+  if (!module.text[index].is_instruction()) return PatternKind::kNone;
+
+  // Original instructions get the ordinary local pattern: an order-2
+  // campaign often implicates a check no single fault could defeat (a loop
+  // back-edge branch, an accumulate) that order-1 patching left bare.
+  if (!module.text[index].synthesized) return protect_instruction(module, index);
+
+  const Instruction original = *module.text[index].instr;
+  switch (original.mnemonic) {
+    case Mnemonic::kRet:
+      // Skipping two adjacent rets falls through into the next function; a
+      // pair cannot skip three.
+      module.insert_after(index, {isa::ret()});
+      module.text[index + 1].synthesized = true;
+      return PatternKind::kRetTriple;
+    case Mnemonic::kCall: {
+      // The pattern tails end in `re-branch; call handler`: one skip takes
+      // the wrong edge, a second swallows the lone detection call. With the
+      // call duplicated, the pair lands on the duplicate instead.
+      if (!isa::is_label(original.op(0)) ||
+          std::get<isa::LabelOperand>(original.op(0)).name != kFaultHandlerSymbol) {
+        return PatternKind::kNone;
+      }
+      module.insert_after(index, {isa::call(std::string(kFaultHandlerSymbol))});
+      module.text[index + 1].synthesized = true;
+      return PatternKind::kHandlerCallDup;
+    }
+    case Mnemonic::kMov: {
+      // Idempotent synthesized movs (the call-guard poison, scratch
+      // re-materializations) are duplicated in place: the pair that skipped
+      // the mov plus its consumer now leaves the duplicate standing. A load
+      // whose destination feeds its own address computation is the one
+      // non-idempotent shape.
+      if (original.arity() != 2 || !isa::is_reg(original.op(0)) ||
+          isa::is_label(original.op(1)) || aliased_address_reg(original)) {
+        return PatternKind::kNone;
+      }
+      module.insert_after(index, {original});
+      module.text[index + 1].synthesized = true;
+      return PatternKind::kGuardMovDup;
+    }
+    case Mnemonic::kCmp: {
+      // Pair-separated re-verification: re-execute the compare behind more
+      // than pair_window flag-neutral nops. Skipping the popfq that should
+      // restore real flags *and* the authoritative compare forged an
+      // "equal" for the consumer branch; no single pair spans the original
+      // compare and its far duplicate, and the nops between them are
+      // skip-transparent.
+      std::vector<Instruction> seq;
+      for (std::uint64_t i = 0; i <= pair_window; ++i) seq.push_back(isa::nop());
+      seq.push_back(original);
+      const std::size_t count = seq.size();
+      module.insert_after(index, std::move(seq));
+      mark_synthesized(module, index + 1, count);
+      return PatternKind::kCmpFar;
+    }
+    default:
+      // No local reinforcement for this shape (popfq, pushes, the pattern
+      // branches themselves): the pair's other site carries the fix.
+      return PatternKind::kNone;
+  }
 }
 
 }  // namespace r2r::patch

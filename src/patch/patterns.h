@@ -20,18 +20,20 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "bir/module.h"
+#include "patch/detected_exit.h"
 
 namespace r2r::patch {
 
 /// Symbol of the injected fault-response routine (exit with kDetectedExit).
 inline constexpr std::string_view kFaultHandlerSymbol = "__r2r_faulthandler";
 
-/// Exit code the fault handler uses; the campaign oracle classifies runs
-/// exiting with this code as Outcome::kDetected.
-inline constexpr int kDetectedExit = 42;
+// kDetectedExit lives in patch/detected_exit.h (re-exported here via the
+// include): one definition shared with the campaign/engine classifier
+// defaults and the lowered r2r.trap() intrinsic.
 
 /// Appends the fault-handler routine if the module does not have one yet;
 /// returns its label.
@@ -48,6 +50,25 @@ std::string ensure_fault_handler(bir::Module& module);
 ///                provably writes rax before reading it; a skipped call
 ///                then leaves an implausible return value.
 ///   kRetDup    — duplicate the ret; skipping one executes the other.
+/// kRetTriple, kHandlerCallDup, kGuardMovDup and kCmpFar are the order-2
+/// *reinforcement* patterns (reinforce_instruction): deeper redundancy
+/// applied where an order-2 campaign proves a fault *pair* still defeats
+/// the order-1 countermeasures. Under the skip model one fault removes one
+/// dynamic instruction, so N-fold redundancy falls to N well-placed skips:
+///   kRetTriple      — yet another duplicate ret; a pair can skip two
+///                     adjacent rets (falling through into the next
+///                     function), not three.
+///   kHandlerCallDup — duplicate `call __r2r_faulthandler`; the patterns'
+///                     re-branch tails end in a single handler call, so
+///                     (skip re-branch, skip call) walked straight into the
+///                     privileged continuation.
+///   kGuardMovDup    — duplicate an idempotent synthesized mov (e.g. the
+///                     call-guard poison), killing (skip poison, skip call).
+///   kCmpFar         — re-execute a verification compare *pair-separated*:
+///                     the copy sits behind > pair_window flag-neutral nops,
+///                     so no single pair can suppress both the compare and
+///                     its far duplicate (defeats the (skip popfq, skip
+///                     authoritative cmp) flag-corruption pair).
 enum class PatternKind : std::uint8_t {
   kNone,
   kMov,
@@ -56,6 +77,10 @@ enum class PatternKind : std::uint8_t {
   kJcc,
   kCallGuard,
   kRetDup,
+  kRetTriple,
+  kHandlerCallDup,
+  kGuardMovDup,
+  kCmpFar,
 };
 
 PatternKind classify_pattern(const bir::Module& module, std::size_t index);
@@ -65,6 +90,17 @@ PatternKind classify_pattern(const bir::Module& module, std::size_t index);
 /// locally protected (unsupported shape, synthesized code, rsp-relative
 /// cmp operands, ...).
 PatternKind protect_instruction(bir::Module& module, std::size_t index);
+
+/// Order-2 reinforcement of the instruction at `index`, a site implicated
+/// in a residual fault pair (sim::PairCampaignResult::patch_sites).
+/// Original instructions get the ordinary order-1 pattern (a pair often
+/// defeats a *check* that no single fault could, e.g. a loop back-edge);
+/// synthesized countermeasure code — which protect_instruction refuses to
+/// touch — gets the deeper redundancy patterns above. Returns kNone when
+/// the site has no reinforcement (the pair's other site must carry the
+/// fix). `pair_window` sizes the kCmpFar separation.
+PatternKind reinforce_instruction(bir::Module& module, std::size_t index,
+                                  std::uint64_t pair_window);
 
 /// True if arithmetic flags may be observed after item `index` before being
 /// rewritten (conservative forward scan; used to decide whether the mov

@@ -1,26 +1,53 @@
 #include "patch/pipeline.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "bir/assemble.h"
 #include "bir/recover.h"
+#include "support/error.h"
 
 namespace r2r::patch {
+
+namespace {
+
+IterationReport make_report(const fault::CampaignResult& campaign, unsigned order,
+                            std::uint64_t code_size) {
+  IterationReport report;
+  report.order = order;
+  report.successful_faults = campaign.vulnerabilities.size();
+  report.vulnerable_points = campaign.vulnerable_addresses().size();
+  report.code_size = code_size;
+  return report;
+}
+
+}  // namespace
 
 PipelineResult faulter_patcher(const elf::Image& input, const std::string& good_input,
                                const std::string& bad_input,
                                const PipelineConfig& config) {
+  const unsigned requested_order = config.campaign.models.order;
+  support::check(requested_order == 1 || requested_order == 2,
+                 support::ErrorKind::kExecution,
+                 "faulter_patcher: campaign.models.order must be 1 or 2");
+
   PipelineResult result;
   result.original_code_size = input.code_size();
   result.module = bir::recover(input);
 
-  for (unsigned iteration = 0; iteration < config.max_iterations; ++iteration) {
+  // ---- phase 1: the paper's Fig. 2 loop — order-1 campaigns only. Even
+  // when order 2 was requested, the single-fault fix-point is driven by
+  // order-1 sweeps: they are a fraction of a pair sweep's cost, and the
+  // order-2 phase re-checks the order-1 residue anyway.
+  fault::CampaignConfig order1_campaign = config.campaign;
+  order1_campaign.models.order = 1;
+
+  unsigned iteration = 0;
+  for (; iteration < config.max_iterations; ++iteration) {
     elf::Image image = bir::assemble(result.module);
     fault::CampaignResult campaign =
-        fault::run_campaign(image, good_input, bad_input, config.campaign);
-
-    IterationReport report;
-    report.successful_faults = campaign.vulnerabilities.size();
-    report.vulnerable_points = campaign.vulnerable_addresses().size();
-    report.code_size = image.code_size();
+        fault::run_campaign(image, good_input, bad_input, order1_campaign);
+    IterationReport report = make_report(campaign, 1, image.code_size());
 
     if (campaign.vulnerabilities.empty()) {
       result.hardened = std::move(image);
@@ -46,10 +73,117 @@ PipelineResult faulter_patcher(const elf::Image& input, const std::string& good_
   }
 
   if (result.hardened.segments.empty()) {
-    // Iteration cap hit: report the state of the last patched module.
+    // Iteration cap hit mid-phase-1: report the state of the last patched
+    // module (order-2 phase never ran).
+    result.hardened = bir::assemble(result.module);
+    result.final_campaign =
+        fault::run_campaign(result.hardened, good_input, bad_input, order1_campaign);
+    result.hardened_code_size = result.hardened.code_size();
+    return result;
+  }
+
+  if (requested_order < 2) {
+    result.hardened_code_size = result.hardened.code_size();
+    return result;
+  }
+
+  // ---- phase 2: the order-2 reinforcement loop. Each pass sweeps fault
+  // pairs against the current image, maps every residual pair back to its
+  // static sites (first fault address + the address the second fault
+  // actually struck) and reinforces them; iterations count against the same
+  // cap as phase 1. The order-1 sweep is phase A of every pair sweep, so
+  // single-fault regressions introduced by reinforcement are caught — and
+  // patched — in the same pass.
+  result.order1_code_size = result.hardened.code_size();
+  const std::uint64_t pair_window = config.campaign.models.pair_window;
+  result.fixpoint = false;
+  result.hardened = elf::Image{};  // re-established by the order-2 loop
+
+  // The shared cap counts campaigns actually run: phase 1's fix-point pass
+  // broke out before its ++, so resume from the report count.
+  iteration = static_cast<unsigned>(result.iterations.size());
+  for (; iteration < config.max_iterations; ++iteration) {
+    elf::Image image = bir::assemble(result.module);
+    fault::CampaignResult campaign =
+        fault::run_campaign(image, good_input, bad_input, config.campaign);
+
+    IterationReport report = make_report(campaign, 2, image.code_size());
+    report.total_pairs = campaign.total_pairs;
+    report.successful_pairs = campaign.pair_vulnerabilities.size();
+    // Reinforce only the strictly-second-order pairs: a pair one of whose
+    // faults succeeds alone is just that order-1 vulnerability republished
+    // (reuse-from-first pads it with window-following golden addresses the
+    // second fault never strikes) — the order-1 patcher owns those sites.
+    const std::vector<fault::PairVulnerability> strict = sim::strictly_higher_order(
+        campaign.vulnerabilities, campaign.pair_vulnerabilities);
+    report.strictly_second_order = strict.size();
+    std::vector<std::uint64_t> sites = fault::pair_patch_sites(strict);
+    report.pair_patch_sites = sites.size();
+
+    if (campaign.vulnerabilities.empty() && campaign.pair_vulnerabilities.empty()) {
+      result.hardened = std::move(image);
+      result.final_campaign = std::move(campaign);
+      result.fixpoint = true;
+      result.order2_fixpoint = true;
+      result.iterations.push_back(report);
+      break;
+    }
+
+    PatchStats stats = apply_patches(result.module, campaign.vulnerabilities);
+    // A site can be order-1 vulnerable *and* pair-implicated (a different
+    // fault kind at the same address); the order-1 patcher just protected
+    // those, so reinforcing them again would stack the identical pattern
+    // twice in one pass. Sites apply_patches could not handle stay:
+    // synthesized code it refuses is exactly what reinforcement is for.
+    std::vector<std::uint64_t> patched = campaign.vulnerable_addresses();
+    for (const std::uint64_t address : stats.unpatchable) {
+      patched.erase(std::remove(patched.begin(), patched.end(), address),
+                    patched.end());
+    }
+    sites.erase(std::remove_if(sites.begin(), sites.end(),
+                               [&](std::uint64_t site) {
+                                 return std::binary_search(patched.begin(),
+                                                           patched.end(), site);
+                               }),
+                sites.end());
+    const PatchStats pair_stats = reinforce_sites(result.module, std::move(sites),
+                                                  pair_window);
+    for (const auto& [kind, count] : pair_stats.applied) stats.applied[kind] += count;
+    report.patches_applied = stats.total_applied();
+    // An address can be unpatchable to both passes; count it once.
+    std::vector<std::uint64_t> unpatchable = stats.unpatchable;
+    unpatchable.insert(unpatchable.end(), pair_stats.unpatchable.begin(),
+                       pair_stats.unpatchable.end());
+    std::sort(unpatchable.begin(), unpatchable.end());
+    unpatchable.erase(std::unique(unpatchable.begin(), unpatchable.end()),
+                      unpatchable.end());
+    report.unpatchable_points = unpatchable.size();
+    result.iterations.push_back(report);
+
+    if (stats.total_applied() == 0) {
+      // No patch or reinforcement left anywhere — the phase-2 analogue of
+      // phase 1's fix-point with residual risk (e.g. an unpatchable order-1
+      // bit-flip residue, whose republished pairs are filtered above, so
+      // the loop does not burn the cap re-sweeping a binary it cannot
+      // improve).
+      result.hardened = std::move(image);
+      result.final_campaign = std::move(campaign);
+      result.fixpoint = true;
+      break;
+    }
+  }
+
+  if (result.hardened.segments.empty()) {
+    // Iteration cap hit: report the state of the last reinforced module.
+    // (When phase 1 consumed the whole cap, this is the first — and only —
+    // order-2 campaign, so the caller still gets pair data.) A clean final
+    // campaign is a genuine fix point even at the cap.
     result.hardened = bir::assemble(result.module);
     result.final_campaign =
         fault::run_campaign(result.hardened, good_input, bad_input, config.campaign);
+    result.order2_fixpoint = result.final_campaign.vulnerabilities.empty() &&
+                             result.final_campaign.pair_vulnerabilities.empty();
+    result.fixpoint = result.order2_fixpoint;
   }
   result.hardened_code_size = result.hardened.code_size();
   return result;

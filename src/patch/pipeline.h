@@ -7,6 +7,14 @@
 // Iterates until no patchable vulnerability remains (fix-point) or the
 // iteration cap is hit. Patching changes distances between instructions and
 // can surface new vulnerabilities, exactly as Section IV-B.3 describes.
+//
+// Order-2 mode (campaign.models.order == 2): once the order-1 fix-point is
+// reached, the loop continues with order-2 campaigns — every residual fault
+// *pair* is mapped back to its static patch sites and the sites are
+// reinforced with the deeper redundancy patterns (reinforce_instruction),
+// iterating until no successful pair remains. This closes the gap the
+// paper's Fig. 2 leaves open: its loop only ever re-runs order-1 campaigns,
+// so it declares victory on binaries a two-glitch attacker still breaks.
 #pragma once
 
 #include <cstdint>
@@ -20,16 +28,25 @@
 namespace r2r::patch {
 
 struct PipelineConfig {
+  /// campaign.models.order selects the fix-point target: 1 = the paper's
+  /// loop, 2 = order-1 fix-point followed by the order-2 reinforcement
+  /// loop. The iteration cap is shared across both phases.
   fault::CampaignConfig campaign;
   unsigned max_iterations = 12;
 };
 
 struct IterationReport {
+  unsigned order = 1;                    ///< campaign order this iteration ran at
   std::uint64_t successful_faults = 0;   ///< dynamic successful faults found
   std::uint64_t vulnerable_points = 0;   ///< distinct static addresses
   std::uint64_t patches_applied = 0;
   std::uint64_t unpatchable_points = 0;
   std::uint64_t code_size = 0;           ///< bytes of .text at this iteration
+  // Order-2 iterations only:
+  std::uint64_t total_pairs = 0;             ///< pairs swept this iteration
+  std::uint64_t successful_pairs = 0;        ///< residual pairs found
+  std::uint64_t strictly_second_order = 0;   ///< invisible to any order-1 sweep
+  std::uint64_t pair_patch_sites = 0;        ///< distinct static sites implicated
 };
 
 struct PipelineResult {
@@ -38,8 +55,14 @@ struct PipelineResult {
   std::vector<IterationReport> iterations;
   fault::CampaignResult final_campaign;  ///< campaign against the final image
   bool fixpoint = false;         ///< no patchable vulnerabilities remain
+  /// Order-2 mode: the final campaign found zero successful pairs (and zero
+  /// successful single faults). Always false when order 1 was requested.
+  bool order2_fixpoint = false;
   std::uint64_t original_code_size = 0;
   std::uint64_t hardened_code_size = 0;
+  /// Order-2 mode: bytes of .text at the order-1 fix-point — the baseline
+  /// of the order-2 overhead delta. Zero when order 1 was requested.
+  std::uint64_t order1_code_size = 0;
 
   /// Code-size overhead percentage — the paper's Table V metric.
   [[nodiscard]] double overhead_percent() const noexcept {
@@ -48,6 +71,22 @@ struct PipelineResult {
            (static_cast<double>(hardened_code_size) -
             static_cast<double>(original_code_size)) /
            static_cast<double>(original_code_size);
+  }
+
+  /// Table-V-style overhead of the order-1 phase alone (order-2 mode only).
+  [[nodiscard]] double order1_overhead_percent() const noexcept {
+    if (original_code_size == 0 || order1_code_size == 0) return 0.0;
+    return 100.0 *
+           (static_cast<double>(order1_code_size) -
+            static_cast<double>(original_code_size)) /
+           static_cast<double>(original_code_size);
+  }
+
+  /// What closing the order-2 gap cost on top of order-1 hardening, in
+  /// percentage points of the original code size (order-2 mode only).
+  [[nodiscard]] double order2_overhead_delta_percent() const noexcept {
+    if (order1_code_size == 0) return 0.0;
+    return overhead_percent() - order1_overhead_percent();
   }
 };
 

@@ -313,29 +313,39 @@ Engine::FaultProfile Engine::profile_one(emu::Machine& machine, const PlannedFau
                              pruned);
 }
 
-Outcome Engine::simulate_pair(emu::Machine& machine, const emu::FaultSpec& first,
-                              const emu::FaultSpec& second,
-                              std::atomic<std::uint64_t>& converged) const {
+Engine::PairSim Engine::simulate_pair(emu::Machine& machine, const emu::FaultSpec& first,
+                                      const emu::FaultSpec& second,
+                                      std::uint64_t golden_second_address,
+                                      std::atomic<std::uint64_t>& converged) const {
   const std::uint64_t t1 = first.trace_index;
   const std::uint64_t t2 = second.trace_index;
   const std::size_t nearest = std::min<std::size_t>(t1 / interval_, chain_.size() - 1);
   restore(chain_[nearest], machine);
 
   // Leg 1: run with the first fault armed, pausing just before the second
-  // injection point. A run that terminates here is the first fault alone.
+  // injection point. A run that terminates here is the first fault alone
+  // (the second fault never fires, so its hit address stays the golden one
+  // — matching what the reuse rules record for the same pair).
   RunConfig config;
   config.fault = first;
   config.fuel = std::min(t2, fuel_);
   const RunResult leg1 = machine.run(config);
   if (leg1.reason != StopReason::kFuelExhausted || config.fuel >= fuel_) {
-    return classify(refs_, leg1, config_.detected_exit_code);
+    return {classify(refs_, leg1, config_.detected_exit_code), golden_second_address};
   }
+
+  // The machine is paused exactly before executing dynamic step t2: its rip
+  // is the instruction the second fault actually strikes. Deterministic, so
+  // identical across thread counts; equal to the golden address whenever the
+  // first fault's run has reconverged by t2 (the pruned sweep's reuse case).
+  const std::uint64_t second_hit = machine.cpu().rip;
 
   // Leg 2: arm the second fault and resume, with the same convergence
   // pruning as the order-1 sweep past the second injection.
-  return finish_with_pruning(machine, second, (t2 / interval_ + 1) * interval_,
-                             converged)
-      .outcome;
+  return {finish_with_pruning(machine, second, (t2 / interval_ + 1) * interval_,
+                              converged)
+              .outcome,
+          second_hit};
 }
 
 CampaignResult Engine::aggregate_order1(const std::vector<PlannedFault>& plan,
@@ -464,6 +474,7 @@ PairCampaignResult Engine::run_pairs(const FaultModels& models) const {
   for (std::size_t k = 0; k < pairs.size(); ++k) {
     if (needs_sim[k] != 0) sim_indices.push_back(k);
   }
+  std::vector<std::uint64_t> sim_hits(sim_indices.size(), 0);
   std::atomic<std::uint64_t> converged_total{0};
   unsigned threads_pairs = 0;
   if (!sim_indices.empty()) {
@@ -471,8 +482,12 @@ PairCampaignResult Engine::run_pairs(const FaultModels& models) const {
         image_, bad_input_, config_.threads, sim_indices.size(),
         [&](emu::Machine& machine, std::size_t s) {
           const std::size_t k = sim_indices[s];
-          outcomes[k] = simulate_pair(machine, plan[pairs[k].first].spec,
-                                      plan[pairs[k].second].spec, converged_total);
+          const PairSim sim =
+              simulate_pair(machine, plan[pairs[k].first].spec,
+                            plan[pairs[k].second].spec,
+                            plan[pairs[k].second].address, converged_total);
+          outcomes[k] = sim.outcome;
+          sim_hits[s] = sim.second_hit_address;
         });
   }
 
@@ -480,12 +495,23 @@ PairCampaignResult Engine::run_pairs(const FaultModels& models) const {
   result.converged_pairs = converged_total.load();
   result.simulated_pairs = pairs.size() - result.reused_pairs();
   result.threads_used = std::max(threads_profile, threads_pairs);
+  // sim_indices is ascending, so one cursor recovers each simulated pair's
+  // recorded hit address; reused pairs hit the golden address by definition
+  // (reused-from-second means the run had reconverged with golden before t2;
+  // reused-from-first means the second fault never fired).
+  std::size_t sim_cursor = 0;
   for (std::size_t k = 0; k < pairs.size(); ++k) {
+    std::uint64_t hit = plan[pairs[k].second].address;
+    if (sim_cursor < sim_indices.size() && sim_indices[sim_cursor] == k) {
+      hit = sim_hits[sim_cursor];
+      ++sim_cursor;
+    }
     ++result.outcome_counts[outcomes[k]];
     if (outcomes[k] == Outcome::kSuccess) {
       result.vulnerabilities.push_back(
           PairVulnerability{plan[pairs[k].first].spec, plan[pairs[k].second].spec,
-                            plan[pairs[k].first].address, plan[pairs[k].second].address});
+                            plan[pairs[k].first].address, plan[pairs[k].second].address,
+                            hit});
     }
   }
 
@@ -578,20 +604,42 @@ PairCampaignResult::vulnerable_address_pairs() const {
   return addresses;
 }
 
-std::vector<PairVulnerability> PairCampaignResult::strictly_higher_order() const {
+std::vector<std::uint64_t> pair_patch_sites(const std::vector<PairVulnerability>& pairs) {
+  std::vector<std::uint64_t> sites;
+  sites.reserve(pairs.size() * 2);
+  for (const PairVulnerability& v : pairs) {
+    sites.push_back(v.first_address);
+    sites.push_back(v.second_hit_address);
+  }
+  std::sort(sites.begin(), sites.end());
+  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+  return sites;
+}
+
+std::vector<std::uint64_t> PairCampaignResult::patch_sites() const {
+  return pair_patch_sites(strictly_higher_order());
+}
+
+std::vector<PairVulnerability> strictly_higher_order(
+    const std::vector<Vulnerability>& singles,
+    const std::vector<PairVulnerability>& pairs) {
   const auto key = [](const emu::FaultSpec& spec) {
     return std::tuple(static_cast<unsigned>(spec.kind), spec.trace_index, spec.bit_offset);
   };
   std::set<std::tuple<unsigned, std::uint64_t, std::uint32_t>> single;
-  for (const Vulnerability& v : order1.vulnerabilities) single.insert(key(v.spec));
+  for (const Vulnerability& v : singles) single.insert(key(v.spec));
 
   std::vector<PairVulnerability> out;
-  for (const PairVulnerability& pair : vulnerabilities) {
+  for (const PairVulnerability& pair : pairs) {
     if (!single.contains(key(pair.first)) && !single.contains(key(pair.second))) {
       out.push_back(pair);
     }
   }
   return out;
+}
+
+std::vector<PairVulnerability> PairCampaignResult::strictly_higher_order() const {
+  return sim::strictly_higher_order(order1.vulnerabilities, vulnerabilities);
 }
 
 std::string PairCampaignResult::to_json() const {
@@ -626,6 +674,14 @@ std::string PairCampaignResult::to_json() const {
     json += "{\"first\": \"" + support::hex_string(addresses.first) +
             "\", \"second\": \"" + support::hex_string(addresses.second) +
             "\", \"hits\": " + std::to_string(hits) + "}";
+  }
+  json += "],\n";
+  json += "  \"patch_sites\": [";
+  first = true;
+  for (const std::uint64_t site : patch_sites()) {
+    if (!first) json += ", ";
+    first = false;
+    json += "\"" + support::hex_string(site) + "\"";
   }
   json += "]\n}\n";
   return json;

@@ -35,6 +35,7 @@
 
 #include "elf/image.h"
 #include "emu/machine.h"
+#include "patch/detected_exit.h"
 #include "sim/snapshot.h"
 
 namespace r2r::sim {
@@ -149,7 +150,7 @@ struct EngineConfig {
   /// are bit-identical for every value.
   unsigned threads = 1;
   SnapshotPolicy policy;
-  int detected_exit_code = 42;
+  int detected_exit_code = patch::kDetectedExit;
   /// Faulted runs get fuel = golden_bad_steps * multiplier + slack; runs
   /// that exceed it classify as kHang.
   std::uint64_t fuel_multiplier = 8;
@@ -211,10 +212,33 @@ struct PairVulnerability {
   emu::FaultSpec first;
   emu::FaultSpec second;
   std::uint64_t first_address = 0;
+  /// Static address of trace index `second` in the *golden* bad-input trace.
   std::uint64_t second_address = 0;
+  /// Static address the second fault actually struck. Once the first fault
+  /// redirects control (e.g. skips a branch), the faulted run diverges from
+  /// the golden trace and the instruction at step t2 is a different one —
+  /// this is the address a patcher must strengthen, not `second_address`.
+  /// Equal to `second_address` when the first fault's run reconverged (or
+  /// terminated) before the second fault fired. Deterministic: identical
+  /// across thread counts and across pruned/exhaustive sweeps.
+  std::uint64_t second_hit_address = 0;
 
   friend bool operator==(const PairVulnerability&, const PairVulnerability&) = default;
 };
+
+/// Pair → static-site attribution: the distinct addresses implicated by
+/// `pairs` — every first fault's address plus the address its second fault
+/// actually struck — sorted, deduplicated. The one attribution rule shared
+/// by PairCampaignResult::patch_sites(), the patcher and the pipeline.
+std::vector<std::uint64_t> pair_patch_sites(const std::vector<PairVulnerability>& pairs);
+
+/// The pairs of `pairs` neither of whose component faults appears in
+/// `singles` — the one pair-identity rule shared by
+/// PairCampaignResult::strictly_higher_order() and the flattened
+/// fault::CampaignResult counterpart.
+std::vector<PairVulnerability> strictly_higher_order(
+    const std::vector<Vulnerability>& singles,
+    const std::vector<PairVulnerability>& pairs);
 
 /// Order-2 sweep aggregation (deterministic across thread counts). Carries
 /// the order-1 sweep it was pruned against, so callers get the "does the
@@ -256,6 +280,15 @@ struct PairCampaignResult {
   /// Successful pairs neither of whose component faults succeeds alone —
   /// the vulnerabilities only a higher-order campaign can surface.
   [[nodiscard]] std::vector<PairVulnerability> strictly_higher_order() const;
+  /// Pair → static-site attribution: the distinct static addresses an
+  /// order-2 patcher must strengthen *beyond* order-1 patching — for every
+  /// strictly-second-order pair, the first fault's address and the address
+  /// the second fault *actually* struck (second_hit_address, which diverges
+  /// from the golden-trace address once the first fault redirects control).
+  /// Pairs one of whose faults succeeds alone are excluded: they are the
+  /// order-1 vulnerability republished (and reuse-from-first pads them with
+  /// golden addresses the second fault never executes). Sorted, dedup'd.
+  [[nodiscard]] std::vector<std::uint64_t> patch_sites() const;
 
   /// JSON document for downstream tooling, mirroring CampaignResult.
   [[nodiscard]] std::string to_json() const;
@@ -322,11 +355,21 @@ class Engine {
                                    std::uint64_t boundary,
                                    std::atomic<std::uint64_t>& pruned) const;
 
+  /// Outcome of one simulated pair plus where the second fault landed.
+  struct PairSim {
+    Outcome outcome = Outcome::kNoEffect;
+    std::uint64_t second_hit_address = 0;
+  };
+
   /// Simulates one fault pair: rehydrate before the first fault, run to the
   /// second injection point, continue with the second fault armed.
+  /// `golden_second_address` is the fallback hit address when the second
+  /// fault never fires (the first fault's run terminated early) — it keeps
+  /// the record identical to what the reuse rules report for the same pair.
   /// `converged` counts pair runs cut early at a checkpoint boundary.
-  Outcome simulate_pair(emu::Machine& machine, const emu::FaultSpec& first,
+  PairSim simulate_pair(emu::Machine& machine, const emu::FaultSpec& first,
                         const emu::FaultSpec& second,
+                        std::uint64_t golden_second_address,
                         std::atomic<std::uint64_t>& converged) const;
 
   /// The one order-1 aggregation shared by run() and run_pairs() phase A —

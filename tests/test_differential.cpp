@@ -25,7 +25,7 @@ using guests::Guest;
 
 fault::CampaignConfig fast_skip_campaign() {
   fault::CampaignConfig config;
-  config.model_bit_flip = false;  // the paper's skip model
+  config.models.bit_flip = false;  // the paper's skip model
   config.threads = 0;             // hardware concurrency; thread-invariant
   return config;
 }
@@ -76,6 +76,40 @@ TEST_P(PipelineDifferential, FullChainPreservesBehaviourAndNeverAddsVulnerabilit
       << guest.name;
   // And on these guests the chain actually resolves every skip fault.
   EXPECT_EQ(final_campaign.vulnerabilities.size(), 0u) << guest.name;
+}
+
+TEST_P(PipelineDifferential, OrderTwoHardeningNeverAddsPairVulnerabilities) {
+  // The order-2 differential invariant: for every guest, running the
+  // pair-aware Faulter+Patcher must never leave the binary with *more* pair
+  // vulnerabilities than it started with — and on these guests it actually
+  // reaches zero. The ELF round-trip is part of the surface: the campaign
+  // runs against the re-read bytes, not the in-memory image.
+  const Guest& guest = *GetParam();
+  const elf::Image input = guests::build_image(guest);
+
+  fault::CampaignConfig order2 = fast_skip_campaign();
+  order2.models.order = 2;
+  order2.models.pair_window = 8;
+  const fault::CampaignResult original =
+      fault::run_campaign(input, guest.good_input, guest.bad_input, order2);
+
+  patch::PipelineConfig config;
+  config.campaign = order2;
+  const patch::PipelineResult patched =
+      patch::faulter_patcher(input, guest.good_input, guest.bad_input, config);
+  EXPECT_TRUE(patched.order2_fixpoint) << guest.name;
+
+  const std::vector<std::uint8_t> bytes = elf::write_elf(patched.hardened);
+  const elf::Image reloaded = elf::read_elf(bytes);
+  const fault::CampaignResult after =
+      fault::run_campaign(reloaded, guest.good_input, guest.bad_input, order2);
+
+  EXPECT_LE(after.pair_vulnerabilities.size(), original.pair_vulnerabilities.size())
+      << guest.name << ": hardening added pair vulnerabilities";
+  EXPECT_LE(after.vulnerabilities.size(), original.vulnerabilities.size())
+      << guest.name;
+  EXPECT_EQ(after.pair_vulnerabilities.size(), 0u) << guest.name;
+  EXPECT_EQ(after.vulnerabilities.size(), 0u) << guest.name;
 }
 
 INSTANTIATE_TEST_SUITE_P(AllGuests, PipelineDifferential,

@@ -5,6 +5,8 @@
 
 #include "fault/campaign.h"
 #include "guests/guests.h"
+#include "lower/lower.h"
+#include "patch/patterns.h"
 #include "support/error.h"
 
 namespace r2r::fault {
@@ -56,7 +58,7 @@ TEST(Campaign, SkipModelFindsKnownToymovVulnerability) {
   const Guest& guest = guests::toymov();
   const elf::Image image = guests::build_image(guest);
   CampaignConfig config;
-  config.model_bit_flip = false;
+  config.models.bit_flip = false;
   const CampaignResult result =
       run_campaign(image, guest.good_input, guest.bad_input, config);
   // One fault per dynamic instruction.
@@ -72,7 +74,7 @@ TEST(Campaign, BitFlipModelEnumeratesEveryBit) {
   const Guest& guest = guests::toymov();
   const elf::Image image = guests::build_image(guest);
   CampaignConfig config;
-  config.model_skip = false;
+  config.models.skip = false;
   const CampaignResult result =
       run_campaign(image, guest.good_input, guest.bad_input, config);
   // Total faults = 8 bits per encoded byte of the executed trace.
@@ -117,15 +119,15 @@ TEST(Campaign, OrderTwoKnobSweepsFaultPairs) {
   const Guest& guest = guests::toymov();
   const elf::Image image = guests::build_image(guest);
   CampaignConfig config;
-  config.model_bit_flip = false;
-  config.order = 2;
-  config.pair_window = 4;
+  config.models.bit_flip = false;
+  config.models.order = 2;
+  config.models.pair_window = 4;
   const CampaignResult result =
       run_campaign(image, guest.good_input, guest.bad_input, config);
 
   // The order-1 section is still the single-fault sweep...
   CampaignConfig single = config;
-  single.order = 1;
+  single.models.order = 1;
   const CampaignResult order1 =
       run_campaign(image, guest.good_input, guest.bad_input, single);
   EXPECT_EQ(result.vulnerabilities, order1.vulnerabilities);
@@ -140,11 +142,55 @@ TEST(Campaign, OrderTwoKnobSweepsFaultPairs) {
   EXPECT_EQ(result.pair_count(Outcome::kSuccess), result.pair_vulnerabilities.size());
   for (const PairVulnerability& pair : result.pair_vulnerabilities) {
     EXPECT_LT(pair.first.trace_index, pair.second.trace_index);
-    EXPECT_LE(pair.second.trace_index - pair.first.trace_index, config.pair_window);
+    EXPECT_LE(pair.second.trace_index - pair.first.trace_index, config.models.pair_window);
   }
   // An order-1 config leaves the pair section empty.
   EXPECT_EQ(order1.total_pairs, 0u);
   EXPECT_TRUE(order1.pair_vulnerabilities.empty());
+}
+
+TEST(Campaign, DetectedExitCodeIsTheOnePatchLayerConstant) {
+  // Every layer that speaks the "countermeasure fired" protocol must agree
+  // on the exit code, or hardened runs misclassify as kCrash/kOther: the
+  // fault handler the patcher injects, the lowered r2r.trap() intrinsic,
+  // and the classifier defaults of both the campaign and the raw engine.
+  EXPECT_EQ(CampaignConfig{}.detected_exit_code, patch::kDetectedExit);
+  EXPECT_EQ(sim::EngineConfig{}.detected_exit_code, patch::kDetectedExit);
+  EXPECT_EQ(lower::LowerOptions{}.trap_exit_code, patch::kDetectedExit);
+}
+
+TEST(Campaign, ModelsReachTheEngineVerbatim) {
+  // CampaignConfig embeds sim::FaultModels instead of hand-copying knobs, so
+  // a campaign with distinctive models must classify identically to driving
+  // the engine directly with the very same struct — including the extension
+  // models the old field-by-field copy could silently drop.
+  const Guest& guest = guests::toymov();
+  const elf::Image image = guests::build_image(guest);
+
+  CampaignConfig config;
+  config.models.skip = true;
+  config.models.bit_flip = false;
+  config.models.flag_flip = true;
+  config.models.register_flip = true;
+  config.models.register_flip_regs = {0, 3};
+  config.models.register_flip_bit_stride = 16;
+  const CampaignResult campaign =
+      run_campaign(image, guest.good_input, guest.bad_input, config);
+
+  sim::EngineConfig engine_config;
+  engine_config.threads = config.threads;
+  engine_config.detected_exit_code = config.detected_exit_code;
+  engine_config.fuel_multiplier = config.fuel_multiplier;
+  engine_config.fuel_slack = config.fuel_slack;
+  const sim::Engine engine(image, guest.good_input, guest.bad_input, engine_config);
+  const sim::CampaignResult direct = engine.run(config.models);
+
+  EXPECT_EQ(campaign.total_faults, direct.total_faults);
+  EXPECT_EQ(campaign.outcome_counts, direct.outcome_counts);
+  EXPECT_EQ(campaign.vulnerabilities, direct.vulnerabilities);
+  // The distinctive models actually shaped the sweep: flag flips (6 per
+  // step) and strided register flips (2 regs x 4 bits) plus the skip.
+  EXPECT_EQ(campaign.total_faults, campaign.trace_length * (1 + 6 + 2 * 4));
 }
 
 TEST(OutcomeNames, AllDistinct) {

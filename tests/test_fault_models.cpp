@@ -68,9 +68,9 @@ TEST(ExtensionCampaign, FlagModelFindsBranchVulnerabilities) {
   const guests::Guest& guest = guests::toymov();
   const elf::Image image = guests::build_image(guest);
   fault::CampaignConfig config;
-  config.model_skip = false;
-  config.model_bit_flip = false;
-  config.model_flag_flip = true;
+  config.models.skip = false;
+  config.models.bit_flip = false;
+  config.models.flag_flip = true;
   const fault::CampaignResult result =
       fault::run_campaign(image, guest.good_input, guest.bad_input, config);
   EXPECT_EQ(result.total_faults, result.trace_length * 6);
@@ -85,11 +85,11 @@ TEST(ExtensionCampaign, RegisterModelRespectsStrideAndRegisterSet) {
   const guests::Guest& guest = guests::toymov();
   const elf::Image image = guests::build_image(guest);
   fault::CampaignConfig config;
-  config.model_skip = false;
-  config.model_bit_flip = false;
-  config.model_register_flip = true;
-  config.register_flip_regs = {0, 3};  // rax, rbx
-  config.register_flip_bit_stride = 16;
+  config.models.skip = false;
+  config.models.bit_flip = false;
+  config.models.register_flip = true;
+  config.models.register_flip_regs = {0, 3};  // rax, rbx
+  config.models.register_flip_bit_stride = 16;
   const fault::CampaignResult result =
       fault::run_campaign(image, guest.good_input, guest.bad_input, config);
   EXPECT_EQ(result.total_faults, result.trace_length * 2 * (64 / 16));
@@ -105,9 +105,9 @@ TEST(ExtensionCampaign, HybridChecksumCatchesFlagFlipsLocalPatternsMiss) {
   const guests::Guest& guest = guests::toymov();
   const elf::Image input = guests::build_image(guest);
   fault::CampaignConfig config;
-  config.model_skip = false;
-  config.model_bit_flip = false;
-  config.model_flag_flip = true;
+  config.models.skip = false;
+  config.models.bit_flip = false;
+  config.models.flag_flip = true;
 
   const fault::CampaignResult unprotected =
       fault::run_campaign(input, guest.good_input, guest.bad_input, config);

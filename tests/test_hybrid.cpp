@@ -158,7 +158,7 @@ TEST_P(HybridSkipCoverage, HardenedBinaryHasZeroSkipVulnerabilities) {
   const harden::HybridResult result = harden::hybrid_harden(guests::build_image(guest));
 
   fault::CampaignConfig skip_only;
-  skip_only.model_bit_flip = false;
+  skip_only.models.bit_flip = false;
   const fault::CampaignResult campaign = fault::run_campaign(
       result.hardened, guest.good_input, guest.bad_input, skip_only);
   EXPECT_EQ(campaign.vulnerabilities.size(), 0u)

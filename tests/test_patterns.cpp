@@ -84,7 +84,7 @@ TEST(Patterns, JccPatternKillsSkipFaultOnBranch) {
   bir::Module module = guests::build_module(guest);
   elf::Image unprotected = bir::assemble(module);
   fault::CampaignConfig skip_only;
-  skip_only.model_bit_flip = false;
+  skip_only.models.bit_flip = false;
   const fault::CampaignResult before =
       fault::run_campaign(unprotected, guest.good_input, guest.bad_input, skip_only);
   ASSERT_FALSE(before.vulnerabilities.empty())
@@ -140,6 +140,225 @@ TEST(Patterns, SynthesizedCodeIsNeverRepatched) {
       EXPECT_EQ(patch::classify_pattern(module, i), PatternKind::kNone);
     }
   }
+}
+
+// ---- order-2 reinforcement patterns ----------------------------------------
+
+std::size_t find_synth(const bir::Module& module, isa::Mnemonic mnemonic,
+                       std::size_t from = 0) {
+  for (std::size_t i = from; i < module.text.size(); ++i) {
+    if (module.text[i].synthesized && module.text[i].is_instruction() &&
+        module.text[i].instr->mnemonic == mnemonic) {
+      return i;
+    }
+  }
+  return SIZE_MAX;
+}
+
+TEST(Reinforce, OriginalInstructionGetsTheOrderOnePattern) {
+  // A pair often defeats a check no single fault could (e.g. a loop
+  // back-edge); reinforcing an original instruction is ordinary patching.
+  bir::Module module = guests::build_module(guests::toymov());
+  std::size_t jcc = SIZE_MAX;
+  for (std::size_t i = 0; i < module.text.size(); ++i) {
+    if (module.text[i].is_instruction() &&
+        module.text[i].instr->mnemonic == isa::Mnemonic::kJcc) {
+      jcc = i;
+      break;
+    }
+  }
+  ASSERT_NE(jcc, SIZE_MAX);
+  EXPECT_EQ(patch::reinforce_instruction(module, jcc, 8), PatternKind::kJcc);
+}
+
+TEST(Reinforce, SynthesizedRetGainsAThirdDuplicate) {
+  bir::Module module = bir::module_from_assembly(
+      ".global _start\n"
+      "_start:\n"
+      "    call f\n"
+      "    mov rax, 60\n"
+      "    mov rdi, 0\n"
+      "    syscall\n"
+      "f:\n"
+      "    mov rbx, 1\n"
+      "    ret\n");
+  std::size_t ret = SIZE_MAX;
+  for (std::size_t i = 0; i < module.text.size(); ++i) {
+    if (module.text[i].is_instruction() &&
+        module.text[i].instr->mnemonic == isa::Mnemonic::kRet) {
+      ret = i;
+      break;
+    }
+  }
+  ASSERT_NE(ret, SIZE_MAX);
+  ASSERT_EQ(patch::protect_instruction(module, ret), PatternKind::kRetDup);
+  // A pair skips both duplicated rets and falls through; the reinforcement
+  // adds a third the pair cannot reach.
+  EXPECT_EQ(patch::reinforce_instruction(module, ret, 8), PatternKind::kRetTriple);
+  for (std::size_t i = ret; i < ret + 3; ++i) {
+    ASSERT_LT(i, module.text.size());
+    EXPECT_EQ(module.text[i].instr->mnemonic, isa::Mnemonic::kRet);
+    EXPECT_TRUE(module.text[i].synthesized);
+  }
+  const emu::RunResult run = emu::run_image(bir::assemble(module), "");
+  ASSERT_EQ(run.reason, emu::StopReason::kExited) << run.crash_detail;
+  EXPECT_EQ(run.exit_code, 0);
+}
+
+TEST(Reinforce, HandlerCallIsDuplicatedAndPoisonMovIsDuplicated) {
+  // The jcc pattern tails end in `re-branch; call handler`: reinforcing the
+  // lone handler call doubles it. The call-guard poison mov duplicates the
+  // same way (idempotent register write).
+  const Guest& guest = guests::pincheck();
+  bir::Module module = guests::build_module(guest);
+
+  // check_pin zeroes rax before reading it, so its call is guardable.
+  std::size_t call = SIZE_MAX;
+  for (std::size_t i = 0; i < module.text.size(); ++i) {
+    if (module.text[i].is_instruction() &&
+        module.text[i].instr->mnemonic == isa::Mnemonic::kCall &&
+        isa::is_label(module.text[i].instr->op(0)) &&
+        std::get<isa::LabelOperand>(module.text[i].instr->op(0)).name == "check_pin") {
+      call = i;
+      break;
+    }
+  }
+  ASSERT_NE(call, SIZE_MAX);
+  ASSERT_EQ(patch::protect_instruction(module, call), PatternKind::kCallGuard);
+  const std::size_t poison = call;  // the guard inserts the poison at `call`
+  EXPECT_EQ(patch::reinforce_instruction(module, poison, 8),
+            PatternKind::kGuardMovDup);
+  EXPECT_TRUE(module.text[poison + 1].synthesized);
+  EXPECT_EQ(module.text[poison + 1].instr->mnemonic, isa::Mnemonic::kMov);
+
+  // Apply a jcc pattern to get a synthesized handler call, then reinforce it.
+  std::size_t jcc = SIZE_MAX;
+  for (std::size_t i = 0; i < module.text.size(); ++i) {
+    if (!module.text[i].synthesized && module.text[i].is_instruction() &&
+        module.text[i].instr->mnemonic == isa::Mnemonic::kJcc) {
+      jcc = i;
+      break;
+    }
+  }
+  ASSERT_NE(jcc, SIZE_MAX);
+  ASSERT_EQ(patch::protect_instruction(module, jcc), PatternKind::kJcc);
+  const std::size_t handler_call = find_synth(module, isa::Mnemonic::kCall, jcc);
+  ASSERT_NE(handler_call, SIZE_MAX);
+  EXPECT_EQ(patch::reinforce_instruction(module, handler_call, 8),
+            PatternKind::kHandlerCallDup);
+  EXPECT_EQ(module.text[handler_call + 1].instr->mnemonic, isa::Mnemonic::kCall);
+  EXPECT_TRUE(module.text[handler_call + 1].synthesized);
+
+  // Behaviour is still the guest contract.
+  const elf::Image image = bir::assemble(module);
+  const emu::RunResult bad = emu::run_image(image, guest.bad_input);
+  ASSERT_EQ(bad.reason, emu::StopReason::kExited) << bad.crash_detail;
+  EXPECT_EQ(bad.output, guest.bad_output);
+}
+
+TEST(Reinforce, CmpFarPlacesTheDuplicateBeyondThePairWindow) {
+  const Guest& guest = guests::pincheck();
+  bir::Module module = guests::build_module(guest);
+  std::size_t cmp = SIZE_MAX;
+  for (std::size_t i = 0; i < module.text.size(); ++i) {
+    if (module.text[i].is_instruction() &&
+        module.text[i].instr->mnemonic == isa::Mnemonic::kCmp) {
+      cmp = i;
+      break;
+    }
+  }
+  ASSERT_NE(cmp, SIZE_MAX);
+  ASSERT_EQ(patch::protect_instruction(module, cmp), PatternKind::kCmp);
+
+  // The authoritative third compare is the pattern's last instruction;
+  // reinforce it with window 8: the duplicate must sit behind more than 8
+  // flag-neutral nops, so no single fault pair spans both compares.
+  std::size_t authoritative = SIZE_MAX;
+  for (std::size_t i = cmp; i < module.text.size(); ++i) {
+    if (module.text[i].synthesized && module.text[i].is_instruction() &&
+        module.text[i].instr->mnemonic == isa::Mnemonic::kCmp) {
+      authoritative = i;  // keep the last synthesized cmp of the pattern
+    }
+  }
+  ASSERT_NE(authoritative, SIZE_MAX);
+  const std::uint64_t window = 8;
+  EXPECT_EQ(patch::reinforce_instruction(module, authoritative, window),
+            PatternKind::kCmpFar);
+  std::uint64_t nops = 0;
+  std::size_t i = authoritative + 1;
+  for (; i < module.text.size() &&
+         module.text[i].instr->mnemonic == isa::Mnemonic::kNop;
+       ++i) {
+    EXPECT_TRUE(module.text[i].synthesized);
+    ++nops;
+  }
+  EXPECT_GT(nops, window) << "duplicate compare within the pair window";
+  ASSERT_LT(i, module.text.size());
+  EXPECT_EQ(module.text[i].instr->mnemonic, isa::Mnemonic::kCmp);
+  EXPECT_TRUE(module.text[i].synthesized);
+
+  const elf::Image image = bir::assemble(module);
+  const emu::RunResult good = emu::run_image(image, guest.good_input);
+  ASSERT_EQ(good.reason, emu::StopReason::kExited) << good.crash_detail;
+  EXPECT_EQ(good.output, guest.good_output);
+  const emu::RunResult bad = emu::run_image(image, guest.bad_input);
+  EXPECT_EQ(bad.output, guest.bad_output);
+}
+
+TEST(Reinforce, ShapesWithNoLocalReinforcementReturnNone) {
+  // popfq (and the pattern's own plumbing) cannot be locally duplicated —
+  // the pair's other site carries the fix.
+  const Guest& guest = guests::toymov();
+  bir::Module module = guests::build_module(guest);
+  std::size_t jcc = SIZE_MAX;
+  for (std::size_t i = 0; i < module.text.size(); ++i) {
+    if (module.text[i].is_instruction() &&
+        module.text[i].instr->mnemonic == isa::Mnemonic::kJcc) {
+      jcc = i;
+      break;
+    }
+  }
+  ASSERT_NE(jcc, SIZE_MAX);
+  ASSERT_EQ(patch::protect_instruction(module, jcc), PatternKind::kJcc);
+  const std::size_t popfq = find_synth(module, isa::Mnemonic::kPopfq, jcc);
+  ASSERT_NE(popfq, SIZE_MAX);
+  EXPECT_EQ(patch::reinforce_instruction(module, popfq, 8), PatternKind::kNone);
+}
+
+TEST(Reinforce, PairPatchesMapBothSitesOfEveryPair) {
+  // apply_pair_patches reinforces the first fault's site and the site the
+  // second fault actually struck, once per distinct address.
+  const Guest& guest = guests::pincheck();
+  bir::Module module = guests::build_module(guest);
+  const elf::Image image = bir::assemble(module);
+
+  // Fabricate one pair implicating an original ret (first) and an original
+  // jcc (second hit): both must receive their order-1 patterns.
+  std::uint64_t ret_address = 0;
+  std::uint64_t jcc_address = 0;
+  for (const auto& item : module.text) {
+    if (!item.is_instruction()) continue;
+    if (ret_address == 0 && item.instr->mnemonic == isa::Mnemonic::kRet) {
+      ret_address = item.address;
+    }
+    if (jcc_address == 0 && item.instr->mnemonic == isa::Mnemonic::kJcc) {
+      jcc_address = item.address;
+    }
+  }
+  ASSERT_NE(ret_address, 0u);
+  ASSERT_NE(jcc_address, 0u);
+
+  fault::PairVulnerability pair;
+  pair.first_address = ret_address;
+  pair.second_address = 0xdead;  // golden-trace address: deliberately stale
+  pair.second_hit_address = jcc_address;
+  const patch::PatchStats stats = patch::apply_pair_patches(module, {pair}, 8);
+  EXPECT_EQ(stats.total_applied(), 2u);
+  EXPECT_EQ(stats.applied.at(PatternKind::kRetDup), 1u);
+  EXPECT_EQ(stats.applied.at(PatternKind::kJcc), 1u);
+  // The stale golden-trace address is not a patch site — only the first
+  // fault's address and the actual hit address are attributed.
+  EXPECT_TRUE(stats.unpatchable.empty());
 }
 
 TEST(Patterns, FlagsLivenessDetectsConsumingJcc) {

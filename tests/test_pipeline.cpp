@@ -14,7 +14,7 @@ using guests::Guest;
 
 fault::CampaignConfig skip_only() {
   fault::CampaignConfig config;
-  config.model_bit_flip = false;
+  config.models.bit_flip = false;
   return config;
 }
 
@@ -87,6 +87,112 @@ TEST(PipelineIterations, FirstIterationFindsVulnerabilitiesInPincheck) {
   EXPECT_EQ(result.iterations.back().successful_faults, 0u);
 }
 
+// ---- order-2 (pair-aware) fix point ----------------------------------------
+
+fault::CampaignConfig skip_pairs() {
+  fault::CampaignConfig config;
+  config.models.bit_flip = false;
+  config.models.order = 2;
+  config.models.pair_window = 8;
+  config.threads = 0;  // hardware concurrency; results are thread-invariant
+  return config;
+}
+
+class Order2Pipeline : public testing::TestWithParam<const Guest*> {};
+
+TEST_P(Order2Pipeline, ReachesOrderTwoFixpointWithZeroResidualPairs) {
+  // The order-2 gap: the Fig. 2 loop declares fixpoint on binaries a fault
+  // *pair* still breaks. With campaign order 2 the loop continues past the
+  // order-1 fixpoint, reinforcing every implicated site until the pair
+  // sweep comes back clean — on all three guests, within the shared cap.
+  const Guest& guest = *GetParam();
+  const elf::Image input = guests::build_image(guest);
+
+  patch::PipelineConfig config;
+  config.campaign = skip_pairs();
+  const patch::PipelineResult result =
+      patch::faulter_patcher(input, guest.good_input, guest.bad_input, config);
+
+  EXPECT_TRUE(result.fixpoint) << guest.name;
+  EXPECT_TRUE(result.order2_fixpoint) << guest.name;
+  EXPECT_EQ(result.final_campaign.vulnerabilities.size(), 0u) << guest.name;
+  EXPECT_EQ(result.final_campaign.pair_vulnerabilities.size(), 0u)
+      << guest.name << " retains double-fault vulnerabilities after reinforcement";
+  EXPECT_GT(result.final_campaign.total_pairs, 0u) << guest.name;
+
+  // The trajectory: order-1 iterations first, then order-2 ones; the first
+  // order-2 pass must have found the residual pairs PR 2 demonstrated, and
+  // the last one must be clean.
+  ASSERT_GE(result.iterations.size(), 2u);
+  EXPECT_EQ(result.iterations.front().order, 1u);
+  std::uint64_t first_order2_pairs = 0;
+  bool seen_order2 = false;
+  for (const auto& iteration : result.iterations) {
+    if (!seen_order2 && iteration.order == 2) {
+      seen_order2 = true;
+      first_order2_pairs = iteration.successful_pairs;
+    }
+  }
+  ASSERT_TRUE(seen_order2);
+  EXPECT_GT(first_order2_pairs, 0u)
+      << guest.name << ": order-1 hardening left no pairs; the scenario degenerated";
+  EXPECT_EQ(result.iterations.back().order, 2u);
+  EXPECT_EQ(result.iterations.back().successful_pairs, 0u);
+
+  // Overhead bookkeeping: original <= order-1 fixpoint <= order-2 fixpoint.
+  EXPECT_GT(result.order1_code_size, result.original_code_size);
+  EXPECT_GT(result.hardened_code_size, result.order1_code_size);
+  EXPECT_GT(result.order2_overhead_delta_percent(), 0.0);
+
+  // Behaviour preserved through the deeper redundancy patterns.
+  const emu::RunResult good = emu::run_image(result.hardened, guest.good_input);
+  EXPECT_EQ(good.output, guest.good_output);
+  EXPECT_EQ(good.exit_code, guest.good_exit);
+  const emu::RunResult bad = emu::run_image(result.hardened, guest.bad_input);
+  EXPECT_EQ(bad.output, guest.bad_output);
+  EXPECT_EQ(bad.exit_code, guest.bad_exit);
+}
+
+INSTANTIATE_TEST_SUITE_P(CaseStudies, Order2Pipeline,
+                         testing::ValuesIn(guests::all_guests()),
+                         [](const testing::TestParamInfo<const Guest*>& info) {
+                           return info.param->name;
+                         });
+
+TEST(Order2PipelineDeterminism, ThreadCountDoesNotChangeTheHardenedBinary) {
+  // The acceptance bar's second half: the order-2 loop is driven by engine
+  // sweeps that are bit-identical across thread counts, so the *hardened
+  // artifact* — not just the campaign counters — must be byte-identical too.
+  const Guest& guest = guests::pincheck();
+  const elf::Image input = guests::build_image(guest);
+
+  patch::PipelineConfig serial;
+  serial.campaign = skip_pairs();
+  serial.campaign.threads = 1;
+  patch::PipelineConfig parallel = serial;
+  parallel.campaign.threads = 8;
+
+  const patch::PipelineResult one =
+      patch::faulter_patcher(input, guest.good_input, guest.bad_input, serial);
+  const patch::PipelineResult eight =
+      patch::faulter_patcher(input, guest.good_input, guest.bad_input, parallel);
+
+  EXPECT_EQ(elf::write_elf(one.hardened), elf::write_elf(eight.hardened));
+  // Order-1 results bit-identical at every thread count, on the final image.
+  EXPECT_EQ(one.final_campaign.vulnerabilities, eight.final_campaign.vulnerabilities);
+  EXPECT_EQ(one.final_campaign.outcome_counts, eight.final_campaign.outcome_counts);
+  EXPECT_EQ(one.final_campaign.total_faults, eight.final_campaign.total_faults);
+  EXPECT_EQ(one.final_campaign.pair_vulnerabilities,
+            eight.final_campaign.pair_vulnerabilities);
+  EXPECT_EQ(one.final_campaign.pair_outcome_counts,
+            eight.final_campaign.pair_outcome_counts);
+  ASSERT_EQ(one.iterations.size(), eight.iterations.size());
+  for (std::size_t i = 0; i < one.iterations.size(); ++i) {
+    EXPECT_EQ(one.iterations[i].successful_pairs, eight.iterations[i].successful_pairs);
+    EXPECT_EQ(one.iterations[i].patches_applied, eight.iterations[i].patches_applied);
+  }
+}
+
 TEST(PipelineBitFlip, BitFlipVulnerabilitiesAreReducedInPincheck) {
   // Section V-C: "In the case of the single bit flip fault model we were
   // able to reduce the number of vulnerable points by 50%".
@@ -94,7 +200,7 @@ TEST(PipelineBitFlip, BitFlipVulnerabilitiesAreReducedInPincheck) {
   const elf::Image input = guests::build_image(guest);
 
   fault::CampaignConfig flips;
-  flips.model_skip = false;
+  flips.models.skip = false;
   const fault::CampaignResult before =
       fault::run_campaign(input, guest.good_input, guest.bad_input, flips);
   ASSERT_GT(before.vulnerable_addresses().size(), 0u);

@@ -3,6 +3,8 @@
 // bit-identical classification against the seed full-replay sweep.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -177,6 +179,79 @@ TEST(Engine, ConvergencePruningDoesNotChangeClassification) {
   EXPECT_EQ(b.pruned_faults, 0u);
 }
 
+TEST(Engine, FixedIntervalPartialFinalSegmentMatchesFullReplay) {
+  // Regression for the checkpoint-chain recording loop's cumulative fuel
+  // bound (chain.size() * interval): when the interval does not divide the
+  // trace length, the final segment is partial and has no checkpoint at its
+  // end — faults injected there must still rehydrate from the last full
+  // checkpoint and classify exactly like a replay from entry.
+  const Guest& guest = guests::toymov();
+  const elf::Image image = guests::build_image(guest);
+  const fault::Oracle oracle =
+      fault::make_oracle(image, guest.good_input, guest.bad_input);
+  const std::uint64_t length = oracle.bad_trace.size();
+  ASSERT_GT(length, 8u);
+
+  // Ground truth once: the seed full-replay sweep.
+  const std::vector<PlannedFault> plan =
+      enumerate_faults(paper_models(), oracle.bad_trace);
+  emu::RunConfig replay;
+  replay.fuel = oracle.bad_reference.steps * 8 + 4096;
+  std::map<Outcome, std::uint64_t> expected_counts;
+  std::vector<Vulnerability> expected_vulnerabilities;
+  for (const PlannedFault& fault : plan) {
+    replay.fault = fault.spec;
+    const emu::RunResult run = emu::run_image(image, guest.bad_input, replay);
+    const Outcome outcome = oracle.classify(run, 42);
+    ++expected_counts[outcome];
+    if (outcome == Outcome::kSuccess) {
+      expected_vulnerabilities.push_back(Vulnerability{fault.spec, fault.address});
+    }
+  }
+
+  for (const std::uint64_t interval :
+       std::vector<std::uint64_t>{3, 7, length - 1, length + 5}) {
+    SCOPED_TRACE("fixed_interval=" + std::to_string(interval));
+    EngineConfig config;
+    config.policy.fixed_interval = interval;
+    const Engine engine(image, guest.good_input, guest.bad_input, config);
+    // chain_[k] freezes step k * interval; the final partial segment (when
+    // the interval does not divide the trace) has no trailing checkpoint.
+    const std::uint64_t expected_snapshots = (length + interval - 1) / interval;
+    EXPECT_EQ(engine.snapshot_count(), expected_snapshots);
+
+    const CampaignResult result = engine.run(paper_models());
+    EXPECT_EQ(result.outcome_counts, expected_counts);
+    EXPECT_EQ(result.vulnerabilities, expected_vulnerabilities);
+  }
+}
+
+TEST(Engine, FixedIntervalPartialFinalSegmentMatchesDefaultPairSweep) {
+  // The order-2 analogue: pairs whose second fault lands in the final
+  // partial segment classify identically under a misaligned fixed interval
+  // and under the default policy (itself validated against brute force).
+  const Guest& guest = guests::toymov();
+  const elf::Image image = guests::build_image(guest);
+
+  FaultModels models;
+  models.bit_flip = false;
+  models.order = 2;
+  models.pair_window = 5;
+
+  EngineConfig reference_config;
+  const Engine reference(image, guest.good_input, guest.bad_input, reference_config);
+  const PairCampaignResult expected = reference.run_pairs(models);
+
+  EngineConfig fixed;
+  fixed.policy.fixed_interval = 7;
+  const Engine engine(image, guest.good_input, guest.bad_input, fixed);
+  ASSERT_NE(engine.references().bad_trace.size() % 7, 0u)
+      << "trace length became a multiple of the interval; pick another";
+  const PairCampaignResult result = engine.run_pairs(models);
+  EXPECT_EQ(result.outcome_counts, expected.outcome_counts);
+  EXPECT_EQ(result.vulnerabilities, expected.vulnerabilities);
+}
+
 TEST(Scheduler, ThreadCountDoesNotChangeResults) {
   for (const Guest* guest : guests::all_guests()) {
     const elf::Image image = guests::build_image(*guest);
@@ -256,7 +331,11 @@ TEST(Engine, PairSweepMatchesBruteForceDoubleReplay) {
     leg1.fault = pair.first;
     leg1.fuel = pair.second.trace_index;
     emu::RunResult run = machine.run(leg1);
+    // Where the second fault actually lands: the paused machine's rip, or
+    // the golden address when the first fault's run already terminated.
+    std::uint64_t second_hit = pair.second_address;
     if (run.reason == emu::StopReason::kFuelExhausted) {
+      second_hit = machine.cpu().rip;
       emu::RunConfig leg2;
       leg2.fault = pair.second;
       leg2.fuel = fuel;
@@ -266,7 +345,8 @@ TEST(Engine, PairSweepMatchesBruteForceDoubleReplay) {
     ++expected_counts[outcome];
     if (outcome == Outcome::kSuccess) {
       expected_vulnerabilities.push_back(PairVulnerability{
-          pair.first, pair.second, pair.first_address, pair.second_address});
+          pair.first, pair.second, pair.first_address, pair.second_address,
+          second_hit});
     }
   }
 
@@ -359,7 +439,7 @@ TEST(Engine, HardenedPincheckFallsOnlyToDoubleFaults) {
   // pruned vs exhaustive enumeration at 1 and 8 threads.
   const Guest& guest = guests::pincheck();
   patch::PipelineConfig pipeline_config;
-  pipeline_config.campaign.model_bit_flip = false;
+  pipeline_config.campaign.models.bit_flip = false;
   pipeline_config.campaign.threads = 0;
   const patch::PipelineResult patched = patch::faulter_patcher(
       guests::build_image(guest), guest.good_input, guest.bad_input, pipeline_config);
@@ -394,6 +474,26 @@ TEST(Engine, HardenedPincheckFallsOnlyToDoubleFaults) {
       << "order-2 sweep found no residual double-fault vulnerability";
   EXPECT_GE(reference->strictly_higher_order().size(), 1u)
       << "every residual pair was already visible to order 1";
+
+  // Pair → site attribution: on this binary some residual pairs start by
+  // skipping a branch, so the second fault lands off the golden trace —
+  // second_hit_address must track the diverged control flow (it feeds the
+  // order-2 patcher), and patch_sites() merges both ends of every pair.
+  bool any_diverged = false;
+  for (const PairVulnerability& pair : reference->vulnerabilities) {
+    if (pair.second_hit_address != pair.second_address) any_diverged = true;
+  }
+  EXPECT_TRUE(any_diverged)
+      << "no pair diverged from the golden trace; hit attribution untested";
+  const auto sites = reference->patch_sites();
+  ASSERT_FALSE(sites.empty());
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+  EXPECT_EQ(std::adjacent_find(sites.begin(), sites.end()), sites.end());
+  for (const PairVulnerability& pair : reference->strictly_higher_order()) {
+    EXPECT_TRUE(std::binary_search(sites.begin(), sites.end(), pair.first_address));
+    EXPECT_TRUE(
+        std::binary_search(sites.begin(), sites.end(), pair.second_hit_address));
+  }
 }
 
 TEST(Engine, PairResultExportsJsonAndDerivedViews) {
