@@ -16,10 +16,32 @@ using support::ErrorKind;
 
 using SymbolMap = std::map<std::string, std::uint64_t, std::less<>>;
 
+/// " (line N: <instr>)" context for layout errors, empty when the item was
+/// synthesized (no source line to point at).
+std::string item_context(const CodeItem& item) {
+  std::string context;
+  if (item.source_line != 0) {
+    context = " (line " + std::to_string(item.source_line);
+    if (item.is_instruction()) context += ": " + isa::print(*item.instr);
+    context += ")";
+  } else if (item.is_instruction()) {
+    context = " (in " + isa::print(*item.instr) + ")";
+  }
+  return context;
+}
+
 /// Resolves data-symbol references in an instruction's operands.
 /// Text-label branch targets become ImmOperand{address-or-placeholder}.
+/// `item` is the referencing item; errors cite its source line (the
+/// context string is only built on the failure path).
 isa::Instruction resolve(const isa::Instruction& instr, const SymbolMap& symbols,
-                         std::uint64_t placeholder_for_unknown, bool allow_unknown) {
+                         std::uint64_t placeholder_for_unknown, bool allow_unknown,
+                         const CodeItem& item) {
+  // Error messages (and the item context) are only built on the failure
+  // path — resolve() runs for every instruction of every assemble() pass.
+  const auto fail_item = [&item](const std::string& message) {
+    support::fail(ErrorKind::kRewrite, message + item_context(item));
+  };
   isa::Instruction out = instr;
   for (isa::Operand& op : out.operands) {
     if (auto* label = std::get_if<isa::LabelOperand>(&op)) {
@@ -27,16 +49,17 @@ isa::Instruction resolve(const isa::Instruction& instr, const SymbolMap& symbols
       if (it != symbols.end()) {
         op = isa::ImmOperand{static_cast<std::int64_t>(it->second), label->name};
       } else {
-        check(allow_unknown, ErrorKind::kRewrite, "undefined label: " + label->name);
+        if (!allow_unknown) fail_item("undefined label: '" + label->name + "'");
         op = isa::ImmOperand{static_cast<std::int64_t>(placeholder_for_unknown), {}};
       }
       continue;
     }
     if (auto* mem = std::get_if<isa::MemOperand>(&op); mem != nullptr && !mem->label.empty()) {
       const auto it = symbols.find(mem->label);
-      check(it != symbols.end(), ErrorKind::kRewrite,
-            "undefined symbol in memory operand: " + mem->label +
-                " (data symbols must be laid out before code)");
+      if (it == symbols.end()) {
+        fail_item("undefined symbol in memory operand: '" + mem->label +
+                  "' (data symbols must be laid out before code)");
+      }
       if (mem->rip_relative) {
         mem->disp = static_cast<std::int64_t>(it->second) + mem->disp;
       } else {
@@ -55,12 +78,16 @@ isa::Instruction resolve(const isa::Instruction& instr, const SymbolMap& symbols
         // movabs form.
         if (instr.mnemonic != isa::Mnemonic::kMov) imm->label.clear();
       } else {
-        check(allow_unknown, ErrorKind::kRewrite,
-              "undefined symbol in immediate: " + imm->label);
+        if (!allow_unknown) {
+          fail_item("undefined symbol in immediate: '" + imm->label + "'");
+        }
         // An unknown (not-yet-laid-out text) symbol would make the encoding
         // size depend on its final value; only movabs is size-stable.
-        check(instr.mnemonic == isa::Mnemonic::kMov, ErrorKind::kRewrite,
-              "forward symbol immediates are only supported in mov (movabs) context");
+        if (instr.mnemonic != isa::Mnemonic::kMov) {
+          fail_item(
+              "forward symbol immediates are only supported in mov (movabs) "
+              "context");
+        }
       }
     }
   }
@@ -98,7 +125,7 @@ elf::Image assemble(Module& module) {
     if (item.is_instruction()) {
       // Unknown (text) labels use the current address as a placeholder;
       // branch sizes are rel32 and independent of the distance.
-      const isa::Instruction sized = resolve(*item.instr, symbols, cursor, true);
+      const isa::Instruction sized = resolve(*item.instr, symbols, cursor, true, item);
       cursor += isa::encoded_length(sized, item.address);
     } else {
       cursor += item.raw.size();
@@ -110,7 +137,7 @@ elf::Image assemble(Module& module) {
   text_bytes.reserve(static_cast<std::size_t>(cursor - module.text_base));
   for (const CodeItem& item : module.text) {
     if (item.is_instruction()) {
-      const isa::Instruction final_instr = resolve(*item.instr, symbols, 0, false);
+      const isa::Instruction final_instr = resolve(*item.instr, symbols, 0, false, item);
       const std::vector<std::uint8_t> bytes = isa::encode(final_instr, item.address);
       check(module.text_base + text_bytes.size() == item.address, ErrorKind::kRewrite,
             "layout drift at " + isa::print(*item.instr));
@@ -144,7 +171,10 @@ elf::Image assemble(Module& module) {
       for (const auto& [offset, symbol] : block.symbol_refs) {
         const auto it = symbols.find(symbol);
         check(it != symbols.end(), ErrorKind::kRewrite,
-              "undefined symbol in data: " + symbol);
+              "undefined symbol in data: '" + symbol + "'" +
+                  (block.source_line != 0
+                       ? " (line " + std::to_string(block.source_line) + ")"
+                       : ""));
         const std::size_t at = block.address - section.base + offset;
         for (int i = 0; i < 8; ++i) {
           segment.data[at + static_cast<std::size_t>(i)] =

@@ -112,6 +112,7 @@ Module from_source(const isa::SourceProgram& program) {
       for (const auto& item : section.items) {
         CodeItem code;
         code.labels = item.labels;
+        code.source_line = item.line;
         if (item.is_instruction()) {
           code.instr = *item.instr;
         } else if (!item.data.empty()) {
@@ -136,6 +137,7 @@ Module from_source(const isa::SourceProgram& program) {
       block.bytes = item.data;
       block.symbol_refs = item.data_symbol_refs;
       block.align = item.align;
+      block.source_line = item.line;
       data.blocks.push_back(std::move(block));
     }
     module.data_sections.push_back(std::move(data));

@@ -30,6 +30,9 @@ struct CodeItem {
   std::vector<std::uint8_t> raw;       ///< used when instr is empty
   std::uint64_t address = 0;           ///< assigned by the last assemble()
   bool synthesized = false;  ///< inserted by a countermeasure (never re-patched)
+  /// 1-based source line when the item came from assembly text (0 for
+  /// recovered or synthesized items); assemble() errors cite it.
+  std::size_t source_line = 0;
 
   [[nodiscard]] bool is_instruction() const noexcept { return instr.has_value(); }
   [[nodiscard]] bool has_label(std::string_view name) const noexcept {
@@ -48,6 +51,7 @@ struct DataBlock {
   std::vector<std::pair<std::size_t, std::string>> symbol_refs;
   std::uint64_t align = 0;
   std::uint64_t address = 0;  ///< assigned by the last assemble()
+  std::size_t source_line = 0;  ///< 1-based source line (0 = synthesized)
 };
 
 struct DataSection {

@@ -1,0 +1,446 @@
+#include "guests/synth.h"
+
+#include <string_view>
+#include <vector>
+
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace r2r::guests::synth {
+
+namespace {
+
+constexpr std::string_view kCharset = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+char draw_char(support::Rng& rng) {
+  return kCharset[static_cast<std::size_t>(rng.next_below(kCharset.size()))];
+}
+
+std::string draw_token(support::Rng& rng, std::size_t length) {
+  std::string token;
+  token.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) token.push_back(draw_char(rng));
+  return token;
+}
+
+/// 31-bit positive immediate (always encodable as imm32, never sign-trouble).
+std::uint64_t draw_imm(support::Rng& rng) { return (rng.next() & 0x7FFFFFFFULL) | 1; }
+
+/// The guest-side digest loop mirrored host-side: h = (h ^ byte) * prime,
+/// 64-bit wrapping — identical to the emulated xor+imul sequence.
+std::uint64_t synth_digest(std::string_view data, std::uint64_t basis,
+                           std::uint64_t prime) {
+  std::uint64_t hash = basis;
+  for (const char c : data) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= prime;
+  }
+  return hash;
+}
+
+std::string write_msg(const std::string& symbol, std::size_t length) {
+  return "    mov rax, 1\n"
+         "    mov rdi, 1\n"
+         "    mov rsi, offset " + symbol + "\n"
+         "    mov rdx, " + std::to_string(length) + "\n"
+         "    syscall\n";
+}
+
+std::string exit_with(int code) {
+  return "    mov rax, 60\n"
+         "    mov rdi, " + std::to_string(code) + "\n"
+         "    syscall\n";
+}
+
+DecisionKind pick_decision(support::Rng& rng, const SynthConfig& config) {
+  std::vector<DecisionKind> palette;
+  if (config.allow_byte_compare) palette.push_back(DecisionKind::kByteCompare);
+  if (config.allow_digest) palette.push_back(DecisionKind::kDigestCompare);
+  if (config.allow_multistage) palette.push_back(DecisionKind::kMultiStageGuard);
+  if (palette.empty()) palette.push_back(DecisionKind::kByteCompare);
+  return palette[static_cast<std::size_t>(rng.next_below(palette.size()))];
+}
+
+bool chance(support::Rng& rng, unsigned percent) {
+  return rng.next_below(100) < percent;
+}
+
+/// Flag-neutral filler instructions (mov/movzx only) inserted between a
+/// decision `cmp` and its `jcc` — the Table II/III "compare far from the
+/// branch" shape. `allow_loads` admits memory-reading fillers; keep it off
+/// inside loops whose registers must survive.
+std::string draw_gap_fillers(support::Rng& rng, unsigned max_gap, bool allow_loads) {
+  std::string out;
+  const std::uint64_t count = max_gap == 0 ? 0 : rng.next_below(max_gap + 1);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    switch (rng.next_below(allow_loads ? 3 : 2)) {
+      case 0:
+        out += "    mov rbx, " + std::to_string(draw_imm(rng)) + "\n";
+        break;
+      case 1:
+        out += "    mov rdx, " + std::to_string(draw_imm(rng)) + "\n";
+        break;
+      default:
+        out += "    mov rsi, offset inbuf\n"
+               "    movzx rbx, byte ptr [rsi]\n";
+        break;
+    }
+  }
+  return out;
+}
+
+/// One noise helper of the call tree: scratch arithmetic, an optional
+/// two-arm branch, an optional loop with a data-dependent trip count
+/// (1..8, derived from an input byte), an optional call deeper into the
+/// tree, all seed-chosen.
+struct NoiseHelper {
+  std::string body;
+  bool calls_next = false;
+};
+
+NoiseHelper make_noise_helper(support::Rng& rng, const SynthConfig& config,
+                              unsigned index, unsigned helper_count,
+                              unsigned key_len) {
+  NoiseHelper helper;
+  const std::string name = "noise_" + std::to_string(index);
+  const std::string slot = index == 0 ? std::string("[rbx]")
+                                      : "[rbx+" + std::to_string(8 * index) + "]";
+  std::string body;
+  body += name + ":\n";
+  body += "    mov rbx, offset scratch\n";
+  body += "    mov rax, " + slot + "\n";
+  body += "    add rax, " + std::to_string(draw_imm(rng)) + "\n";
+  body += "    xor rax, " + std::to_string(draw_imm(rng)) + "\n";
+
+  if (chance(rng, config.branch_density_percent)) {
+    static constexpr std::string_view kCc[] = {"jb", "ja", "jne", "je"};
+    const std::string_view cc = kCc[rng.next_below(4)];
+    body += "    cmp rax, " + std::to_string(draw_imm(rng)) + "\n";
+    body += "    " + std::string(cc) + " n" + std::to_string(index) + "_else\n";
+    body += "    add rax, " + std::to_string(draw_imm(rng)) + "\n";
+    body += "    jmp n" + std::to_string(index) + "_join\n";
+    body += "n" + std::to_string(index) + "_else:\n";
+    body += "    xor rax, " + std::to_string(draw_imm(rng)) + "\n";
+    body += "n" + std::to_string(index) + "_join:\n";
+  }
+
+  if (chance(rng, config.loop_chance_percent)) {
+    const std::uint64_t byte_index = rng.next_below(key_len);
+    body += "    mov rsi, offset inbuf\n";
+    body += "    movzx rcx, byte ptr [rsi+" + std::to_string(byte_index) + "]\n";
+    body += "    and rcx, 7\n";
+    body += "    inc rcx\n";
+    body += "n" + std::to_string(index) + "_loop:\n";
+    body += "    add rax, " + std::to_string(draw_imm(rng)) + "\n";
+    if (config.mov_store_opportunities) body += "    mov " + slot + ", rax\n";
+    body += "    dec rcx\n";
+    body += "    cmp rcx, 0\n";
+    body += "    jne n" + std::to_string(index) + "_loop\n";
+  }
+
+  body += "    mov " + slot + ", rax\n";
+  if (index + 1 < helper_count && chance(rng, 50)) {
+    helper.calls_next = true;
+    body += "    call noise_" + std::to_string(index + 1) + "\n";
+  }
+  body += "    ret\n";
+  helper.body = std::move(body);
+  return helper;
+}
+
+/// Accumulate-difference byte compare (pincheck's cp_loop shape): xor every
+/// input byte against the expected key, OR the differences, one verdict cmp.
+std::string byte_compare_accumulate(support::Rng& rng, const SynthConfig& config,
+                                    const std::string& label, unsigned offset,
+                                    unsigned length) {
+  const std::string p = label;
+  std::string body;
+  body += p + ":\n";
+  body += "    mov rsi, offset inbuf\n";
+  if (offset != 0) body += "    add rsi, " + std::to_string(offset) + "\n";
+  body += "    mov rdi, offset expected_key\n";
+  if (offset != 0) body += "    add rdi, " + std::to_string(offset) + "\n";
+  body += "    mov rcx, " + std::to_string(length) + "\n";
+  body += "    xor rax, rax\n";
+  body += p + "_loop:\n";
+  body += "    movzx rbx, byte ptr [rsi]\n";
+  body += "    movzx rdx, byte ptr [rdi]\n";
+  body += "    xor rbx, rdx\n";
+  body += "    or rax, rbx\n";
+  body += "    inc rsi\n";
+  body += "    inc rdi\n";
+  body += "    dec rcx\n";
+  body += "    cmp rcx, 0\n";
+  body += "    jne " + p + "_loop\n";
+  body += "    cmp rax, 0\n";
+  body += draw_gap_fillers(rng, config.max_cmp_jcc_gap, /*allow_loads=*/true);
+  body += "    jne " + p + "_fail\n";
+  body += "    mov rax, 1\n";
+  body += "    ret\n";
+  body += p + "_fail:\n";
+  body += "    xor rax, rax\n";
+  body += "    ret\n";
+  return body;
+}
+
+/// Early-exit byte compare (the bootloader's vm_loop shape): bail at the
+/// first mismatching byte. The per-byte cmp/jcc pair may be separated by
+/// immediate-only fillers.
+std::string byte_compare_early_exit(support::Rng& rng, const SynthConfig& config,
+                                    const std::string& label, unsigned offset,
+                                    unsigned length) {
+  const std::string p = label;
+  std::string body;
+  body += p + ":\n";
+  body += "    mov rsi, offset inbuf\n";
+  if (offset != 0) body += "    add rsi, " + std::to_string(offset) + "\n";
+  body += "    mov rdi, offset expected_key\n";
+  if (offset != 0) body += "    add rdi, " + std::to_string(offset) + "\n";
+  body += "    mov rcx, " + std::to_string(length) + "\n";
+  body += p + "_loop:\n";
+  body += "    movzx rbx, byte ptr [rsi]\n";
+  body += "    movzx rdx, byte ptr [rdi]\n";
+  body += "    cmp rbx, rdx\n";
+  body += draw_gap_fillers(rng, config.max_cmp_jcc_gap, /*allow_loads=*/false);
+  body += "    jne " + p + "_fail\n";
+  body += "    inc rsi\n";
+  body += "    inc rdi\n";
+  body += "    dec rcx\n";
+  body += "    cmp rcx, 0\n";
+  body += "    jne " + p + "_loop\n";
+  body += "    mov rax, 1\n";
+  body += "    ret\n";
+  body += p + "_fail:\n";
+  body += "    xor rax, rax\n";
+  body += "    ret\n";
+  return body;
+}
+
+/// Digest compare (the bootloader's compute_hash shape): seeded basis and
+/// odd prime, expected value loaded from a data quad.
+std::string digest_compare(support::Rng& rng, const SynthConfig& config,
+                           const std::string& label, unsigned length,
+                           std::uint64_t basis, std::uint64_t prime) {
+  const std::string p = label;
+  std::string body;
+  body += p + ":\n";
+  body += "    mov rsi, offset inbuf\n";
+  body += "    mov rcx, " + std::to_string(length) + "\n";
+  body += "    mov rax, " + support::hex_string(basis) + "\n";
+  body += p + "_loop:\n";
+  body += "    movzx rbx, byte ptr [rsi]\n";
+  body += "    xor rax, rbx\n";
+  body += "    mov rdi, " + support::hex_string(prime) + "\n";
+  body += "    imul rax, rdi\n";
+  body += "    inc rsi\n";
+  body += "    dec rcx\n";
+  body += "    cmp rcx, 0\n";
+  body += "    jne " + p + "_loop\n";
+  body += "    mov rdi, offset expected_digest\n";
+  body += "    mov rdi, [rdi]\n";
+  body += "    cmp rax, rdi\n";
+  body += draw_gap_fillers(rng, config.max_cmp_jcc_gap, /*allow_loads=*/true);
+  body += "    jne " + p + "_fail\n";
+  body += "    mov rax, 1\n";
+  body += "    ret\n";
+  body += p + "_fail:\n";
+  body += "    xor rax, rax\n";
+  body += "    ret\n";
+  return body;
+}
+
+}  // namespace
+
+DecisionKind decision_kind(const SynthConfig& config) {
+  support::Rng rng(config.seed);
+  return pick_decision(rng, config);
+}
+
+Guest generate(const SynthConfig& config) {
+  support::Rng rng(config.seed);
+
+  // ---- decision, key, inputs (fixed draw order: the determinism contract).
+  const DecisionKind kind = pick_decision(rng, config);
+  const unsigned min_len = config.min_key_len < 2 ? 2 : config.min_key_len;
+  const unsigned max_len = config.max_key_len < min_len ? min_len : config.max_key_len;
+  const unsigned key_len =
+      min_len + static_cast<unsigned>(rng.next_below(max_len - min_len + 1));
+
+  std::string good_key = draw_token(rng, key_len);
+
+  const bool uses_digest =
+      kind == DecisionKind::kDigestCompare || kind == DecisionKind::kMultiStageGuard;
+  const std::uint64_t basis = rng.next();
+  const std::uint64_t prime = rng.next() | 1;
+
+  // One mutated byte; for digest decisions the digests must also differ
+  // (redraw deterministically in the vanishingly unlikely collision case).
+  std::string bad_key = good_key;
+  while (true) {
+    const std::size_t pos = static_cast<std::size_t>(rng.next_below(key_len));
+    const char replacement = draw_char(rng);
+    if (replacement == good_key[pos]) continue;
+    bad_key = good_key;
+    bad_key[pos] = replacement;
+    if (!uses_digest ||
+        synth_digest(good_key, basis, prime) != synth_digest(bad_key, basis, prime)) {
+      break;
+    }
+  }
+
+  // ---- observable contract.
+  const std::string banner = "SYNTH SERVICE " + draw_token(rng, 6) + "\n";
+  const std::string granted = "ACCESS GRANTED " + draw_token(rng, 4) + "\n";
+  const std::string secret = "SECRET " + draw_token(rng, 8) + "\n";
+  const std::string denied = "ACCESS DENIED " + draw_token(rng, 4) + "\n";
+  const std::string ioerror = "IO ERROR\n";
+
+  Guest guest;
+  guest.name = "synth_" + std::to_string(config.seed);
+  guest.good_input = good_key;
+  guest.bad_input = bad_key;
+  guest.good_output = banner + granted + secret;
+  guest.bad_output = banner + denied;
+  guest.good_exit = 0;
+  guest.bad_exit = 1;
+
+  // ---- noise-helper call tree.
+  const unsigned helper_count =
+      config.max_noise_helpers == 0
+          ? 0
+          : static_cast<unsigned>(rng.next_below(config.max_noise_helpers + 1));
+  std::vector<NoiseHelper> helpers;
+  helpers.reserve(helper_count);
+  for (unsigned i = 0; i < helper_count; ++i) {
+    helpers.push_back(make_noise_helper(rng, config, i, helper_count, key_len));
+  }
+  // Helpers not reached through a deeper call are rooted in _start, either
+  // before the decision or on the privileged continuation.
+  std::vector<unsigned> start_calls_pre;
+  std::vector<unsigned> start_calls_post;
+  for (unsigned i = 0; i < helper_count; ++i) {
+    if (i > 0 && helpers[i - 1].calls_next) continue;  // called by helper i-1
+    if (chance(rng, 50)) {
+      start_calls_pre.push_back(i);
+    } else {
+      start_calls_post.push_back(i);
+    }
+  }
+
+  // ---- decision helpers.
+  std::string decision_text;
+  bool needs_expected_key = false;
+  std::string expected_key_bytes = good_key;  // the byte-compare reference
+  unsigned stage_count = 1;
+  switch (kind) {
+    case DecisionKind::kByteCompare:
+      needs_expected_key = true;
+      decision_text = chance(rng, 50)
+                          ? byte_compare_accumulate(rng, config, "check_stage0", 0,
+                                                    key_len)
+                          : byte_compare_early_exit(rng, config, "check_stage0", 0,
+                                                    key_len);
+      break;
+    case DecisionKind::kDigestCompare:
+      decision_text =
+          digest_compare(rng, config, "check_stage0", key_len, basis, prime);
+      break;
+    case DecisionKind::kMultiStageGuard: {
+      // Stage 0 guards the key prefix byte-wise, stage 1 digests the whole
+      // input — both must pass.
+      needs_expected_key = true;
+      stage_count = 2;
+      const unsigned prefix = (key_len + 1) / 2;
+      decision_text =
+          byte_compare_early_exit(rng, config, "check_stage0", 0, prefix) + "\n" +
+          digest_compare(rng, config, "check_stage1", key_len, basis, prime);
+      break;
+    }
+  }
+
+  // ---- _start.
+  std::string text;
+  text += ".global _start\n";
+  text += ".section .text\n";
+  text += "_start:\n";
+  text += write_msg("msg_banner", banner.size());
+  text += "    mov rax, 0\n";
+  text += "    mov rdi, 0\n";
+  text += "    mov rsi, offset inbuf\n";
+  text += "    mov rdx, " + std::to_string(key_len) + "\n";
+  text += "    syscall\n";
+  text += "    cmp rax, " + std::to_string(key_len) + "\n";
+  text += "    jne io_error\n";
+  for (const unsigned i : start_calls_pre) {
+    text += "    call noise_" + std::to_string(i) + "\n";
+  }
+  for (unsigned stage = 0; stage < stage_count; ++stage) {
+    text += "    call check_stage" + std::to_string(stage) + "\n";
+    text += "    cmp rax, 1\n";
+    text += draw_gap_fillers(rng, config.max_cmp_jcc_gap > 2 ? 2 : config.max_cmp_jcc_gap,
+                             /*allow_loads=*/false);
+    text += "    jne deny\n";
+  }
+  for (const unsigned i : start_calls_post) {
+    text += "    call noise_" + std::to_string(i) + "\n";
+  }
+  text += "grant:\n";
+  text += write_msg("msg_granted", granted.size());
+  text += write_msg("msg_secret", secret.size());
+  text += exit_with(0);
+  text += "deny:\n";
+  text += write_msg("msg_denied", denied.size());
+  text += exit_with(1);
+  text += "io_error:\n";
+  text += write_msg("msg_ioerror", ioerror.size());
+  text += exit_with(3);
+  text += "\n";
+  text += decision_text;
+  for (const NoiseHelper& helper : helpers) {
+    text += "\n" + helper.body;
+  }
+
+  // ---- data.
+  text += "\n.section .data\n";
+  text += "inbuf: .zero " + std::to_string(((key_len + 15) / 16) * 16) + "\n";
+  const unsigned scratch_slots = helper_count == 0 ? 1 : helper_count;
+  text += "scratch: .quad 0";
+  for (unsigned i = 1; i < scratch_slots; ++i) text += ", 0";
+  text += "\n";
+  if (needs_expected_key) {
+    text += "expected_key: .byte ";
+    for (std::size_t i = 0; i < expected_key_bytes.size(); ++i) {
+      if (i != 0) text += ", ";
+      text += std::to_string(static_cast<unsigned>(
+          static_cast<unsigned char>(expected_key_bytes[i])));
+    }
+    text += "\n";
+  }
+  if (uses_digest) {
+    text += "expected_digest: .quad " +
+            support::hex_string(synth_digest(good_key, basis, prime)) + "\n";
+  }
+  const auto emit_msg = [&text](const std::string& symbol, const std::string& message) {
+    // Message charset is [A-Z0-9 ] plus the trailing newline — the only
+    // byte needing an escape.
+    std::string escaped = message;
+    escaped.pop_back();
+    text += symbol + ": .asciz \"" + escaped + "\\n\"\n";
+  };
+  emit_msg("msg_banner", banner);
+  emit_msg("msg_granted", granted);
+  emit_msg("msg_secret", secret);
+  emit_msg("msg_denied", denied);
+  emit_msg("msg_ioerror", ioerror);
+
+  guest.assembly = std::move(text);
+  return guest;
+}
+
+Guest generate(std::uint64_t seed) {
+  SynthConfig config;
+  config.seed = seed;
+  return generate(config);
+}
+
+}  // namespace r2r::guests::synth

@@ -21,6 +21,9 @@ using support::trim;
                 "line " + std::to_string(line_number) + ": " + message);
 }
 
+/// Quotes an offending token for an error message.
+std::string quoted(std::string_view token) { return "'" + std::string(token) + "'"; }
+
 bool is_ident_char(char c) noexcept {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == '.';
 }
@@ -86,23 +89,24 @@ MemOperand parse_mem_body(std::string_view body) {
       const auto reg = parse_reg_name(to_lower(trim(token.substr(0, star))));
       const auto scale = parse_integer(trim(token.substr(star + 1)));
       check(reg.has_value() && reg->second == Width::b64, ErrorKind::kParse,
-            "bad index register in memory operand");
+            "bad index register in memory operand: " + quoted(token));
       check(scale.has_value() &&
                 (*scale == 1 || *scale == 2 || *scale == 4 || *scale == 8),
-            ErrorKind::kParse, "bad scale in memory operand");
-      check(!neg, ErrorKind::kParse, "index cannot be negated");
+            ErrorKind::kParse, "bad scale in memory operand: " + quoted(token));
+      check(!neg, ErrorKind::kParse, "index cannot be negated: " + quoted(token));
       mem.index = reg->first;
       mem.scale = static_cast<std::uint8_t>(*scale);
       continue;
     }
     if (const auto reg = parse_reg_name(lower); reg.has_value()) {
       check(reg->second == Width::b64, ErrorKind::kParse,
-            "memory operands use 64-bit registers");
-      check(!neg, ErrorKind::kParse, "register cannot be negated");
+            "memory operands use 64-bit registers: " + quoted(token));
+      check(!neg, ErrorKind::kParse, "register cannot be negated: " + quoted(token));
       if (!mem.base) {
         mem.base = reg->first;
       } else {
-        check(!mem.index, ErrorKind::kParse, "too many registers in memory operand");
+        check(!mem.index, ErrorKind::kParse,
+              "too many registers in memory operand: " + quoted(token));
         mem.index = reg->first;
         mem.scale = 1;
       }
@@ -113,8 +117,9 @@ MemOperand parse_mem_body(std::string_view body) {
       continue;
     }
     check(is_identifier(token) && !neg, ErrorKind::kParse,
-          "bad term in memory operand: " + std::string(token));
-    check(mem.label.empty(), ErrorKind::kParse, "multiple symbols in memory operand");
+          "bad term in memory operand: " + quoted(token));
+    check(mem.label.empty(), ErrorKind::kParse,
+          "multiple symbols in memory operand: " + quoted(token));
     mem.label = std::string(token);
   }
   return mem;
@@ -144,16 +149,18 @@ ParsedOperand parse_operand(std::string_view text) {
   }
 
   if (!text.empty() && text.front() == '[') {
-    check(text.back() == ']', ErrorKind::kParse, "unterminated memory operand");
+    check(text.back() == ']', ErrorKind::kParse,
+          "unterminated memory operand: " + quoted(text));
     out.op = parse_mem_body(text.substr(1, text.size() - 2));
     return out;
   }
   check(!out.size_prefix.has_value(), ErrorKind::kParse,
-        "size prefix requires a memory operand");
+        "size prefix requires a memory operand: " + quoted(text));
 
   if (lower.starts_with("offset ")) {
     const std::string_view sym = trim(text.substr(7));
-    check(is_identifier(sym), ErrorKind::kParse, "bad symbol after offset");
+    check(is_identifier(sym), ErrorKind::kParse,
+          "bad symbol after offset: " + quoted(sym));
     out.op = ImmOperand{0, std::string(sym)};
     return out;
   }
@@ -167,7 +174,7 @@ ParsedOperand parse_operand(std::string_view text) {
     return out;
   }
   check(is_identifier(text), ErrorKind::kParse,
-        "unrecognized operand: " + std::string(text));
+        "unrecognized operand: " + quoted(text));
   out.op = LabelOperand{std::string(text)};
   return out;
 }
@@ -262,7 +269,7 @@ Instruction parse_instruction(std::string_view line) {
   while (split_at < line.size() && is_ident_char(line[split_at])) ++split_at;
   const std::string mnemonic_text = to_lower(line.substr(0, split_at));
   const auto spec = parse_mnemonic(mnemonic_text);
-  check(spec.has_value(), ErrorKind::kParse, "unknown mnemonic: " + mnemonic_text);
+  check(spec.has_value(), ErrorKind::kParse, "unknown mnemonic: " + quoted(mnemonic_text));
 
   Instruction instr;
   instr.mnemonic = spec->mnemonic;
@@ -325,6 +332,7 @@ SourceProgram parse_assembly(std::string_view text) {
   program.sections.push_back(SourceSection{".text", {}});
   SourceSection* current = &program.sections.back();
   std::vector<std::string> pending_labels;
+  std::size_t pending_labels_line = 0;  ///< line of the first pending label
 
   const auto section_named = [&program](std::string_view name) -> SourceSection* {
     for (auto& section : program.sections) {
@@ -364,8 +372,10 @@ SourceProgram parse_assembly(std::string_view text) {
       while (i < line.size() && is_ident_char(line[i])) ++i;
       if (i == 0 || i >= line.size() || line[i] != ':') break;
       const std::string_view label = line.substr(0, i);
-      check(is_identifier(label), ErrorKind::kParse,
-            "bad label on line " + std::to_string(line_number));
+      if (!is_identifier(label)) {
+        parse_fail(line_number, "bad label: " + quoted(label));
+      }
+      if (pending_labels.empty()) pending_labels_line = line_number;
       pending_labels.emplace_back(label);
       line = trim(line.substr(i + 1));
     }
@@ -376,6 +386,7 @@ SourceProgram parse_assembly(std::string_view text) {
 
     SourceItem item;
     item.labels = std::move(pending_labels);
+    item.line = line_number;  // the content line, not the (earlier) label line
     pending_labels.clear();
 
     if (line.front() == '.') {
@@ -401,7 +412,7 @@ SourceProgram parse_assembly(std::string_view text) {
         for (const auto piece : split(args, ',')) {
           const auto value = parse_integer(piece);
           if (!value || *value < -128 || *value > 255)
-            parse_fail(line_number, "bad .byte value");
+            parse_fail(line_number, "bad .byte value: " + quoted(piece));
           item.data.push_back(static_cast<std::uint8_t>(*value));
         }
       } else if (directive == ".quad") {
@@ -414,7 +425,7 @@ SourceProgram parse_assembly(std::string_view text) {
             item.data_symbol_refs.emplace_back(item.data.size(), std::string(piece));
             for (int i = 0; i < 8; ++i) item.data.push_back(0);
           } else {
-            parse_fail(line_number, "bad .quad value");
+            parse_fail(line_number, "bad .quad value: " + quoted(piece));
           }
         }
       } else if (directive == ".asciz" || directive == ".ascii") {
@@ -422,15 +433,16 @@ SourceProgram parse_assembly(std::string_view text) {
         if (directive == ".asciz") item.data.push_back(0);
       } else if (directive == ".zero" || directive == ".space") {
         const auto count = parse_integer(args);
-        if (!count || *count < 0) parse_fail(line_number, "bad .zero count");
+        if (!count || *count < 0)
+          parse_fail(line_number, "bad .zero count: " + quoted(args));
         item.data.assign(static_cast<std::size_t>(*count), 0);
       } else if (directive == ".align") {
         const auto alignment = parse_integer(args);
         if (!alignment || *alignment <= 0 || (*alignment & (*alignment - 1)) != 0)
-          parse_fail(line_number, ".align requires a power of two");
+          parse_fail(line_number, ".align requires a power of two: " + quoted(args));
         item.align = static_cast<std::uint64_t>(*alignment);
       } else {
-        parse_fail(line_number, "unknown directive: " + directive);
+        parse_fail(line_number, "unknown directive: " + quoted(directive));
       }
       current->items.push_back(std::move(item));
       if (start > text.size()) break;
@@ -440,7 +452,14 @@ SourceProgram parse_assembly(std::string_view text) {
     try {
       item.instr = parse_instruction(line);
     } catch (const support::Error& error) {
-      parse_fail(line_number, error.what());
+      // Re-throw with the line number and the offending source line; strip
+      // the inner "parse: " prefix so the kind is not repeated.
+      std::string_view what = error.what();
+      constexpr std::string_view kKindPrefix = "parse: ";
+      if (what.substr(0, kKindPrefix.size()) == kKindPrefix) {
+        what.remove_prefix(kKindPrefix.size());
+      }
+      parse_fail(line_number, std::string(what) + " | " + std::string(line));
     }
     current->items.push_back(std::move(item));
     if (start > text.size()) break;
@@ -450,6 +469,7 @@ SourceProgram parse_assembly(std::string_view text) {
     // Trailing labels attach to an empty item so they still get addresses.
     SourceItem item;
     item.labels = std::move(pending_labels);
+    item.line = pending_labels_line;
     current->items.push_back(std::move(item));
   }
   return program;

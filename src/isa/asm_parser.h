@@ -38,6 +38,9 @@ struct SourceItem {
   /// symbol's address at layout time (.quad label).
   std::vector<std::pair<std::size_t, std::string>> data_symbol_refs;
   std::uint64_t align = 0;
+  /// 1-based source line this item came from (0 = synthesized). Carried
+  /// through bir so layout-time errors can point back at the source.
+  std::size_t line = 0;
 
   [[nodiscard]] bool is_instruction() const noexcept { return instr.has_value(); }
 };
@@ -55,8 +58,9 @@ struct SourceProgram {
   [[nodiscard]] const SourceSection* find_section(std::string_view name) const noexcept;
 };
 
-/// Parses assembly text. Throws Error{kParse} with a line number on
-/// malformed input.
+/// Parses assembly text. Throws Error{kParse} on malformed input; the
+/// message always names the 1-based source line and quotes the offending
+/// token/line ("line 3: unknown mnemonic: mvo | mvo rax, 1").
 SourceProgram parse_assembly(std::string_view text);
 
 /// Parses a single instruction line, e.g. "mov rax, [rbx+8]".

@@ -52,9 +52,13 @@ class BranchHardeningPass final : public Pass {
 
   bool run(ir::Module& module) override {
     bool changed = false;
-    for (auto& fn : module.functions) {
-      if (fn->is_intrinsic()) continue;
-      changed |= harden_function(module, *fn);
+    // harden_function can add intrinsics to module.functions; iterate by
+    // index over the original count so reallocation cannot invalidate the
+    // cursor (intrinsics appended mid-loop never need hardening).
+    const std::size_t original_count = module.functions.size();
+    for (std::size_t i = 0; i < original_count; ++i) {
+      if (module.functions[i]->is_intrinsic()) continue;
+      changed |= harden_function(module, *module.functions[i]);
     }
     return changed;
   }

@@ -55,9 +55,13 @@ class InstructionDuplicationPass final : public Pass {
 
   bool run(ir::Module& module) override {
     bool changed = false;
-    for (auto& fn : module.functions) {
-      if (fn->is_intrinsic()) continue;
-      changed |= duplicate_function(module, *fn);
+    // duplicate_function adds the trap intrinsic to module.functions;
+    // iterate by index over the original count so reallocation cannot
+    // invalidate the cursor.
+    const std::size_t original_count = module.functions.size();
+    for (std::size_t i = 0; i < original_count; ++i) {
+      if (module.functions[i]->is_intrinsic()) continue;
+      changed |= duplicate_function(module, *module.functions[i]);
     }
     return changed;
   }

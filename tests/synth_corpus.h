@@ -1,0 +1,57 @@
+// Frozen synthetic-guest regression corpus.
+//
+// Seeds land here for one of two reasons:
+//   1. they previously FAILED the property harness (freeze the repro so the
+//      bug can never quietly come back), or
+//   2. they are structurally interesting corners of the generator space
+//      (deep loops, call-heavy trees, cmp-far-from-jcc, order-1-clean
+//      multi-stage guards) worth pinning even when the randomized sweep is
+//      trimmed.
+//
+// These seeds ALWAYS run in tier-1, regardless of the R2R_SYNTH_* sweep
+// configuration. To promote a failing seed K printed by the harness, add
+// `{K, /*order2=*/false, "what it broke"}` below.
+#pragma once
+
+#include <cstdint>
+
+namespace r2r::synth_corpus {
+
+struct CorpusSeed {
+  std::uint64_t seed = 0;
+  /// Also run the order-2 fix-point + 1-vs-8-thread byte-identity check.
+  bool order2 = false;
+  const char* why = "";
+};
+
+inline constexpr CorpusSeed kCorpus[] = {
+    // ---- previously failing seeds --------------------------------------------
+    {10, false,
+     "crashed hybrid_harden: branch-hardening iterated module.functions while "
+     "get_intrinsic reallocated it (iterator invalidation; fixed in this PR)"},
+    {20, false,
+     "second independent repro of the module.functions reallocation crash — "
+     "different decision kind and helper shape than seed 10"},
+    // ---- structurally interesting corners ------------------------------------
+    {2, true,
+     "multi-stage guard that is order-1 clean on the raw binary: every "
+     "vulnerability is strictly second-order (the PR 3 gap scenario)"},
+    {8, true,
+     "call-heavy digest guest: 3 noise helpers chained call-into-call, "
+     "longest call paths and a 6-instruction cmp->jcc gap"},
+    {9, false,
+     "loop-dense multi-stage guard: 5 data-dependent loops across 3 helpers"},
+    {15, false,
+     "deep-loop digest guest: 4 data-dependent loops, longest bad-input "
+     "trace of the first 120 seeds (201 steps)"},
+    {23, false,
+     "minimal straight-line byte compare: no helpers, the smallest shape "
+     "the generator emits"},
+    {36, true,
+     "shortest trace (32 steps) multi-stage guard: fastest order-2 corner"},
+    {77, true,
+     "cmp-far-apart: widest compare-to-branch gap the default knobs allow "
+     "(8 flag-neutral fillers between the decision cmp and its jcc)"},
+};
+
+}  // namespace r2r::synth_corpus

@@ -104,6 +104,91 @@ TEST(Assemble, UndefinedLabelFails) {
   EXPECT_THROW(assemble(module), support::Error);
 }
 
+// ---- diagnostics: errors must name the source line and the offending token ---
+
+/// Returns the message build_module/assemble fails with on `source`.
+template <typename Fn>
+std::string error_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const support::Error& error) {
+    return error.what();
+  }
+  ADD_FAILURE() << "expected a support::Error";
+  return {};
+}
+
+TEST(Diagnostics, UnknownMnemonicNamesLineAndToken) {
+  // Line 1: .global, line 2: _start label, line 3: good mov, line 4: typo.
+  const std::string message = error_message([] {
+    module_from_assembly(
+        ".global _start\n"
+        "_start:\n"
+        "    mov rax, 60\n"
+        "    mvo rdi, 5\n"
+        "    syscall\n");
+  });
+  EXPECT_NE(message.find("line 4"), std::string::npos) << message;
+  EXPECT_NE(message.find("'mvo'"), std::string::npos) << message;
+  // The offending source line is quoted after the token.
+  EXPECT_NE(message.find("mvo rdi, 5"), std::string::npos) << message;
+}
+
+TEST(Diagnostics, BadOperandNamesLineAndToken) {
+  const std::string message = error_message([] {
+    module_from_assembly(
+        ".global _start\n"
+        "_start:\n"
+        "    mov rax, [rbx*3]\n");
+  });
+  EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+  EXPECT_NE(message.find("'rbx*3'"), std::string::npos) << message;
+}
+
+TEST(Diagnostics, BadDirectiveValueNamesLineAndToken) {
+  const std::string message = error_message([] {
+    module_from_assembly(
+        ".section .data\n"
+        "x: .byte 1, 999\n");
+  });
+  EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+  EXPECT_NE(message.find("'999'"), std::string::npos) << message;
+}
+
+TEST(Diagnostics, UndefinedLabelAtLayoutNamesReferencingLine) {
+  // The parse succeeds; the error only surfaces at assemble() time and must
+  // still point back at line 3 and name the missing label.
+  Module module = module_from_assembly(
+      ".global _start\n"
+      "_start:\n"
+      "    jmp nowhere\n");
+  const std::string message = error_message([&] { assemble(module); });
+  EXPECT_NE(message.find("'nowhere'"), std::string::npos) << message;
+  EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+}
+
+TEST(Diagnostics, UndefinedDataSymbolNamesReferencingLine) {
+  Module module = module_from_assembly(
+      ".global _start\n"
+      "_start:\n"
+      "    nop\n"
+      ".section .data\n"
+      "ptr: .quad missing_symbol\n");
+  const std::string message = error_message([&] { assemble(module); });
+  EXPECT_NE(message.find("'missing_symbol'"), std::string::npos) << message;
+  EXPECT_NE(message.find("line 5"), std::string::npos) << message;
+}
+
+TEST(Diagnostics, SynthesizedItemsCarryNoSourceLine) {
+  // Patcher-inserted instructions have no source line; the context falls
+  // back to printing the instruction instead of a bogus line number.
+  Module module = tiny_module();
+  module.insert_before(0, {isa::jmp("nowhere")}, /*take_labels=*/false);
+  const std::string message = error_message([&] { assemble(module); });
+  EXPECT_NE(message.find("'nowhere'"), std::string::npos) << message;
+  EXPECT_EQ(message.find("line"), std::string::npos) << message;
+}
+
 TEST(Assemble, DuplicateLabelFails) {
   Module module = module_from_assembly(
       ".global _start\n_start:\n    nop\n_start:\n    nop\n");

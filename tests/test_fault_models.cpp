@@ -2,13 +2,18 @@
 // robustness under arbitrary byte sequences (fuzz property).
 #include <gtest/gtest.h>
 
+#include <string>
+#include <tuple>
+
 #include "bir/assemble.h"
 #include "emu/machine.h"
 #include "fault/campaign.h"
 #include "guests/guests.h"
+#include "guests/synth.h"
 #include "harden/hybrid.h"
 #include "isa/decoder.h"
 #include "isa/encoder.h"
+#include "sim/engine.h"
 #include "support/error.h"
 #include "support/rng.h"
 
@@ -120,6 +125,104 @@ TEST(ExtensionCampaign, HybridChecksumCatchesFlagFlipsLocalPatternsMiss) {
   EXPECT_LE(hardened.vulnerable_addresses().size(),
             unprotected.vulnerable_addresses().size());
 }
+
+// ---- extension models against generated guests -------------------------------
+//
+// The register_flip and flag_flip models used to default off and were only
+// exercised on toymov. Here they sweep synthetic guests, and for each
+// (model, seed) combination the engine must classify bit-identically
+// (a) with convergence pruning on vs off (pruned vs exhaustive), and
+// (b) at 1 vs 8 worker threads.
+
+enum class ExtensionModel { kRegisterFlip, kFlagFlip };
+
+sim::FaultModels extension_models(ExtensionModel model) {
+  sim::FaultModels models;
+  models.skip = false;
+  models.bit_flip = false;
+  models.register_flip = model == ExtensionModel::kRegisterFlip;
+  models.flag_flip = model == ExtensionModel::kFlagFlip;
+  return models;
+}
+
+class ExtensionModelSweep
+    : public testing::TestWithParam<std::tuple<ExtensionModel, std::uint64_t>> {};
+
+TEST_P(ExtensionModelSweep, PrunedVsExhaustiveAndThreadCountAreBitIdentical) {
+  const auto [model, seed] = GetParam();
+  const guests::Guest guest = guests::synth::generate(seed);
+  const elf::Image image = guests::build_image(guest);
+  const sim::FaultModels models = extension_models(model);
+
+  sim::EngineConfig pruned_config;
+  pruned_config.threads = 1;
+  const sim::Engine pruned(image, guest.good_input, guest.bad_input, pruned_config);
+  const sim::CampaignResult reference = pruned.run(models);
+
+  // The sweep must actually cover the advertised fan-out.
+  const std::uint64_t per_step =
+      model == ExtensionModel::kRegisterFlip
+          ? models.register_flip_regs.size() * (64 / models.register_flip_bit_stride)
+          : 6;  // six arithmetic flags
+  EXPECT_EQ(reference.total_faults, reference.trace_length * per_step);
+
+  // (a) exhaustive (no convergence pruning) is bit-identical.
+  sim::EngineConfig exhaustive_config = pruned_config;
+  exhaustive_config.convergence_pruning = false;
+  const sim::Engine exhaustive(image, guest.good_input, guest.bad_input,
+                               exhaustive_config);
+  const sim::CampaignResult full = exhaustive.run(models);
+  EXPECT_EQ(full.vulnerabilities, reference.vulnerabilities);
+  EXPECT_EQ(full.outcome_counts, reference.outcome_counts);
+  EXPECT_EQ(full.total_faults, reference.total_faults);
+  EXPECT_EQ(full.pruned_faults, 0u);
+
+  // (b) 8 worker threads are bit-identical.
+  sim::EngineConfig parallel_config = pruned_config;
+  parallel_config.threads = 8;
+  const sim::Engine parallel(image, guest.good_input, guest.bad_input,
+                             parallel_config);
+  const sim::CampaignResult threaded = parallel.run(models);
+  EXPECT_EQ(threaded.vulnerabilities, reference.vulnerabilities);
+  EXPECT_EQ(threaded.outcome_counts, reference.outcome_counts);
+  EXPECT_EQ(threaded.total_faults, reference.total_faults);
+  EXPECT_EQ(threaded.pruned_faults, reference.pruned_faults);
+}
+
+TEST_P(ExtensionModelSweep, FaultCampaignMatchesEngineSweep) {
+  // fault::run_campaign must hand the extension models through to the
+  // engine verbatim — same vulnerabilities, same counters.
+  const auto [model, seed] = GetParam();
+  const guests::Guest guest = guests::synth::generate(seed);
+  const elf::Image image = guests::build_image(guest);
+  const sim::FaultModels models = extension_models(model);
+
+  const sim::Engine engine(image, guest.good_input, guest.bad_input, {});
+  const sim::CampaignResult expected = engine.run(models);
+
+  fault::CampaignConfig config;
+  config.models = models;
+  const fault::CampaignResult campaign =
+      fault::run_campaign(image, guest.good_input, guest.bad_input, config);
+  EXPECT_EQ(campaign.vulnerabilities, expected.vulnerabilities);
+  EXPECT_EQ(campaign.outcome_counts, expected.outcome_counts);
+  EXPECT_EQ(campaign.total_faults, expected.total_faults);
+  EXPECT_EQ(campaign.trace_length, expected.trace_length);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SynthGuests, ExtensionModelSweep,
+    testing::Combine(testing::Values(ExtensionModel::kRegisterFlip,
+                                     ExtensionModel::kFlagFlip),
+                     // Corpus seeds: order-1-clean multi-stage (2), minimal
+                     // straight-line (23), shortest-trace multi-stage (36).
+                     testing::Values(2ULL, 23ULL, 36ULL)),
+    [](const testing::TestParamInfo<std::tuple<ExtensionModel, std::uint64_t>>& info) {
+      const ExtensionModel model = std::get<0>(info.param);
+      return std::string(model == ExtensionModel::kRegisterFlip ? "register_flip"
+                                                                : "flag_flip") +
+             "_seed_" + std::to_string(std::get<1>(info.param));
+    });
 
 // ---- decoder fuzz property -----------------------------------------------------
 

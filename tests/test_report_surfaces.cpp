@@ -1,0 +1,214 @@
+// Golden-file style tests for the report/JSON surfaces: the exact text of
+// harden::order2_fixpoint_section and residual_double_fault_section on
+// fixed inputs, and the field inventory of the campaign JSON documents on
+// a real synthetic-guest sweep. A report refactor that drops a field or
+// reshuffles a column fails here, not in a downstream consumer.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "elf/image.h"
+#include "fault/campaign.h"
+#include "guests/guests.h"
+#include "guests/synth.h"
+#include "harden/report.h"
+#include "patch/pipeline.h"
+#include "sim/engine.h"
+
+namespace r2r {
+namespace {
+
+// ---- fixed fixtures ---------------------------------------------------------
+
+patch::PipelineResult fixed_pipeline_result() {
+  patch::PipelineResult result;
+  patch::IterationReport it0;
+  it0.order = 1;
+  it0.successful_faults = 4;
+  it0.vulnerable_points = 3;
+  it0.patches_applied = 3;
+  it0.code_size = 100;
+  patch::IterationReport it1;
+  it1.order = 1;
+  it1.code_size = 148;
+  patch::IterationReport it2;
+  it2.order = 2;
+  it2.total_pairs = 500;
+  it2.successful_pairs = 2;
+  it2.strictly_second_order = 2;
+  it2.pair_patch_sites = 3;
+  it2.patches_applied = 3;
+  it2.code_size = 148;
+  patch::IterationReport it3;
+  it3.order = 2;
+  it3.total_pairs = 520;
+  it3.code_size = 180;
+  result.iterations = {it0, it1, it2, it3};
+  result.fixpoint = true;
+  result.order2_fixpoint = true;
+  result.original_code_size = 100;
+  result.order1_code_size = 148;
+  result.hardened_code_size = 180;
+  return result;
+}
+
+sim::PairCampaignResult fixed_pair_result() {
+  sim::PairCampaignResult pairs;
+  pairs.total_pairs = 1252;
+  pairs.trace_length = 161;
+  pairs.pair_window = 8;
+  pairs.order1.total_faults = 161;
+  pairs.order1.trace_length = 161;
+  pairs.order1.outcome_counts[sim::Outcome::kNoEffect] = 150;
+  pairs.order1.outcome_counts[sim::Outcome::kDetected] = 11;
+  pairs.outcome_counts[sim::Outcome::kNoEffect] = 1000;
+  pairs.outcome_counts[sim::Outcome::kSuccess] = 2;
+  pairs.outcome_counts[sim::Outcome::kDetected] = 250;
+  pairs.reused_from_first = 600;
+  pairs.reused_from_second = 500;
+  pairs.simulated_pairs = 152;
+  pairs.fully_pruned_first_faults = 20;
+  sim::PairVulnerability v1;
+  v1.first.kind = emu::FaultSpec::Kind::kSkip;
+  v1.first.trace_index = 10;
+  v1.second.kind = emu::FaultSpec::Kind::kSkip;
+  v1.second.trace_index = 12;
+  v1.first_address = 0x401010;
+  v1.second_address = 0x401018;
+  v1.second_hit_address = 0x401020;
+  sim::PairVulnerability v2 = v1;
+  v2.second.trace_index = 13;
+  pairs.vulnerabilities = {v1, v2};
+  return pairs;
+}
+
+// ---- exact goldens ----------------------------------------------------------
+
+TEST(ReportGolden, Order2FixpointSection) {
+  const std::string expected =
+      "order-2 fix-point trajectory: demo\n"
+      "| iteration | order | faults | pairs | sites | patched | code bytes |\n"
+      "|-----------|-------|--------|-------|-------|---------|------------|\n"
+      "| 0         | 1     | 4      | -     | -     | 3       | 100        |\n"
+      "| 1         | 1     | 0      | -     | -     | 0       | 148        |\n"
+      "| 2         | 2     | 0      | 2/500 | 3     | 3       | 148        |\n"
+      "| 3         | 2     | 0      | 0/520 | 0     | 0       | 180        |\n"
+      "  fix-point: yes, order-2 clean: yes\n"
+      "  overhead (Table-V style): order-1 48.0% -> order-2 80.0% "
+      "(+32.0 points for closing the order-2 gap)\n";
+  EXPECT_EQ(harden::order2_fixpoint_section("demo", fixed_pipeline_result()),
+            expected);
+}
+
+TEST(ReportGolden, ResidualDoubleFaultSection) {
+  const std::string expected =
+      "residual double-fault campaign: demo\n"
+      "  order-1 faults: 161 (0 successful)\n"
+      "  order-2 pairs:  1252 within window 8 (2 successful, 2 invisible to "
+      "order 1)\n"
+      "  pruning:        1100 pairs reused from order-1 profiles (87.9%), 152 "
+      "simulated, 20 first faults fully pruned\n"
+      "  patch sites:    0x401010, 0x401020\n"
+      "| pair outcome     | count |\n"
+      "|------------------|-------|\n"
+      "| no-effect        | 1000  |\n"
+      "| successful-fault | 2     |\n"
+      "| detected         | 250   |\n"
+      "| first fault | second fault | successful pairs |\n"
+      "|-------------|--------------|------------------|\n"
+      "| 0x401010    | 0x401018     | 2                |\n";
+  EXPECT_EQ(harden::residual_double_fault_section("demo", fixed_pair_result()),
+            expected);
+}
+
+TEST(ReportGolden, CleanCampaignRendersNoVulnerabilityTable) {
+  sim::PairCampaignResult clean = fixed_pair_result();
+  clean.vulnerabilities.clear();
+  clean.outcome_counts.erase(sim::Outcome::kSuccess);
+  const std::string section = harden::residual_double_fault_section("demo", clean);
+  EXPECT_NE(section.find("no residual double-fault vulnerabilities."),
+            std::string::npos);
+  EXPECT_EQ(section.find("patch sites"), std::string::npos);
+  EXPECT_EQ(section.find("| first fault"), std::string::npos);
+}
+
+TEST(ReportGolden, PairCampaignJson) {
+  const std::string expected =
+      "{\n"
+      "  \"trace_length\": 161,\n"
+      "  \"pair_window\": 8,\n"
+      "  \"total_pairs\": 1252,\n"
+      "  \"reused_from_first\": 600,\n"
+      "  \"reused_from_second\": 500,\n"
+      "  \"simulated_pairs\": 152,\n"
+      "  \"converged_pairs\": 0,\n"
+      "  \"fully_pruned_first_faults\": 20,\n"
+      "  \"threads\": 0,\n"
+      "  \"order1_total_faults\": 161,\n"
+      "  \"order1_successful\": 0,\n"
+      "  \"outcomes\": {\"no-effect\": 1000, \"successful-fault\": 2, "
+      "\"detected\": 250},\n"
+      "  \"vulnerable_pairs\": [{\"first\": \"0x401010\", \"second\": "
+      "\"0x401018\", \"hits\": 2}],\n"
+      "  \"patch_sites\": [\"0x401010\", \"0x401020\"]\n"
+      "}\n";
+  EXPECT_EQ(fixed_pair_result().to_json(), expected);
+}
+
+// ---- field inventory on a live synthetic-guest campaign ---------------------
+
+void expect_fields(const std::string& json, const std::vector<std::string>& fields) {
+  for (const std::string& field : fields) {
+    EXPECT_NE(json.find("\"" + field + "\":"), std::string::npos)
+        << "JSON dropped field \"" << field << "\":\n"
+        << json;
+  }
+}
+
+TEST(ReportSurfaces, CampaignJsonFieldInventoryOnSynthGuest) {
+  const guests::Guest guest = guests::synth::generate(36);
+  const elf::Image image = guests::build_image(guest);
+  sim::FaultModels models;
+  models.bit_flip = false;
+  const sim::Engine engine(image, guest.good_input, guest.bad_input, {});
+  const sim::CampaignResult result = engine.run(models);
+
+  const std::string json = result.to_json();
+  expect_fields(json, {"trace_length", "total_faults", "checkpoint_interval",
+                       "snapshot_count", "pruned_faults", "threads", "outcomes",
+                       "vulnerable_points"});
+  // Values must round-trip: counters rendered verbatim.
+  EXPECT_NE(json.find("\"total_faults\": " + std::to_string(result.total_faults)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"trace_length\": " + std::to_string(result.trace_length)),
+            std::string::npos);
+}
+
+TEST(ReportSurfaces, PairCampaignJsonFieldInventoryOnSynthGuest) {
+  const guests::Guest guest = guests::synth::generate(36);
+  const elf::Image image = guests::build_image(guest);
+  sim::FaultModels models;
+  models.bit_flip = false;
+  models.order = 2;
+  models.pair_window = 4;
+  const sim::Engine engine(image, guest.good_input, guest.bad_input, {});
+  const sim::PairCampaignResult result = engine.run_pairs(models);
+
+  const std::string json = result.to_json();
+  expect_fields(json,
+                {"trace_length", "pair_window", "total_pairs", "reused_from_first",
+                 "reused_from_second", "simulated_pairs", "converged_pairs",
+                 "fully_pruned_first_faults", "threads", "order1_total_faults",
+                 "order1_successful", "outcomes", "vulnerable_pairs", "patch_sites"});
+  EXPECT_NE(json.find("\"total_pairs\": " + std::to_string(result.total_pairs)),
+            std::string::npos);
+
+  // The rendered text section agrees with the JSON on the headline number.
+  const std::string section =
+      harden::residual_double_fault_section(guest.name, result);
+  EXPECT_NE(section.find(std::to_string(result.total_pairs) + " within window"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace r2r

@@ -1,0 +1,316 @@
+// End-to-end hardening property harness over the synthetic guest
+// generator (src/guests/synth.h).
+//
+// For every seed in the plan (frozen regression corpus + a randomized
+// sweep range) the harness runs the full pipeline and asserts the
+// invariants the repo claims on every guest it can generate:
+//
+//   * the generator is deterministic: same seed -> byte-identical
+//     assembly, inputs, and oracles;
+//   * the raw binary shows exactly the generated good/bad contract;
+//   * lift -> harden -> lower -> faulter+patcher -> ELF round-trip
+//     preserves behaviour on both inputs;
+//   * order-1 campaign vulnerabilities never increase under hardening;
+//   * the Faulter+Patcher loop reaches an order-1 fix-point;
+//   * (seed subset) the order-2 fix-point is reached and the hardened
+//     binary is byte-identical at 1 vs 8 worker threads.
+//
+// A failing seed prints a one-line repro (`--seed=K`) and is appended to
+// R2R_SYNTH_FAIL_FILE (default synth_failing_seeds.txt) so CI can upload
+// it; freeze it into tests/synth_corpus.h to make the repro permanent.
+//
+// Sweep configuration (PR gate defaults in brackets):
+//   R2R_SYNTH_SEED_BASE      first sweep seed                      [1]
+//   R2R_SYNTH_SEED_COUNT     sweep width                           [100]
+//   R2R_SYNTH_ORDER2_STRIDE  every Nth sweep seed also runs the
+//                            order-2 check (0 disables)            [25]
+//   R2R_SYNTH_TIME_BUDGET_S  stop starting *sweep* cases after this
+//                            many seconds (corpus always runs)     [off]
+//   --seed=K[,L,...]         run exactly these seeds, with the
+//                            order-2 check, instead of the sweep
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "elf/image.h"
+#include "emu/machine.h"
+#include "fault/campaign.h"
+#include "guests/guests.h"
+#include "guests/synth.h"
+#include "harden/hybrid.h"
+#include "patch/pipeline.h"
+#include "synth_corpus.h"
+
+namespace r2r {
+namespace {
+
+using guests::Guest;
+
+struct SeedCase {
+  std::uint64_t seed = 0;
+  bool corpus = false;  ///< corpus cases ignore the time budget
+  bool order2 = false;
+  const char* why = "";
+};
+
+void PrintTo(const SeedCase& c, std::ostream* os) { *os << "seed " << c.seed; }
+
+// ---- plan, filled by main() before InitGoogleTest --------------------------
+
+std::vector<SeedCase>& plan() {
+  static std::vector<SeedCase> cases;
+  return cases;
+}
+
+std::vector<SeedCase> order2_plan() {
+  std::vector<SeedCase> subset;
+  for (const SeedCase& c : plan()) {
+    if (c.order2) subset.push_back(c);
+  }
+  return subset;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+std::chrono::steady_clock::time_point& start_time() {
+  static auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+
+/// True when a time budget is configured and exhausted. Corpus cases never
+/// consult this — only the randomized sweep is trimmed.
+bool sweep_budget_exhausted() {
+  static const std::uint64_t budget_s = env_u64("R2R_SYNTH_TIME_BUDGET_S", 0);
+  if (budget_s == 0) return false;
+  const auto elapsed = std::chrono::steady_clock::now() - start_time();
+  return std::chrono::duration_cast<std::chrono::seconds>(elapsed).count() >=
+         static_cast<std::int64_t>(budget_s);
+}
+
+void build_plan(const std::vector<std::uint64_t>& explicit_seeds) {
+  std::set<std::uint64_t> taken;
+  for (const synth_corpus::CorpusSeed& c : synth_corpus::kCorpus) {
+    plan().push_back({c.seed, /*corpus=*/true, c.order2, c.why});
+    taken.insert(c.seed);
+  }
+  if (!explicit_seeds.empty()) {
+    // --seed=K repro mode: run exactly these (plus the corpus), with the
+    // order-2 check so a repro exercises everything.
+    for (const std::uint64_t seed : explicit_seeds) {
+      if (taken.insert(seed).second) {
+        plan().push_back({seed, /*corpus=*/true, /*order2=*/true, "--seed"});
+      }
+    }
+    return;
+  }
+  const std::uint64_t base = env_u64("R2R_SYNTH_SEED_BASE", 1);
+  const std::uint64_t count = env_u64("R2R_SYNTH_SEED_COUNT", 100);
+  const std::uint64_t stride = env_u64("R2R_SYNTH_ORDER2_STRIDE", 25);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t seed = base + i;
+    if (!taken.insert(seed).second) continue;  // corpus already runs it
+    const bool order2 = stride != 0 && i % stride == 0;
+    plan().push_back({seed, /*corpus=*/false, order2, ""});
+  }
+}
+
+// ---- failing-seed reporting -------------------------------------------------
+
+void record_failing_seed(std::uint64_t seed) {
+  static std::set<std::uint64_t> reported;
+  if (!reported.insert(seed).second) return;
+  std::fprintf(stderr,
+               "\n[synth] FAILING SEED %llu — repro: ./test_synth_pipeline "
+               "--seed=%llu ; freeze it in tests/synth_corpus.h\n",
+               static_cast<unsigned long long>(seed),
+               static_cast<unsigned long long>(seed));
+  const char* path = std::getenv("R2R_SYNTH_FAIL_FILE");
+  std::ofstream file(path != nullptr && *path != '\0' ? path
+                                                      : "synth_failing_seeds.txt",
+                     std::ios::app);
+  file << seed << "\n";
+}
+
+class SynthSeedTest : public testing::TestWithParam<SeedCase> {
+ protected:
+  void TearDown() override {
+    if (HasFailure()) record_failing_seed(GetParam().seed);
+  }
+};
+
+fault::CampaignConfig skip_campaign() {
+  fault::CampaignConfig config;
+  config.models.bit_flip = false;  // the paper's skip model
+  config.threads = 0;              // hardware concurrency; thread-invariant
+  return config;
+}
+
+void expect_contract(const elf::Image& image, const Guest& guest,
+                     const char* where) {
+  const emu::RunResult good = emu::run_image(image, guest.good_input);
+  EXPECT_EQ(good.reason, emu::StopReason::kExited) << where;
+  EXPECT_EQ(good.exit_code, guest.good_exit) << where;
+  EXPECT_EQ(good.output, guest.good_output) << where;
+  const emu::RunResult bad = emu::run_image(image, guest.bad_input);
+  EXPECT_EQ(bad.reason, emu::StopReason::kExited) << where;
+  EXPECT_EQ(bad.exit_code, guest.bad_exit) << where;
+  EXPECT_EQ(bad.output, guest.bad_output) << where;
+}
+
+// ---- the property harness ---------------------------------------------------
+
+using SynthPipeline = SynthSeedTest;
+
+TEST_P(SynthPipeline, GeneratorIsDeterministic) {
+  const std::uint64_t seed = GetParam().seed;
+  const Guest once = guests::synth::generate(seed);
+  const Guest twice = guests::synth::generate(seed);
+  EXPECT_EQ(once.assembly, twice.assembly) << "assembly differs across calls";
+  EXPECT_EQ(once.good_input, twice.good_input);
+  EXPECT_EQ(once.bad_input, twice.bad_input);
+  EXPECT_EQ(once.good_output, twice.good_output);
+  EXPECT_EQ(once.bad_output, twice.bad_output);
+  EXPECT_EQ(once.good_exit, twice.good_exit);
+  EXPECT_EQ(once.bad_exit, twice.bad_exit);
+  EXPECT_EQ(once.name, "synth_" + std::to_string(seed));
+  // Inputs must actually be a differential pair.
+  EXPECT_NE(once.good_input, once.bad_input);
+  EXPECT_NE(once.good_output, once.bad_output);
+}
+
+TEST_P(SynthPipeline, FullChainPreservesBehaviourAndNeverAddsVulnerabilities) {
+  const SeedCase& param = GetParam();
+  if (!param.corpus && sweep_budget_exhausted()) {
+    GTEST_SKIP() << "R2R_SYNTH_TIME_BUDGET_S exhausted";
+  }
+  SCOPED_TRACE("seed " + std::to_string(param.seed) +
+               (param.why[0] != '\0' ? std::string(" (") + param.why + ")"
+                                     : std::string()));
+
+  const Guest guest = guests::synth::generate(param.seed);
+  const elf::Image input = guests::build_image(guest);
+
+  // The raw binary shows exactly the generated contract.
+  expect_contract(input, guest, "raw image");
+
+  const fault::CampaignResult original =
+      fault::run_campaign(input, guest.good_input, guest.bad_input, skip_campaign());
+
+  // lift -> harden -> lower.
+  const harden::HybridResult hybrid = harden::hybrid_harden(input);
+  expect_contract(hybrid.hardened, guest, "hybrid-hardened image");
+
+  // -> faulter+patcher to the order-1 fix-point.
+  patch::PipelineConfig pipeline_config;
+  pipeline_config.campaign = skip_campaign();
+  const patch::PipelineResult patched = patch::faulter_patcher(
+      hybrid.hardened, guest.good_input, guest.bad_input, pipeline_config);
+  EXPECT_TRUE(patched.fixpoint) << "order-1 fix-point not reached";
+  expect_contract(patched.hardened, guest, "patched image");
+
+  // -> a real ELF file and back; the round-trip must be byte-stable and
+  // behaviour-preserving.
+  const std::vector<std::uint8_t> bytes = elf::write_elf(patched.hardened);
+  const elf::Image reloaded = elf::read_elf(bytes);
+  EXPECT_EQ(elf::write_elf(reloaded), bytes) << "ELF round-trip not byte-stable";
+  expect_contract(reloaded, guest, "reloaded image");
+
+  // Hardening must never add order-1 vulnerabilities — measured on the
+  // re-read bytes so the writer/reader are part of the surface.
+  const fault::CampaignResult after = fault::run_campaign(
+      reloaded, guest.good_input, guest.bad_input, skip_campaign());
+  EXPECT_LE(after.vulnerabilities.size(), original.vulnerabilities.size())
+      << "hardening added vulnerabilities";
+  EXPECT_LE(after.vulnerable_addresses().size(),
+            original.vulnerable_addresses().size());
+}
+
+using SynthOrder2 = SynthSeedTest;
+
+TEST_P(SynthOrder2, Order2FixpointAndThreadInvariantBinary) {
+  const SeedCase& param = GetParam();
+  if (!param.corpus && sweep_budget_exhausted()) {
+    GTEST_SKIP() << "R2R_SYNTH_TIME_BUDGET_S exhausted";
+  }
+  SCOPED_TRACE("seed " + std::to_string(param.seed));
+
+  const Guest guest = guests::synth::generate(param.seed);
+  const elf::Image input = guests::build_image(guest);
+
+  patch::PipelineConfig serial;
+  serial.campaign = skip_campaign();
+  serial.campaign.models.order = 2;
+  serial.campaign.models.pair_window = 8;
+  serial.campaign.threads = 1;
+  patch::PipelineConfig parallel = serial;
+  parallel.campaign.threads = 8;
+
+  const patch::PipelineResult one =
+      patch::faulter_patcher(input, guest.good_input, guest.bad_input, serial);
+  EXPECT_TRUE(one.fixpoint) << "order-1 fix-point not reached";
+  EXPECT_TRUE(one.order2_fixpoint) << "order-2 fix-point not reached";
+  EXPECT_EQ(one.final_campaign.vulnerabilities.size(), 0u);
+  EXPECT_EQ(one.final_campaign.pair_vulnerabilities.size(), 0u);
+  expect_contract(one.hardened, guest, "order-2 hardened image");
+
+  const patch::PipelineResult eight =
+      patch::faulter_patcher(input, guest.good_input, guest.bad_input, parallel);
+  EXPECT_EQ(elf::write_elf(one.hardened), elf::write_elf(eight.hardened))
+      << "hardened binary differs between 1 and 8 worker threads";
+  EXPECT_EQ(one.final_campaign.pair_outcome_counts,
+            eight.final_campaign.pair_outcome_counts);
+  EXPECT_EQ(one.final_campaign.outcome_counts, eight.final_campaign.outcome_counts);
+}
+
+std::string case_name(const testing::TestParamInfo<SeedCase>& info) {
+  return "seed_" + std::to_string(info.param.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthPipeline, testing::ValuesIn(plan()), case_name);
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthOrder2, testing::ValuesIn(order2_plan()),
+                         case_name);
+
+}  // namespace
+}  // namespace r2r
+
+int main(int argc, char** argv) {
+  r2r::start_time();  // anchor the sweep time budget at process start
+
+  // Strip --seed=K[,L,...] (repeatable) before handing argv to gtest.
+  std::vector<std::uint64_t> explicit_seeds;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      const std::string list = arg.substr(7);
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        const std::string token = list.substr(start, comma - start);
+        if (!token.empty()) {
+          explicit_seeds.push_back(std::strtoull(token.c_str(), nullptr, 10));
+        }
+        start = comma + 1;
+      }
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+
+  r2r::build_plan(explicit_seeds);
+  testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
