@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Documentation link checker (the CI docs job).
+
+Two checks over every tracked markdown file:
+
+1. No broken intra-repo links: every relative `[text](target)` must point
+   at an existing file (anchors are stripped; http(s)/mailto links are
+   ignored).
+2. Reachability: every page under docs/ must be reachable from README.md
+   by following relative markdown links — documentation nobody can find
+   is documentation that rots.
+
+Exits 1 with one line per violation.
+"""
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SKIP_DIRS = {".git", ".claude", "build", "related"}
+
+# [text](target) — target captured up to the closing paren; images share
+# the syntax via the leading "!", which we treat identically.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def markdown_files() -> list[str]:
+    files = []
+    for root, dirs, names in os.walk(REPO):
+        dirs[:] = [d for d in dirs if d not in SKIP_DIRS and not d.startswith("build")]
+        for name in names:
+            if name.endswith(".md"):
+                files.append(os.path.join(root, name))
+    return sorted(files)
+
+
+def strip_code_blocks(text: str) -> str:
+    # Fenced blocks hold literal shell/JSON examples, not navigable links.
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def relative_links(path: str) -> list[str]:
+    with open(path, encoding="utf-8") as handle:
+        text = strip_code_blocks(handle.read())
+    links = []
+    for target in LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        links.append(target.split("#", 1)[0])
+    return [t for t in links if t]
+
+
+def main() -> int:
+    errors = []
+    resolved: dict[str, list[str]] = {}
+    for path in markdown_files():
+        resolved[path] = []
+        for target in relative_links(path):
+            full = os.path.normpath(os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(full):
+                rel = os.path.relpath(path, REPO)
+                errors.append(f"{rel}: broken link -> {target}")
+            else:
+                resolved[path].append(full)
+
+    # Reachability sweep from README.md.
+    readme = os.path.join(REPO, "README.md")
+    seen = set()
+    queue = [readme]
+    while queue:
+        page = queue.pop()
+        if page in seen:
+            continue
+        seen.add(page)
+        for target in resolved.get(page, []):
+            if target.endswith(".md"):
+                queue.append(target)
+    docs_dir = os.path.join(REPO, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            full = os.path.join(docs_dir, name)
+            if name.endswith(".md") and full not in seen:
+                errors.append(f"docs/{name}: not reachable from README.md")
+
+    for error in errors:
+        print(error)
+    checked = sum(len(links) for links in resolved.values())
+    print(f"check_docs: {len(resolved)} markdown files, {checked} relative links, "
+          f"{len(errors)} error(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,176 @@
+#include "cli/cli.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "sim/engine.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace r2r::cli {
+
+using support::ErrorKind;
+using support::fail;
+
+const std::vector<Command>& commands() {
+  static const std::vector<Command> registry = {
+      {"lift", "disassemble a guest to its binary IR, or lift it to the compiler IR",
+       make_lift_parser, run_lift},
+      {"harden", "produce a hardened ELF (Faulter+Patcher patterns or the Hybrid pass)",
+       make_harden_parser, run_harden},
+      {"campaign", "run an order-1 or order-2 fault-injection campaign",
+       make_campaign_parser, run_campaign_cmd},
+      {"fixpoint", "iterate the Faulter+Patcher loop to its fix-point and report it",
+       make_fixpoint_parser, run_fixpoint},
+      {"synth", "generate seeded synthetic guests (and their oracles)",
+       make_synth_parser, run_synth},
+      {"batch", "run a subcommand across many guests with a sharded worker pool",
+       make_batch_parser, run_batch},
+  };
+  return registry;
+}
+
+std::string top_level_help() {
+  std::string out = "usage: r2r <command> [flags]\n\n";
+  out +=
+      "r2r — rewrite to reinforce: find fault-injection vulnerabilities in a\n"
+      "binary and patch countermeasures directly into it (DAC 2021 pipeline:\n"
+      "lift -> harden -> lower -> patch -> simulate).\n\ncommands:\n";
+  std::size_t column = 0;
+  for (const Command& command : commands()) column = std::max(column, command.name.size());
+  for (const Command& command : commands()) {
+    out += "  " + std::string(command.name) +
+           std::string(column - command.name.size() + 2, ' ') +
+           std::string(command.summary) + "\n";
+  }
+  out +=
+      "\nguest specs: pincheck | bootloader | toymov | synth:<seed> | path/to/prog.s\n"
+      "(.s specs read inputs from <stem>.good / <stem>.bad sidecars)\n\n"
+      "Run 'r2r <command> --help' for flags; docs/r2r.md is the full reference.\n";
+  return out;
+}
+
+int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  if (args.empty() || args[0] == "--help" || args[0] == "-h" || args[0] == "help") {
+    out << top_level_help();
+    return args.empty() ? 2 : 0;
+  }
+  const Command* command = nullptr;
+  for (const Command& candidate : commands()) {
+    if (candidate.name == args[0]) command = &candidate;
+  }
+  if (command == nullptr) {
+    err << "r2r: unknown command '" << args[0] << "' (try 'r2r --help')\n";
+    return 2;
+  }
+
+  ArgParser parser = command->make_parser();
+  try {
+    parser.parse({args.begin() + 1, args.end()});
+  } catch (const support::Error& error) {
+    err << "r2r: " << error.what() << "\n";
+    return 2;
+  }
+  if (parser.help_requested()) {
+    out << parser.help();
+    return 0;
+  }
+  try {
+    return command->run(parser, out, err);
+  } catch (const support::Error& error) {
+    err << "r2r " << command->name << ": " << error.what() << "\n";
+    return error.kind() == ErrorKind::kInvalidArgument ? 2 : 1;
+  }
+}
+
+// ---- shared flag bundles ----------------------------------------------------
+
+void add_format_flags(ArgParser& parser) {
+  parser.add_flag({"--format", "FMT", "output format: text, json, or markdown", "text"});
+  parser.add_flag({"--out", "FILE", "write the report to FILE instead of stdout", ""});
+}
+
+Format format_from(const ArgParser& parser) {
+  const std::string format = parser.value_or("--format", "text");
+  if (format == "text") return Format::kText;
+  if (format == "json") return Format::kJson;
+  if (format == "markdown") return Format::kMarkdown;
+  fail(ErrorKind::kInvalidArgument,
+       "unknown --format '" + format + "' (expected text, json, or markdown)");
+}
+
+void emit_output(const ArgParser& parser, std::ostream& out, const std::string& text) {
+  const auto path = parser.value("--out");
+  if (!path.has_value()) {
+    out << text;
+    return;
+  }
+  write_file(*path, text);
+  out << "report written to " << *path << " (" << text.size() << " bytes)\n";
+}
+
+void add_guest_flags(ArgParser& parser) {
+  parser.add_flag({"--good-input", "BYTES",
+                   "authorized input override (@FILE reads bytes from FILE)", ""});
+  parser.add_flag({"--bad-input", "BYTES",
+                   "attacker input override (@FILE reads bytes from FILE)", ""});
+}
+
+GuestOverrides overrides_from(const ArgParser& parser) {
+  GuestOverrides overrides;
+  if (auto v = parser.value("--good-input")) overrides.good_input = *v;
+  if (auto v = parser.value("--bad-input")) overrides.bad_input = *v;
+  return overrides;
+}
+
+void add_campaign_flags(ArgParser& parser) {
+  std::string models;
+  for (const std::string_view name : sim::fault_model_names()) {
+    if (!models.empty()) models += ", ";
+    models += name;
+  }
+  parser.add_flag({"--model", "LIST",
+                   "comma-separated fault models to sweep: " + models, "skip,bit_flip"});
+  parser.add_flag({"--order", "N", "campaign order: 1 (single faults) or 2 (pairs)", "1"});
+  parser.add_flag({"--pair-window", "W",
+                   "order 2: max trace distance t2-t1 between the two faults", "8"});
+  parser.add_flag({"--threads", "N",
+                   "worker threads per sweep (0 = hardware concurrency);\nresults are "
+                   "bit-identical for every value",
+                   "1"});
+  parser.add_flag({"--no-reuse", "",
+                   "order 2: simulate every pair instead of reusing order-1\nprofiles "
+                   "(bit-identical, much slower; a pruning-soundness check)",
+                   ""});
+}
+
+fault::CampaignConfig campaign_config_from(const ArgParser& parser) {
+  fault::CampaignConfig config;
+  if (const auto list = parser.value("--model")) {
+    sim::FaultModels selected;
+    for (const std::string_view name : sim::fault_model_names()) {
+      sim::set_fault_model(selected, name, false);
+    }
+    for (const std::string_view piece : support::split(*list, ',')) {
+      std::string name = support::to_lower(piece);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      if (!sim::set_fault_model(selected, name, true)) {
+        fail(ErrorKind::kInvalidArgument, "unknown fault model '" + std::string(piece) +
+                                              "' (see --help for the model list)");
+      }
+    }
+    config.models = selected;
+  }
+  config.models.order = static_cast<unsigned>(parser.uint_or("--order", 1));
+  if (config.models.order != 1 && config.models.order != 2) {
+    fail(ErrorKind::kInvalidArgument, "--order must be 1 or 2");
+  }
+  config.models.pair_window = parser.uint_or("--pair-window", config.models.pair_window);
+  config.threads = static_cast<unsigned>(parser.uint_or("--threads", 1));
+  config.pair_outcome_reuse = !parser.has("--no-reuse");
+  return config;
+}
+
+}  // namespace r2r::cli

@@ -1,0 +1,89 @@
+// r2r::cli — the unified driver behind the `r2r` binary.
+//
+//   r2r lift | harden | campaign | fixpoint | synth | batch
+//
+// One subcommand per pipeline stage, every knob the examples used to
+// hard-code exposed as a parsed flag over the library's defaulted config
+// structs. run() is the whole CLI behind a stream interface, so tests and
+// the batch driver execute subcommands in-process and golden-compare their
+// output byte-for-byte.
+//
+// Exit codes (shared by every subcommand):
+//   0  success (and, where the command checks something, the check passed)
+//   1  the command ran but its check failed (fix-point not reached,
+//      hardened behaviour broken, a batch row failed), or a runtime error
+//   2  usage error (unknown command/flag, malformed value, bad guest spec)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cli/args.h"
+#include "cli/guest_spec.h"
+#include "fault/campaign.h"
+
+namespace r2r::cli {
+
+/// One registered subcommand: its parser factory doubles as the help/docs
+/// source, its runner gets the parsed flags plus the output streams.
+struct Command {
+  std::string_view name;
+  std::string_view summary;  ///< one line for the top-level help
+  ArgParser (*make_parser)();
+  int (*run)(const ArgParser& args, std::ostream& out, std::ostream& err);
+};
+
+/// The registry, in help order.
+const std::vector<Command>& commands();
+
+/// Top-level entry point: args are argv[1..]. Dispatches, parses, prints
+/// help, maps exceptions onto the exit-code contract above.
+int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+/// The `r2r --help` text (golden-tested against docs/r2r.md).
+std::string top_level_help();
+
+// ---- shared flag bundles ----------------------------------------------------
+
+/// Output shaping shared by the reporting commands.
+enum class Format { kText, kJson, kMarkdown };
+
+/// Registers --format/--out. `formats` names the accepted set in help.
+void add_format_flags(ArgParser& parser);
+Format format_from(const ArgParser& parser);
+
+/// Writes `text` to --out when given (echoing a one-line confirmation to
+/// `out`), to `out` otherwise.
+void emit_output(const ArgParser& parser, std::ostream& out, const std::string& text);
+
+/// Registers --good-input/--bad-input.
+void add_guest_flags(ArgParser& parser);
+GuestOverrides overrides_from(const ArgParser& parser);
+
+/// Registers the campaign knobs: --model, --order, --pair-window,
+/// --threads, --no-reuse.
+void add_campaign_flags(ArgParser& parser);
+
+/// Builds the campaign config the flags select (models parsed against
+/// sim::fault_model_names()). Throws Error{kInvalidArgument} on an unknown
+/// model or order outside {1, 2}.
+fault::CampaignConfig campaign_config_from(const ArgParser& parser);
+
+// ---- subcommand entry points (one per src/cli/cmd_*.cpp) --------------------
+
+ArgParser make_lift_parser();
+int run_lift(const ArgParser& args, std::ostream& out, std::ostream& err);
+ArgParser make_harden_parser();
+int run_harden(const ArgParser& args, std::ostream& out, std::ostream& err);
+ArgParser make_campaign_parser();
+int run_campaign_cmd(const ArgParser& args, std::ostream& out, std::ostream& err);
+ArgParser make_fixpoint_parser();
+int run_fixpoint(const ArgParser& args, std::ostream& out, std::ostream& err);
+ArgParser make_synth_parser();
+int run_synth(const ArgParser& args, std::ostream& out, std::ostream& err);
+ArgParser make_batch_parser();
+int run_batch(const ArgParser& args, std::ostream& out, std::ostream& err);
+
+}  // namespace r2r::cli

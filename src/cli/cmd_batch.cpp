@@ -1,0 +1,265 @@
+// r2r batch — the multi-guest driver: shard a subcommand's workload across
+// a pool of worker threads (one guest per task) and aggregate the results
+// into one summary table / JSON document.
+//
+// Determinism contract: each worker writes only its own slot of the result
+// vector and the aggregation walks slots in input order, so the complete
+// output — stdout, --out file, exit code — is byte-identical for every -j
+// value (the per-guest work is itself thread-invariant by the engine's
+// slot-per-fault guarantee). `-j` parallelises *across* guests; --threads
+// still controls the worker threads *inside* each campaign.
+#include <atomic>
+#include <ostream>
+#include <thread>
+
+#include "bir/recover.h"
+#include "cli/cli.h"
+#include "emu/machine.h"
+#include "harden/hybrid.h"
+#include "harden/report.h"
+#include "patch/pipeline.h"
+#include "sim/engine.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace r2r::cli {
+
+using support::ErrorKind;
+using support::fail;
+
+ArgParser make_batch_parser() {
+  ArgParser parser(
+      "batch", "<guest...>",
+      "Run one subcommand across many guests — positional specs plus every\n"
+      "*.s bundle under --dir — sharded across -j worker threads with\n"
+      "deterministic aggregation: the summary is byte-identical for every\n"
+      "-j value. Exits 0 only when every guest succeeded (for fixpoint:\n"
+      "reached its fix-point; for harden: behaviour intact).");
+  parser.add_flag({"--cmd", "NAME", "subcommand to run: campaign, fixpoint, harden, or "
+                                    "lift",
+                   "campaign"});
+  parser.add_flag({"--dir", "DIR", "add every *.s guest bundle under DIR", ""});
+  parser.add_flag({"-j", "N", "guests processed in parallel (0 = hardware concurrency)",
+                   "1"});
+  add_campaign_flags(parser);
+  parser.add_flag({"--max-iterations", "N", "fixpoint/harden --patterns: iteration cap",
+                   "12"});
+  parser.add_flag({"--hybrid", "", "harden: use the Hybrid approach (default)", ""});
+  parser.add_flag({"--patterns", "", "harden: use the Faulter+Patcher patterns", ""});
+  add_format_flags(parser);
+  return parser;
+}
+
+namespace {
+
+/// One guest's aggregated outcome. `cells` feed the summary table, `json`
+/// is the per-guest object body; both are built inside the worker so the
+/// join only concatenates.
+struct BatchRow {
+  std::string name;
+  bool ok = false;
+  std::string error;  ///< non-empty when the guest failed to process
+  std::vector<std::string> cells;
+  std::string json;
+};
+
+struct BatchPlan {
+  std::string cmd;
+  fault::CampaignConfig campaign;
+  unsigned max_iterations = 12;
+  bool patterns = false;
+};
+
+std::vector<std::string> header_for(const std::string& cmd) {
+  if (cmd == "campaign") {
+    return {"guest", "status", "trace", "faults", "successful", "pairs",
+            "successful pairs", "strictly order-2"};
+  }
+  if (cmd == "fixpoint") {
+    return {"guest", "status", "iterations", "residual faults", "residual pairs",
+            "order-1 overhead", "total overhead"};
+  }
+  if (cmd == "harden") {
+    return {"guest", "status", "approach", "code bytes", "hardened bytes", "overhead"};
+  }
+  return {"guest", "status", "instructions", "code bytes"};  // lift
+}
+
+BatchRow process_guest(const BatchPlan& plan, const std::string& spec) {
+  BatchRow row;
+  const guests::Guest guest = load_guest(spec);
+  row.name = guest.name;
+  const elf::Image image = guests::build_image(guest);
+
+  if (plan.cmd == "campaign") {
+    const fault::CampaignResult result =
+        fault::run_campaign(image, guest.good_input, guest.bad_input, plan.campaign);
+    row.ok = true;
+    row.cells = {std::to_string(result.trace_length), std::to_string(result.total_faults),
+                 std::to_string(result.count(fault::Outcome::kSuccess)),
+                 std::to_string(result.total_pairs),
+                 std::to_string(result.pair_count(fault::Outcome::kSuccess)),
+                 std::to_string(result.strictly_second_order_count())};
+    row.json = "\"campaign\": " + result.to_json();
+  } else if (plan.cmd == "fixpoint") {
+    patch::PipelineConfig config;
+    config.campaign = plan.campaign;
+    config.max_iterations = plan.max_iterations;
+    const patch::PipelineResult result =
+        patch::faulter_patcher(image, guest.good_input, guest.bad_input, config);
+    row.ok = plan.campaign.models.order >= 2 ? result.order2_fixpoint : result.fixpoint;
+    row.cells = {std::to_string(result.iterations.size()),
+                 std::to_string(result.final_campaign.vulnerabilities.size()),
+                 std::to_string(result.final_campaign.pair_vulnerabilities.size()),
+                 support::format_fixed(result.order1_overhead_percent(), 1) + "%",
+                 support::format_fixed(result.overhead_percent(), 1) + "%"};
+    row.json = "\"fixpoint\": " + result.to_json();
+  } else if (plan.cmd == "harden") {
+    elf::Image hardened;
+    if (plan.patterns) {
+      patch::PipelineConfig config;
+      config.campaign = plan.campaign;
+      config.max_iterations = plan.max_iterations;
+      hardened = patch::faulter_patcher(image, guest.good_input, guest.bad_input, config)
+                     .hardened;
+    } else {
+      hardened = harden::hybrid_harden(image).hardened;
+    }
+    const emu::RunResult good = emu::run_image(hardened, guest.good_input);
+    const emu::RunResult bad = emu::run_image(hardened, guest.bad_input);
+    row.ok = good.exit_code == guest.good_exit && good.output == guest.good_output &&
+             bad.exit_code == guest.bad_exit && bad.output == guest.bad_output;
+    const double overhead =
+        image.code_size() == 0
+            ? 0.0
+            : 100.0 *
+                  (static_cast<double>(hardened.code_size()) -
+                   static_cast<double>(image.code_size())) /
+                  static_cast<double>(image.code_size());
+    row.cells = {plan.patterns ? "patterns" : "hybrid", std::to_string(image.code_size()),
+                 std::to_string(hardened.code_size()),
+                 support::format_fixed(overhead, 1) + "%"};
+    row.json = "\"harden\": {\"approach\": " +
+               support::json_quote(plan.patterns ? "patterns" : "hybrid") +
+               ", \"original_code_size\": " + std::to_string(image.code_size()) +
+               ", \"hardened_code_size\": " + std::to_string(hardened.code_size()) +
+               ", \"behaviour_intact\": " + (row.ok ? "true" : "false") + "}";
+  } else {  // lift
+    const bir::Module module = bir::recover(image);
+    row.ok = true;
+    row.cells = {std::to_string(module.instruction_count()),
+                 std::to_string(image.code_size())};
+    row.json = "\"lift\": {\"instructions\": " + std::to_string(module.instruction_count()) +
+               ", \"code_size\": " + std::to_string(image.code_size()) + "}";
+  }
+  return row;
+}
+
+}  // namespace
+
+int run_batch(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  BatchPlan plan;
+  plan.cmd = args.value_or("--cmd", "campaign");
+  if (plan.cmd != "campaign" && plan.cmd != "fixpoint" && plan.cmd != "harden" &&
+      plan.cmd != "lift") {
+    err << "r2r batch: unknown --cmd '" << plan.cmd
+        << "' (expected campaign, fixpoint, harden, or lift)\n";
+    return 2;
+  }
+  const Format format = format_from(args);
+  plan.campaign = campaign_config_from(args);
+  plan.max_iterations = static_cast<unsigned>(args.uint_or("--max-iterations", 12));
+  plan.patterns = args.has("--patterns");
+
+  std::vector<std::string> specs = args.positionals();
+  if (const auto dir = args.value("--dir")) {
+    for (std::string& spec : discover_guest_specs(*dir)) specs.push_back(std::move(spec));
+  }
+  if (specs.empty()) {
+    err << "r2r batch: no guests (pass specs and/or --dir; try 'r2r batch --help')\n";
+    return 2;
+  }
+
+  unsigned workers = static_cast<unsigned>(args.uint_or("-j", 1));
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers, specs.size()));
+
+  // Shard guests across the pool; slot-per-guest writes keep aggregation
+  // order independent of scheduling.
+  std::vector<BatchRow> rows(specs.size());
+  std::atomic<std::size_t> cursor{0};
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t index = cursor.fetch_add(1);
+      if (index >= specs.size()) return;
+      try {
+        rows[index] = process_guest(plan, specs[index]);
+      } catch (const std::exception& error) {
+        rows[index].name = specs[index];
+        rows[index].ok = false;
+        rows[index].error = error.what();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  for (unsigned i = 1; i < workers; ++i) pool.emplace_back(worker);
+  worker();
+  for (std::thread& thread : pool) thread.join();
+
+  std::size_t failed = 0;
+  for (const BatchRow& row : rows) failed += row.ok ? 0 : 1;
+
+  std::string text;
+  if (format == Format::kJson) {
+    text = "{\n  \"command\": " + support::json_quote(plan.cmd) + ",\n  \"guests\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const BatchRow& row = rows[i];
+      text += "    {\"name\": " + support::json_quote(row.name) +
+              ", \"ok\": " + (row.ok ? "true" : "false");
+      if (!row.error.empty()) text += ", \"error\": " + support::json_quote(row.error);
+      if (!row.json.empty()) {
+        // The nested document keeps its pretty-printed newlines; only the
+        // trailing one is trimmed so the closing brace stays on the row.
+        std::string body = row.json;
+        while (!body.empty() && body.back() == '\n') body.pop_back();
+        text += ", " + body;
+      }
+      text += "}";
+      text += i + 1 < rows.size() ? ",\n" : "\n";
+    }
+    text += "  ],\n  \"failed\": " + std::to_string(failed) + "\n}\n";
+  } else {
+    harden::TextTable table;
+    table.add_row(header_for(plan.cmd));
+    for (const BatchRow& row : rows) {
+      std::vector<std::string> cells = {row.name, row.ok ? "ok" : "FAILED"};
+      if (row.error.empty()) {
+        cells.insert(cells.end(), row.cells.begin(), row.cells.end());
+      } else {
+        // Error text lands in a table cell; '|' would split it into
+        // spurious columns (both renderings use pipe rows).
+        std::string error = row.error;
+        for (char& c : error) {
+          if (c == '|') c = '/';
+        }
+        cells.push_back(error);
+      }
+      table.add_row(std::move(cells));
+    }
+    const std::string summary_line =
+        "batch " + plan.cmd + ": " + std::to_string(rows.size()) + " guest(s), " +
+        std::to_string(rows.size() - failed) + " ok, " + std::to_string(failed) +
+        " failed\n";
+    if (format == Format::kMarkdown) {
+      text = "## r2r batch " + plan.cmd + "\n\n" + table.render_markdown() + "\n" +
+             summary_line;
+    } else {
+      text = table.render() + summary_line;
+    }
+  }
+  emit_output(args, out, text);
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace r2r::cli

@@ -1,0 +1,97 @@
+// r2r fixpoint — the full Faulter+Patcher loop (Fig. 2; order 2 closes the
+// paper's higher-order gap), with per-iteration reporting and the Table-V
+// overhead split.
+#include <ostream>
+
+#include "cli/cli.h"
+#include "elf/image.h"
+#include "harden/report.h"
+#include "patch/pipeline.h"
+#include "support/strings.h"
+
+namespace r2r::cli {
+
+ArgParser make_fixpoint_parser() {
+  ArgParser parser(
+      "fixpoint", "<guest>",
+      "Iterate the Faulter+Patcher loop — campaign, map vulnerabilities to\n"
+      "patch sites, apply the protection patterns, re-campaign — until no\n"
+      "patchable vulnerability remains. --order 2 continues past the order-1\n"
+      "fix-point, reinforcing every residual fault pair's sites until the\n"
+      "pair sweep comes back clean. Exits 0 only at a genuine fix-point.");
+  add_campaign_flags(parser);
+  parser.add_flag({"--max-iterations", "N", "iteration cap across both phases", "12"});
+  parser.add_flag({"--elf", "FILE", "also write the hardened ELF to FILE", ""});
+  add_guest_flags(parser);
+  add_format_flags(parser);
+  return parser;
+}
+
+namespace {
+
+std::string fixpoint_text_section(const std::string& name,
+                                  const patch::PipelineResult& result) {
+  // Order-2 runs get the full trajectory section; order-1 runs the same
+  // table without the pair columns.
+  if (result.order1_code_size != 0) return harden::order2_fixpoint_section(name, result);
+  std::string out = "fix-point trajectory: " + name + "\n";
+  harden::TextTable table;
+  table.add_row({"iteration", "faults", "points", "patched", "unpatchable", "code bytes"});
+  for (std::size_t i = 0; i < result.iterations.size(); ++i) {
+    const patch::IterationReport& it = result.iterations[i];
+    table.add_row({std::to_string(i), std::to_string(it.successful_faults),
+                   std::to_string(it.vulnerable_points),
+                   std::to_string(it.patches_applied),
+                   std::to_string(it.unpatchable_points), std::to_string(it.code_size)});
+  }
+  out += table.render();
+  out += "  fix-point: " + std::string(result.fixpoint ? "yes" : "NO (cap hit)") + "\n";
+  out += "  code size: " + std::to_string(result.original_code_size) + " -> " +
+         std::to_string(result.hardened_code_size) + " bytes (overhead " +
+         support::format_fixed(result.overhead_percent(), 1) + "%)\n";
+  return out;
+}
+
+}  // namespace
+
+int run_fixpoint(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  if (args.positionals().size() != 1) {
+    err << "r2r fixpoint: expected exactly one guest spec (try 'r2r fixpoint --help')\n";
+    return 2;
+  }
+  const Format format = format_from(args);
+  const guests::Guest guest = load_guest(args.positionals()[0], overrides_from(args));
+  const elf::Image image = guests::build_image(guest);
+
+  patch::PipelineConfig config;
+  config.campaign = campaign_config_from(args);
+  config.max_iterations = static_cast<unsigned>(args.uint_or("--max-iterations", 12));
+  const patch::PipelineResult result =
+      patch::faulter_patcher(image, guest.good_input, guest.bad_input, config);
+
+  std::string text;
+  switch (format) {
+    case Format::kText: text = fixpoint_text_section(guest.name, result); break;
+    case Format::kJson: text = result.to_json(); break;
+    case Format::kMarkdown:
+      text = harden::fixpoint_markdown_section(guest.name, result);
+      break;
+  }
+  emit_output(args, out, text);
+
+  if (const auto elf_path = args.value("--elf")) {
+    const std::vector<std::uint8_t> bytes = elf::write_elf(result.hardened);
+    write_file(*elf_path,
+               std::string_view(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+    out << "hardened ELF written to " << *elf_path << " (" << bytes.size() << " bytes)\n";
+  }
+
+  // Order 1: the paper's fix-point (no *patchable* vulnerability remains —
+  // unpatchable residue is reported, not a failure). Order 2: zero residual
+  // faults and pairs.
+  const bool clean =
+      config.campaign.models.order >= 2 ? result.order2_fixpoint : result.fixpoint;
+  return clean ? 0 : 1;
+}
+
+}  // namespace r2r::cli

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "support/error.h"
+#include "support/strings.h"
 
 namespace r2r::fault {
 
@@ -17,6 +18,53 @@ std::vector<std::uint64_t> CampaignResult::vulnerable_addresses() const {
 
 std::uint64_t CampaignResult::strictly_second_order_count() const {
   return sim::strictly_higher_order(vulnerabilities, pair_vulnerabilities).size();
+}
+
+std::string CampaignResult::to_json() const {
+  const auto outcome_map = [](const std::map<Outcome, std::uint64_t>& counts) {
+    std::string json = "{";
+    bool first = true;
+    for (const auto& [outcome, count] : counts) {
+      if (!first) json += ", ";
+      first = false;
+      json += support::json_quote(to_string(outcome)) + ": " + std::to_string(count);
+    }
+    return json + "}";
+  };
+
+  std::string json = "{\n";
+  json += "  \"trace_length\": " + std::to_string(trace_length) + ",\n";
+  json += "  \"total_faults\": " + std::to_string(total_faults) + ",\n";
+  json += "  \"successful_faults\": " + std::to_string(count(Outcome::kSuccess)) + ",\n";
+  json += "  \"outcomes\": " + outcome_map(outcome_counts) + ",\n";
+  json += "  \"vulnerable_addresses\": [";
+  bool first = true;
+  for (const std::uint64_t address : vulnerable_addresses()) {
+    if (!first) json += ", ";
+    first = false;
+    json += support::json_quote(support::hex_string(address));
+  }
+  json += "]";
+  if (total_pairs != 0 || !pair_vulnerabilities.empty()) {
+    json += ",\n  \"total_pairs\": " + std::to_string(total_pairs) + ",\n";
+    json += "  \"successful_pairs\": " + std::to_string(pair_count(Outcome::kSuccess)) +
+            ",\n";
+    json += "  \"reused_pairs\": " + std::to_string(reused_pairs) + ",\n";
+    json += "  \"strictly_second_order\": " + std::to_string(strictly_second_order_count()) +
+            ",\n";
+    json += "  \"pair_outcomes\": " + outcome_map(pair_outcome_counts) + ",\n";
+    json += "  \"pair_patch_sites\": [";
+    first = true;
+    for (const std::uint64_t site :
+         pair_patch_sites(sim::strictly_higher_order(vulnerabilities, pair_vulnerabilities))) {
+      if (!first) json += ", ";
+      first = false;
+      json += support::json_quote(support::hex_string(site));
+    }
+    json += "]";
+  }
+  json += "\n}\n";
+  return json;
 }
 
 Outcome Oracle::classify(const emu::RunResult& run, int detected_exit_code) const {

@@ -84,6 +84,11 @@ struct CampaignResult {
   /// Successful pairs neither of whose component faults succeeds alone —
   /// the flattened analogue of sim::PairCampaignResult::strictly_higher_order.
   [[nodiscard]] std::uint64_t strictly_second_order_count() const;
+
+  /// JSON document for downstream tooling: the order-1 counters and
+  /// vulnerable addresses, plus the pair counters / implicated patch sites
+  /// when the campaign ran at order 2 (schema in docs/formats.md).
+  [[nodiscard]] std::string to_json() const;
 };
 
 /// Golden (fault-free) references for both inputs. Throws Error{kExecution}

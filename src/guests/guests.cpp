@@ -350,6 +350,13 @@ const std::vector<const Guest*>& all_guests() {
   return guests;
 }
 
+const Guest* find_guest(std::string_view name) {
+  for (const Guest* guest : all_guests()) {
+    if (guest->name == name) return guest;
+  }
+  return nullptr;
+}
+
 bir::Module build_module(const Guest& guest) {
   return bir::module_from_assembly(guest.assembly);
 }

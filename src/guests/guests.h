@@ -43,6 +43,11 @@ const Guest& toymov();
 /// All three, for parameterized tests.
 const std::vector<const Guest*>& all_guests();
 
+/// Case-study lookup by name ("pincheck", "bootloader", "toymov");
+/// nullptr when no built-in guest has that name. The registry behind every
+/// name-driven surface (the r2r CLI, batch configs).
+const Guest* find_guest(std::string_view name);
+
 /// The 64-byte firmware accepted by the bootloader.
 std::string good_firmware();
 

@@ -34,6 +34,154 @@ std::string TextTable::render() const {
   return out;
 }
 
+std::string TextTable::render_markdown() const {
+  // Like render(), short rows are padded with empty cells: a pipe row with
+  // fewer cells than the header is malformed GFM.
+  std::size_t columns = 0;
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  std::string out;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    out += "|";
+    for (std::size_t c = 0; c < columns; ++c) {
+      out += " " + (c < row.size() ? row[c] : std::string{}) + " |";
+    }
+    out += "\n";
+    if (r == 0) {
+      out += "|";
+      for (std::size_t c = 0; c < columns; ++c) out += " --- |";
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+harden::TextTable outcome_table(const std::string& header,
+                                const std::map<sim::Outcome, std::uint64_t>& counts) {
+  TextTable table;
+  table.add_row({header, "count"});
+  for (const auto& [outcome, count] : counts) {
+    table.add_row({std::string(sim::to_string(outcome)), std::to_string(count)});
+  }
+  return table;
+}
+
+harden::TextTable vulnerable_point_table(const sim::CampaignResult& campaign) {
+  TextTable table;
+  table.add_row({"address", "hits", "by kind"});
+  for (const auto& report : campaign.merged_by_address()) {
+    std::string kinds;
+    for (const auto& [kind, count] : report.by_kind) {
+      if (!kinds.empty()) kinds += ", ";
+      kinds += std::string(sim::kind_name(kind)) + " x" + std::to_string(count);
+    }
+    table.add_row({support::hex_string(report.address), std::to_string(report.hits),
+                   kinds});
+  }
+  return table;
+}
+
+}  // namespace
+
+std::string campaign_section(const std::string& binary_name,
+                             const sim::CampaignResult& campaign) {
+  std::string out = "fault campaign: " + binary_name + "\n";
+  out += "  faults: " + std::to_string(campaign.total_faults) + " over " +
+         std::to_string(campaign.trace_length) + " trace entries (" +
+         std::to_string(campaign.count(sim::Outcome::kSuccess)) + " successful at " +
+         std::to_string(campaign.vulnerable_addresses().size()) + " point(s))\n";
+  out += "  engine: checkpoint interval " + std::to_string(campaign.checkpoint_interval) +
+         ", " + std::to_string(campaign.snapshot_count) + " snapshots, " +
+         std::to_string(campaign.pruned_faults) + " runs convergence-pruned, " +
+         std::to_string(campaign.threads_used) + " thread(s)\n";
+  out += outcome_table("outcome", campaign.outcome_counts).render();
+  if (campaign.vulnerabilities.empty()) {
+    out += "no vulnerabilities.\n";
+    return out;
+  }
+  out += vulnerable_point_table(campaign).render();
+  return out;
+}
+
+std::string campaign_markdown_section(const std::string& binary_name,
+                                      const sim::CampaignResult& campaign) {
+  std::string out = "### Fault campaign: " + binary_name + "\n\n";
+  out += std::to_string(campaign.total_faults) + " faults over " +
+         std::to_string(campaign.trace_length) + " trace entries; **" +
+         std::to_string(campaign.count(sim::Outcome::kSuccess)) + " successful** at " +
+         std::to_string(campaign.vulnerable_addresses().size()) +
+         " vulnerable point(s). Engine: checkpoint interval " +
+         std::to_string(campaign.checkpoint_interval) + ", " +
+         std::to_string(campaign.snapshot_count) + " snapshots, " +
+         std::to_string(campaign.pruned_faults) + " runs convergence-pruned, " +
+         std::to_string(campaign.threads_used) + " thread(s).\n\n";
+  out += outcome_table("outcome", campaign.outcome_counts).render_markdown();
+  if (!campaign.vulnerabilities.empty()) {
+    out += "\n" + vulnerable_point_table(campaign).render_markdown();
+  }
+  return out;
+}
+
+std::string pair_campaign_markdown_section(const std::string& binary_name,
+                                           const sim::PairCampaignResult& order2) {
+  std::string out = "### Double-fault campaign: " + binary_name + "\n\n";
+  out += std::to_string(order2.total_pairs) + " pairs within window " +
+         std::to_string(order2.pair_window) + " over " +
+         std::to_string(order2.trace_length) + " trace entries; **" +
+         std::to_string(order2.count(sim::Outcome::kSuccess)) + " successful**, " +
+         std::to_string(order2.strictly_higher_order().size()) +
+         " invisible to order 1. Order-1 phase: " +
+         std::to_string(order2.order1.total_faults) + " faults, " +
+         std::to_string(order2.order1.count(sim::Outcome::kSuccess)) +
+         " successful. Pruning: " + std::to_string(order2.reused_pairs()) +
+         " pairs reused from order-1 profiles, " +
+         std::to_string(order2.simulated_pairs) + " simulated.\n\n";
+  out += outcome_table("pair outcome", order2.outcome_counts).render_markdown();
+  if (!order2.vulnerabilities.empty()) {
+    TextTable table;
+    table.add_row({"first fault", "second fault", "successful pairs"});
+    for (const auto& [addresses, count] : order2.merged_vulnerable_pairs()) {
+      table.add_row({support::hex_string(addresses.first),
+                     support::hex_string(addresses.second), std::to_string(count)});
+    }
+    out += "\n" + table.render_markdown();
+  }
+  return out;
+}
+
+std::string fixpoint_markdown_section(const std::string& binary_name,
+                                      const patch::PipelineResult& result) {
+  std::string out = "### Faulter+Patcher fix-point: " + binary_name + "\n\n";
+  TextTable table;
+  table.add_row({"iteration", "order", "faults", "pairs", "sites", "patched",
+                 "code bytes"});
+  for (std::size_t i = 0; i < result.iterations.size(); ++i) {
+    const patch::IterationReport& it = result.iterations[i];
+    table.add_row({std::to_string(i), std::to_string(it.order),
+                   std::to_string(it.successful_faults),
+                   it.order >= 2 ? std::to_string(it.successful_pairs) + "/" +
+                                       std::to_string(it.total_pairs)
+                                 : std::string("-"),
+                   it.order >= 2 ? std::to_string(it.pair_patch_sites)
+                                 : std::string("-"),
+                   std::to_string(it.patches_applied), std::to_string(it.code_size)});
+  }
+  out += table.render_markdown();
+  out += "\nFix-point: **" + std::string(result.fixpoint ? "yes" : "NO (cap hit)") +
+         "**; order-2 clean: **" + std::string(result.order2_fixpoint ? "yes" : "NO") +
+         "**. Overhead (Table-V style): " +
+         support::format_fixed(result.overhead_percent(), 1) + "%";
+  if (result.order1_code_size != 0) {
+    out += " (order-1 " + support::format_fixed(result.order1_overhead_percent(), 1) +
+           "% + " + support::format_fixed(result.order2_overhead_delta_percent(), 1) +
+           " points for closing the order-2 gap)";
+  }
+  out += ".\n";
+  return out;
+}
+
 std::string residual_double_fault_section(const std::string& binary_name,
                                           const sim::PairCampaignResult& order2) {
   std::string out = "residual double-fault campaign: " + binary_name + "\n";

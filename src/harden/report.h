@@ -5,6 +5,7 @@
 #include <vector>
 
 namespace r2r::sim {
+struct CampaignResult;
 struct PairCampaignResult;
 }  // namespace r2r::sim
 
@@ -19,10 +20,30 @@ class TextTable {
  public:
   void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
   [[nodiscard]] std::string render() const;
+  /// GitHub-flavoured pipe table: compact (unpadded) cells with a `---`
+  /// divider after the header — the `--markdown` rendering of every report
+  /// surface, where the renderer handles alignment.
+  [[nodiscard]] std::string render_markdown() const;
 
  private:
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// The single-fault campaign section of a hardening report: outcome
+/// counters, engine telemetry, and the vulnerable points merged by static
+/// address — the text rendering of sim::CampaignResult.
+std::string campaign_section(const std::string& binary_name,
+                             const sim::CampaignResult& campaign);
+
+/// Markdown renderings of the three report surfaces (same data as the text
+/// sections, emitted as `###` headings + pipe tables) — what `r2r
+/// --markdown` and the batch summary artifact are built from.
+std::string campaign_markdown_section(const std::string& binary_name,
+                                      const sim::CampaignResult& campaign);
+std::string pair_campaign_markdown_section(const std::string& binary_name,
+                                           const sim::PairCampaignResult& order2);
+std::string fixpoint_markdown_section(const std::string& binary_name,
+                                      const patch::PipelineResult& result);
 
 /// The residual-double-fault section of a hardening report: what an order-2
 /// campaign still finds on a binary after (single-fault) hardening —

@@ -6,6 +6,7 @@
 #include "bir/assemble.h"
 #include "bir/recover.h"
 #include "support/error.h"
+#include "support/strings.h"
 
 namespace r2r::patch {
 
@@ -187,6 +188,49 @@ PipelineResult faulter_patcher(const elf::Image& input, const std::string& good_
   }
   result.hardened_code_size = result.hardened.code_size();
   return result;
+}
+
+std::string PipelineResult::to_json() const {
+  std::string json = "{\n";
+  json += "  \"fixpoint\": " + std::string(fixpoint ? "true" : "false") + ",\n";
+  json += "  \"order2_fixpoint\": " + std::string(order2_fixpoint ? "true" : "false") +
+          ",\n";
+  json += "  \"original_code_size\": " + std::to_string(original_code_size) + ",\n";
+  json += "  \"order1_code_size\": " + std::to_string(order1_code_size) + ",\n";
+  json += "  \"hardened_code_size\": " + std::to_string(hardened_code_size) + ",\n";
+  json += "  \"overhead_percent\": " + support::format_fixed(overhead_percent(), 1) +
+          ",\n";
+  json += "  \"order1_overhead_percent\": " +
+          support::format_fixed(order1_overhead_percent(), 1) + ",\n";
+  json += "  \"order2_overhead_delta_percent\": " +
+          support::format_fixed(order2_overhead_delta_percent(), 1) + ",\n";
+  json += "  \"iterations\": [\n";
+  for (std::size_t i = 0; i < iterations.size(); ++i) {
+    const IterationReport& it = iterations[i];
+    json += "    {\"order\": " + std::to_string(it.order) +
+            ", \"successful_faults\": " + std::to_string(it.successful_faults) +
+            ", \"vulnerable_points\": " + std::to_string(it.vulnerable_points) +
+            ", \"patches_applied\": " + std::to_string(it.patches_applied) +
+            ", \"unpatchable_points\": " + std::to_string(it.unpatchable_points) +
+            ", \"code_size\": " + std::to_string(it.code_size) +
+            ", \"total_pairs\": " + std::to_string(it.total_pairs) +
+            ", \"successful_pairs\": " + std::to_string(it.successful_pairs) +
+            ", \"strictly_second_order\": " + std::to_string(it.strictly_second_order) +
+            ", \"pair_patch_sites\": " + std::to_string(it.pair_patch_sites) + "}";
+    json += i + 1 < iterations.size() ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += "  \"final_campaign\": ";
+  std::string campaign_json = final_campaign.to_json();
+  // Indent the nested document two spaces so the composite stays readable.
+  if (!campaign_json.empty() && campaign_json.back() == '\n') campaign_json.pop_back();
+  std::string indented;
+  for (const char c : campaign_json) {
+    indented += c;
+    if (c == '\n') indented += "  ";
+  }
+  json += indented + "\n}\n";
+  return json;
 }
 
 }  // namespace r2r::patch

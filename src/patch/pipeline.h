@@ -88,6 +88,11 @@ struct PipelineResult {
     if (order1_code_size == 0) return 0.0;
     return overhead_percent() - order1_overhead_percent();
   }
+
+  /// JSON document for downstream tooling: the per-iteration trajectory,
+  /// fix-point flags, Table-V overhead split, and the final campaign
+  /// (schema in docs/formats.md).
+  [[nodiscard]] std::string to_json() const;
 };
 
 /// Runs the full Faulter+Patcher loop on `input`.

@@ -25,16 +25,6 @@ using emu::StopReason;
 using support::check;
 using support::ErrorKind;
 
-std::string_view kind_name(FaultSpec::Kind kind) noexcept {
-  switch (kind) {
-    case FaultSpec::Kind::kSkip: return "skip";
-    case FaultSpec::Kind::kBitFlip: return "bit-flip";
-    case FaultSpec::Kind::kRegisterBitFlip: return "register-flip";
-    case FaultSpec::Kind::kFlagFlip: return "flag-flip";
-  }
-  return "?";
-}
-
 /// Chunked dynamic scheduling shared by every sweep: workers pull fixed-size
 /// index ranges from a shared cursor and each owns a private Machine. Slot i
 /// of the caller's result vector is written only by per_item(machine, i), so
@@ -125,6 +115,16 @@ void for_each_pair(const std::vector<PlannedFault>& plan,
 }
 }  // namespace
 
+std::string_view kind_name(FaultSpec::Kind kind) noexcept {
+  switch (kind) {
+    case FaultSpec::Kind::kSkip: return "skip";
+    case FaultSpec::Kind::kBitFlip: return "bit-flip";
+    case FaultSpec::Kind::kRegisterBitFlip: return "register-flip";
+    case FaultSpec::Kind::kFlagFlip: return "flag-flip";
+  }
+  return "?";
+}
+
 std::string_view to_string(Outcome outcome) noexcept {
   switch (outcome) {
     case Outcome::kNoEffect: return "no-effect";
@@ -135,6 +135,27 @@ std::string_view to_string(Outcome outcome) noexcept {
     case Outcome::kOtherBehavior: return "other";
   }
   return "?";
+}
+
+const std::vector<std::string_view>& fault_model_names() {
+  static const std::vector<std::string_view> names = {"skip", "bit_flip",
+                                                      "register_flip", "flag_flip"};
+  return names;
+}
+
+bool set_fault_model(FaultModels& models, std::string_view name, bool enabled) {
+  if (name == "skip") {
+    models.skip = enabled;
+  } else if (name == "bit_flip") {
+    models.bit_flip = enabled;
+  } else if (name == "register_flip") {
+    models.register_flip = enabled;
+  } else if (name == "flag_flip") {
+    models.flag_flip = enabled;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 std::vector<PlannedFault> enumerate_faults(const FaultModels& models,

@@ -52,6 +52,10 @@ enum class Outcome : std::uint8_t {
 
 std::string_view to_string(Outcome outcome) noexcept;
 
+/// Short fault-model-kind name used in JSON artifacts and reports
+/// ("skip", "bit-flip", "register-flip", "flag-flip").
+std::string_view kind_name(emu::FaultSpec::Kind kind) noexcept;
+
 /// One successful fault: where it hit and what it was.
 struct Vulnerability {
   emu::FaultSpec spec;
@@ -78,6 +82,16 @@ struct FaultModels {
   unsigned order = 1;
   std::uint64_t pair_window = 8;
 };
+
+/// The CLI-facing names of the model knobs above, in enumeration order
+/// ("skip", "bit_flip", "register_flip", "flag_flip"). A model added to
+/// FaultModels belongs in this list so every name-driven surface (the r2r
+/// `--model` flag, batch configs) picks it up without a second edit.
+const std::vector<std::string_view>& fault_model_names();
+
+/// Sets the named model knob on `models`; returns false (and leaves
+/// `models` untouched) when `name` is not in fault_model_names().
+bool set_fault_model(FaultModels& models, std::string_view name, bool enabled);
 
 /// One planned injection of the sweep, in deterministic enumeration order.
 struct PlannedFault {

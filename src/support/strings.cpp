@@ -91,4 +91,31 @@ std::string format_fixed(double value, int decimals) {
   return buf;
 }
 
+std::string json_quote(std::string_view text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        // Control bytes and the non-ASCII range both become \u00XX: guest
+        // inputs/outputs are arbitrary bytes, and passing 0x80-0xFF through
+        // raw would make the document invalid UTF-8 JSON.
+        if (static_cast<unsigned char>(c) < 0x20 ||
+            static_cast<unsigned char>(c) >= 0x7F) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
 }  // namespace r2r::support

@@ -33,4 +33,10 @@ std::string hex_string(std::uint64_t value);
 /// Formats with fixed decimals, e.g. format_percent(17.613, 2) == "17.61".
 std::string format_fixed(double value, int decimals);
 
+/// JSON string literal (including the surrounding quotes): escapes the two
+/// mandatory characters plus control and non-ASCII bytes as \u00XX, so
+/// arbitrary guest inputs/outputs round-trip through the JSON artifacts as
+/// valid UTF-8 documents (byte values, Latin-1 style — not code points).
+std::string json_quote(std::string_view text);
+
 }  // namespace r2r::support

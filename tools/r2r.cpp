@@ -1,0 +1,13 @@
+// The r2r driver binary. All behaviour lives in src/cli/ (cli::run), which
+// tests and the batch driver also call in-process; this translation unit
+// only adapts argv and the process streams.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return r2r::cli::run(args, std::cout, std::cerr);
+}
