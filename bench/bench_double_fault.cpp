@@ -8,7 +8,6 @@
 // before any number is reported. Emits bench_double_fault.json for CI.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -28,11 +27,6 @@ sim::FaultModels pair_models() {
   models.order = 2;
   models.pair_window = 8;
   return models;
-}
-
-double seconds_of(const std::chrono::steady_clock::time_point& begin,
-                  const std::chrono::steady_clock::time_point& end) {
-  return std::chrono::duration<double>(end - begin).count();
 }
 
 struct SweepNumbers {
@@ -58,11 +52,12 @@ SweepNumbers compare_sweeps(const elf::Image& image, const guests::Guest& guest,
                                       exhaustive_config);
 
   SweepNumbers numbers;
-  const auto pruned_begin = std::chrono::steady_clock::now();
+  bench::Phase pruned_phase("bench.pair_sweep_pruned");
   numbers.pruned = pruned_engine.run_pairs(pair_models());
-  const auto pruned_end = std::chrono::steady_clock::now();
+  const double pruned_seconds = pruned_phase.stop();
+  bench::Phase exhaustive_phase("bench.pair_sweep_exhaustive");
   const sim::PairCampaignResult exhaustive = exhaustive_engine.run_pairs(pair_models());
-  const auto exhaustive_end = std::chrono::steady_clock::now();
+  const double exhaustive_seconds = exhaustive_phase.stop();
 
   if (numbers.pruned.vulnerabilities != exhaustive.vulnerabilities ||
       numbers.pruned.outcome_counts != exhaustive.outcome_counts) {
@@ -71,8 +66,8 @@ SweepNumbers compare_sweeps(const elf::Image& image, const guests::Guest& guest,
     std::exit(1);
   }
 
-  numbers.pruned_seconds = seconds_of(pruned_begin, pruned_end);
-  numbers.exhaustive_seconds = seconds_of(pruned_end, exhaustive_end);
+  numbers.pruned_seconds = pruned_seconds;
+  numbers.exhaustive_seconds = exhaustive_seconds;
   numbers.pairs_per_second =
       numbers.pruned_seconds > 0
           ? static_cast<double>(numbers.pruned.total_pairs) / numbers.pruned_seconds
@@ -125,6 +120,7 @@ BENCHMARK(BM_PairEnumeration);
 }  // namespace
 
 int main(int argc, char** argv) {
+  r2r::bench::enable_observability();
   r2r::bench::print_header(
       "Order-2 fault campaigns: outcome-reuse pruning vs exhaustive pairs",
       "multi-fault scenario (Boespflug et al.) on the Fig. 2 faulter");
@@ -162,7 +158,7 @@ int main(int argc, char** argv) {
 
   const char* json_path = "bench_double_fault.json";
   std::ofstream out(json_path);
-  out << json;
+  out << bench::with_metrics_snapshot(json);
   out.close();
   std::printf("JSON written to %s\n", json_path);
 

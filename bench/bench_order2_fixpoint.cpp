@@ -13,7 +13,6 @@
 // Emits bench_order2_fixpoint.json for the CI artifact.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -120,6 +119,7 @@ BENCHMARK(BM_PairPatchAttribution)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::enable_observability();
   bench::print_header(
       "Order-2 fix point: pair-aware Faulter+Patcher on the guest corpus",
       "Fig. 2 loop extended to the multi-fault scenario (Boespflug et al.)");
@@ -130,12 +130,10 @@ int main(int argc, char** argv) {
   for (const guests::Guest* guest : guests::all_guests()) {
     const elf::Image input = guests::build_image(*guest);
 
-    const auto begin = std::chrono::steady_clock::now();
+    bench::Phase fixpoint_phase("bench.fixpoint");
     const patch::PipelineResult result = patch::faulter_patcher(
         input, guest->good_input, guest->bad_input, order2_config());
-    const double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
-            .count();
+    const double seconds = fixpoint_phase.stop();
 
     const std::uint64_t residual = result.final_campaign.pair_vulnerabilities.size();
     const bool identical = sweeps_bit_identical(result.hardened, *guest);
@@ -176,7 +174,7 @@ int main(int argc, char** argv) {
 
   const char* json_path = "bench_order2_fixpoint.json";
   std::ofstream out(json_path);
-  out << json;
+  out << bench::with_metrics_snapshot(json);
   out.close();
   std::printf("JSON written to %s\n", json_path);
 

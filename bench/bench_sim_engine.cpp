@@ -9,7 +9,6 @@
 // 8-thread sweeps produce the identical vulnerability set.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -52,30 +51,23 @@ fault::CampaignResult engine_campaign(const elf::Image& image,
   return fault::run_campaign(image, guest.good_input, guest.bad_input, config);
 }
 
-double seconds_of(const std::chrono::steady_clock::time_point& begin,
-                  const std::chrono::steady_clock::time_point& end) {
-  return std::chrono::duration<double>(end - begin).count();
-}
-
 /// One-shot wall-clock comparison per guest; returns the speedup of the
-/// 1-thread engine over the seed sweep on this guest.
+/// 1-thread engine over the seed sweep on this guest. Each leg is a
+/// bench::Phase, so the timings double as "bench.*" spans in the tracer.
 double compare_guest(const guests::Guest& guest, bool check_acceptance) {
   const elf::Image image = guests::build_image(guest);
 
-  const auto seed_begin = std::chrono::steady_clock::now();
+  bench::Phase seed_phase("bench.seed_campaign");
   const fault::CampaignResult seed = seed_serial_campaign(image, guest);
-  const auto seed_end = std::chrono::steady_clock::now();
-  const double seed_seconds = seconds_of(seed_begin, seed_end);
+  const double seed_seconds = seed_phase.stop();
 
-  const auto one_begin = std::chrono::steady_clock::now();
+  bench::Phase one_phase("bench.engine_campaign_1");
   const fault::CampaignResult one = engine_campaign(image, guest, 1);
-  const auto one_end = std::chrono::steady_clock::now();
-  const double one_seconds = seconds_of(one_begin, one_end);
+  const double one_seconds = one_phase.stop();
 
-  const auto eight_begin = std::chrono::steady_clock::now();
+  bench::Phase eight_phase("bench.engine_campaign_8");
   const fault::CampaignResult eight = engine_campaign(image, guest, 8);
-  const auto eight_end = std::chrono::steady_clock::now();
-  const double eight_seconds = seconds_of(eight_begin, eight_end);
+  const double eight_seconds = eight_phase.stop();
 
   const bool seed_identical = one.vulnerabilities == seed.vulnerabilities &&
                               one.outcome_counts == seed.outcome_counts;
@@ -149,16 +141,37 @@ BENCHMARK(BM_SnapshotCaptureRestore);
 }  // namespace
 
 int main(int argc, char** argv) {
+  r2r::bench::enable_observability();
   r2r::bench::print_header(
       "Snapshot-based parallel fault-simulation engine",
       "Fig. 2 faulter at scale: checkpointed sweep vs full replay");
 
   // Largest guest last; it carries the >= 3x acceptance criterion.
   std::printf("\n-- full-campaign wall clock (skip + bit-flip models) --\n");
+  r2r::bench::Phase wall_phase("bench.compare_guests");
   compare_guest(guests::toymov(), false);
   compare_guest(guests::pincheck(), false);
   const double speedup = compare_guest(guests::bootloader(), true);
+  const double wall_seconds = wall_phase.stop();
   std::printf("largest-guest speedup: %.2fx (acceptance: >= 3x) — OK\n", speedup);
+
+  // The "bench.*" phase spans are disjoint sub-intervals of the comparison
+  // wall clock, so their recorded totals must bracket it: strictly positive
+  // and no larger than the wall time. This pins the obs span clock to the
+  // same timeline the benches report.
+  const r2r::obs::Tracer& tracer = r2r::obs::Tracer::instance();
+  const double span_seconds =
+      static_cast<double>(tracer.total_duration_ns("bench.seed_campaign") +
+                          tracer.total_duration_ns("bench.engine_campaign_1") +
+                          tracer.total_duration_ns("bench.engine_campaign_8")) *
+      1e-9;
+  if (span_seconds <= 0.0 || span_seconds > wall_seconds) {
+    std::printf("FAILED: span totals %.3fs do not bracket wall clock %.3fs\n",
+                span_seconds, wall_seconds);
+    return 1;
+  }
+  std::printf("obs span totals: %.3fs of %.3fs comparison wall clock — OK\n",
+              span_seconds, wall_seconds);
 
   {
     const guests::Guest& guest = guests::bootloader();

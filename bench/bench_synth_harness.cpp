@@ -9,9 +9,9 @@
 // seeds/sec so CI trends regressions in harness cost.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "bench_util.h"
 #include "guests/synth.h"
@@ -64,6 +64,7 @@ BENCHMARK(BM_FullChainOneSeed)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  r2r::bench::enable_observability();
   r2r::bench::print_header(
       "Synthetic-guest property-harness throughput",
       "ARMORY-style breadth: full-pipeline invariants swept across "
@@ -71,7 +72,7 @@ int main(int argc, char** argv) {
 
   // Self-check + seeds/sec over the sweep window: every seed must reach the
   // order-1 fix-point with behaviour preserved (the harness invariants).
-  const auto begin = std::chrono::steady_clock::now();
+  r2r::bench::Phase sweep_phase("bench.full_chain_sweep");
   unsigned violations = 0;
   for (std::uint64_t seed = kSweepBase; seed < kSweepBase + kSweepCount; ++seed) {
     const guests::Guest guest = guests::synth::generate(seed);
@@ -95,9 +96,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(seed));
     }
   }
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
-          .count();
+  const double elapsed = sweep_phase.stop();
   const double seeds_per_sec = static_cast<double>(kSweepCount) / elapsed;
   std::printf("full-chain sweep: %llu seeds in %.2fs (%.1f seeds/sec), "
               "%u invariant violations\n",
@@ -106,14 +105,16 @@ int main(int argc, char** argv) {
 
   const char* json_path = "bench_synth_harness.json";
   {
+    std::ostringstream body;
+    body << "{\n"
+         << "  \"sweep_base\": " << kSweepBase << ",\n"
+         << "  \"sweep_count\": " << kSweepCount << ",\n"
+         << "  \"full_chain_seconds\": " << elapsed << ",\n"
+         << "  \"seeds_per_second\": " << seeds_per_sec << ",\n"
+         << "  \"invariant_violations\": " << violations << "\n"
+         << "}\n";
     std::ofstream out(json_path);
-    out << "{\n"
-        << "  \"sweep_base\": " << kSweepBase << ",\n"
-        << "  \"sweep_count\": " << kSweepCount << ",\n"
-        << "  \"full_chain_seconds\": " << elapsed << ",\n"
-        << "  \"seeds_per_second\": " << seeds_per_sec << ",\n"
-        << "  \"invariant_violations\": " << violations << "\n"
-        << "}\n";
+    out << r2r::bench::with_metrics_snapshot(body.str());
   }
   std::printf("JSON written to %s\n\n", json_path);
 

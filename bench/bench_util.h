@@ -1,6 +1,7 @@
 // Shared helpers for the bench binaries that regenerate the paper's tables.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -12,9 +13,61 @@
 #include "guests/guests.h"
 #include "harden/report.h"
 #include "isa/printer.h"
+#include "obs/obs.h"
 #include "support/strings.h"
 
 namespace r2r::bench {
+
+/// Arms the obs layer for the whole bench process: spans land in the shared
+/// tracer (summable via Tracer::total_duration_ns, dumpable as a Chrome
+/// trace) and the engine's timing histograms (sim.restore_ns) collect.
+/// Call once at the top of main().
+inline void enable_observability() {
+  obs::set_timing_enabled(true);
+  obs::Tracer::instance().set_enabled(true);
+}
+
+/// RAII phase stopwatch built on an obs span: one "bench.*" span per timed
+/// phase replaces the per-bench std::chrono boilerplate, so every bench
+/// gets the phase breakdown in the tracer for free while stop() returns the
+/// wall seconds for the bench's own tables.
+class Phase {
+ public:
+  explicit Phase(const char* name) : span_(name), begin_ns_(obs::now_ns()) {}
+
+  /// Ends the span (idempotent) and returns the elapsed wall seconds.
+  double stop() {
+    if (end_ns_ == 0) {
+      end_ns_ = obs::now_ns();
+      span_.end();
+    }
+    return static_cast<double>(end_ns_ - begin_ns_) * 1e-9;
+  }
+
+ private:
+  obs::Span span_;
+  std::uint64_t begin_ns_;
+  std::uint64_t end_ns_ = 0;
+};
+
+/// Splices the process-wide obs metrics snapshot into a bench JSON document
+/// as a top-level "metrics" member (inserted before the final closing
+/// brace), so BENCH_*.json artifacts carry engine-internal numbers — prune
+/// rates, checkpoint counts, restore-latency histograms — alongside the
+/// bench's own end-to-end figures.
+inline std::string with_metrics_snapshot(std::string json) {
+  const std::size_t brace = json.rfind('}');
+  if (brace == std::string::npos) return json;
+  std::string metrics = obs::Metrics::instance().to_json();
+  while (!metrics.empty() && metrics.back() == '\n') metrics.pop_back();
+  std::string indented;
+  for (const char c : metrics) {
+    indented += c;
+    if (c == '\n') indented += "  ";
+  }
+  json.insert(brace, ",\n  \"metrics\": " + indented + "\n");
+  return json;
+}
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {
   std::printf("==============================================================\n");

@@ -4,6 +4,7 @@
 
 #include "isa/encoder.h"
 #include "isa/printer.h"
+#include "obs/trace.h"
 #include "support/error.h"
 #include "support/strings.h"
 
@@ -97,6 +98,7 @@ isa::Instruction resolve(const isa::Instruction& instr, const SymbolMap& symbols
 }  // namespace
 
 elf::Image assemble(Module& module) {
+  obs::Span span("bir.assemble");
   SymbolMap symbols;
   const auto define = [&symbols](const std::string& name, std::uint64_t address) {
     const auto [it, inserted] = symbols.emplace(name, address);

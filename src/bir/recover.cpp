@@ -6,6 +6,7 @@
 
 #include "isa/decoder.h"
 #include "isa/semantics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 #include "support/strings.h"
 
@@ -112,6 +113,7 @@ void symbolize(RecoveryState& state, isa::Instruction& instr) {
 }  // namespace
 
 Module recover(const elf::Image& image) {
+  obs::Span span("bir.recover");
   RecoveryState state;
   state.image = &image;
   for (const auto& segment : image.segments) {

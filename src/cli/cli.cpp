@@ -1,8 +1,10 @@
 #include "cli/cli.h"
 
 #include <algorithm>
+#include <optional>
 #include <ostream>
 
+#include "obs/obs.h"
 #include "sim/engine.h"
 #include "support/error.h"
 #include "support/strings.h"
@@ -11,6 +13,98 @@ namespace r2r::cli {
 
 using support::ErrorKind;
 using support::fail;
+
+namespace {
+
+/// The global observability flags, valid in any position for any command.
+struct ObsOptions {
+  std::optional<std::string> trace_out;
+  std::optional<std::string> metrics_out;
+  bool progress = false;
+};
+
+/// Strips --trace-out/--metrics-out/--progress (both `--flag VALUE` and
+/// `--flag=VALUE` forms) out of `args` before subcommand dispatch, so every
+/// command accepts them without each parser re-declaring the bundle.
+ObsOptions extract_obs_flags(std::vector<std::string>& args) {
+  ObsOptions options;
+  const auto take_value = [&](std::size_t& i, const std::string& flag,
+                              const std::string_view name) {
+    if (flag.size() > name.size() && flag[name.size()] == '=') {
+      return flag.substr(name.size() + 1);
+    }
+    if (i + 1 >= args.size()) {
+      fail(ErrorKind::kInvalidArgument,
+           std::string(name) + " requires a file argument");
+    }
+    return args[++i];
+  };
+
+  std::vector<std::string> kept;
+  kept.reserve(args.size());
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--progress") {
+      options.progress = true;
+    } else if (arg == "--trace-out" || arg.starts_with("--trace-out=")) {
+      options.trace_out = take_value(i, arg, "--trace-out");
+    } else if (arg == "--metrics-out" || arg.starts_with("--metrics-out=")) {
+      options.metrics_out = take_value(i, arg, "--metrics-out");
+    } else {
+      kept.push_back(arg);
+    }
+  }
+  args = std::move(kept);
+  return options;
+}
+
+/// Arms the obs layer for one run() invocation and writes the requested
+/// artifacts on the way out, then disarms everything — sequential
+/// in-process invocations (tests, the batch driver) must not leak tracing
+/// state into each other. Progress renders to the caller's `err` stream;
+/// trace/metrics files are written silently.
+class ObsScope {
+ public:
+  ObsScope(const ObsOptions& options, std::ostream& err)
+      : options_(options), err_(err) {
+    if (options_.trace_out.has_value()) {
+      obs::Tracer::instance().clear();
+      obs::Tracer::instance().set_enabled(true);
+    }
+    if (options_.trace_out.has_value() || options_.metrics_out.has_value()) {
+      obs::set_timing_enabled(true);
+    }
+    if (options_.metrics_out.has_value()) obs::Metrics::instance().reset();
+    if (options_.progress) obs::set_progress_stream(&err_);
+  }
+
+  ~ObsScope() {
+    obs::set_progress_stream(nullptr);
+    obs::set_timing_enabled(false);
+    if (options_.trace_out.has_value()) {
+      obs::Tracer::instance().set_enabled(false);
+      try {
+        write_file(*options_.trace_out, obs::Tracer::instance().to_chrome_json());
+      } catch (const std::exception& e) {
+        err_ << "r2r: failed to write trace: " << e.what() << "\n";
+      }
+      obs::Tracer::instance().clear();
+    }
+    if (options_.metrics_out.has_value()) {
+      try {
+        write_file(*options_.metrics_out, obs::Metrics::instance().to_json());
+      } catch (const std::exception& e) {
+        err_ << "r2r: failed to write metrics: " << e.what() << "\n";
+      }
+    }
+  }
+
+ private:
+  ObsOptions options_;
+  std::ostream& err_;
+};
+
+}  // namespace
 
 const std::vector<Command>& commands() {
   static const std::vector<Command> registry = {
@@ -44,6 +138,13 @@ std::string top_level_help() {
            std::string(command.summary) + "\n";
   }
   out +=
+      "\nglobal flags (accepted by every command):\n"
+      "  --trace-out FILE    write a Chrome trace-event JSON of this run\n"
+      "                      (open in Perfetto; see docs/observability.md)\n"
+      "  --metrics-out FILE  write the obs metrics snapshot (counters,\n"
+      "                      gauges, histograms) as JSON\n"
+      "  --progress          render a live percent/rate/ETA line on stderr\n";
+  out +=
       "\nguest specs: pincheck | bootloader | toymov | synth:<seed> | path/to/prog.s\n"
       "(.s specs read inputs from <stem>.good / <stem>.bad sidecars)\n\n"
       "Run 'r2r <command> --help' for flags; docs/r2r.md is the full reference.\n";
@@ -51,22 +152,31 @@ std::string top_level_help() {
 }
 
 int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
-  if (args.empty() || args[0] == "--help" || args[0] == "-h" || args[0] == "help") {
+  std::vector<std::string> argv = args;
+  ObsOptions obs_options;
+  try {
+    obs_options = extract_obs_flags(argv);
+  } catch (const support::Error& error) {
+    err << "r2r: " << error.what() << "\n";
+    return 2;
+  }
+
+  if (argv.empty() || argv[0] == "--help" || argv[0] == "-h" || argv[0] == "help") {
     out << top_level_help();
-    return args.empty() ? 2 : 0;
+    return argv.empty() ? 2 : 0;
   }
   const Command* command = nullptr;
   for (const Command& candidate : commands()) {
-    if (candidate.name == args[0]) command = &candidate;
+    if (candidate.name == argv[0]) command = &candidate;
   }
   if (command == nullptr) {
-    err << "r2r: unknown command '" << args[0] << "' (try 'r2r --help')\n";
+    err << "r2r: unknown command '" << argv[0] << "' (try 'r2r --help')\n";
     return 2;
   }
 
   ArgParser parser = command->make_parser();
   try {
-    parser.parse({args.begin() + 1, args.end()});
+    parser.parse({argv.begin() + 1, argv.end()});
   } catch (const support::Error& error) {
     err << "r2r: " << error.what() << "\n";
     return 2;
@@ -75,6 +185,7 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
     out << parser.help();
     return 0;
   }
+  const ObsScope obs_scope(obs_options, err);
   try {
     return command->run(parser, out, err);
   } catch (const support::Error& error) {

@@ -17,6 +17,7 @@
 #include "emu/machine.h"
 #include "harden/hybrid.h"
 #include "harden/report.h"
+#include "obs/obs.h"
 #include "patch/pipeline.h"
 #include "sim/engine.h"
 #include "support/error.h"
@@ -187,12 +188,16 @@ int run_batch(const ArgParser& args, std::ostream& out, std::ostream& err) {
 
   // Shard guests across the pool; slot-per-guest writes keep aggregation
   // order independent of scheduling.
+  obs::Span batch_span("batch.run", obs::args_u64({{"guests", specs.size()}}));
+  obs::Progress progress("batch " + plan.cmd, specs.size());
   std::vector<BatchRow> rows(specs.size());
   std::atomic<std::size_t> cursor{0};
   const auto worker = [&] {
     while (true) {
       const std::size_t index = cursor.fetch_add(1);
       if (index >= specs.size()) return;
+      obs::Span span("batch.guest",
+                     "{\"spec\": " + support::json_quote(specs[index]) + "}");
       try {
         rows[index] = process_guest(plan, specs[index]);
       } catch (const std::exception& error) {
@@ -200,6 +205,7 @@ int run_batch(const ArgParser& args, std::ostream& out, std::ostream& err) {
         rows[index].ok = false;
         rows[index].error = error.what();
       }
+      progress.tick(1);
     }
   };
   std::vector<std::thread> pool;
@@ -209,6 +215,8 @@ int run_batch(const ArgParser& args, std::ostream& out, std::ostream& err) {
 
   std::size_t failed = 0;
   for (const BatchRow& row : rows) failed += row.ok ? 0 : 1;
+  obs::Metrics::instance().counter("batch.guests").add(rows.size());
+  obs::Metrics::instance().counter("batch.failed").add(failed);
 
   std::string text;
   if (format == Format::kJson) {

@@ -1,18 +1,26 @@
 #include "harden/hybrid.h"
 
 #include "ir/verifier.h"
+#include "obs/obs.h"
 #include "passes/pass.h"
 
 namespace r2r::harden {
 
 HybridResult hybrid_harden(const elf::Image& input, const HybridConfig& config) {
+  obs::Span run_span("harden.hybrid");
+  obs::Metrics::instance().counter("harden.hybrid_runs").add(1);
+
   HybridResult result;
   result.original_code_size = input.code_size();
 
-  lift::LiftResult lifted = lift::lift(input);
+  lift::LiftResult lifted = [&] {
+    obs::Span span("harden.lift");
+    return lift::lift(input);
+  }();
   ir::verify(lifted.module);
 
   if (config.cleanup) {
+    obs::Span span("harden.cleanup");
     passes::PassManager cleanup;
     cleanup.add(passes::make_state_promotion());
     cleanup.add(passes::make_global_store_elim());
@@ -24,28 +32,34 @@ HybridResult hybrid_harden(const elf::Image& input, const HybridConfig& config) 
 
   result.ir_before = passes::count_ops(lifted.module);
 
-  switch (config.countermeasure) {
-    case HybridCountermeasure::kNone:
-      break;
-    case HybridCountermeasure::kBranchHardening: {
-      passes::PassManager pm;
-      pm.add(passes::make_call_guard());
-      pm.add(passes::make_branch_hardening());
-      pm.run(lifted.module);
-      break;
-    }
-    case HybridCountermeasure::kInstructionDuplication: {
-      passes::PassManager pm;
-      pm.add(passes::make_instruction_duplication());
-      pm.run(lifted.module);
-      break;
+  {
+    obs::Span span("harden.countermeasure");
+    switch (config.countermeasure) {
+      case HybridCountermeasure::kNone:
+        break;
+      case HybridCountermeasure::kBranchHardening: {
+        passes::PassManager pm;
+        pm.add(passes::make_call_guard());
+        pm.add(passes::make_branch_hardening());
+        pm.run(lifted.module);
+        break;
+      }
+      case HybridCountermeasure::kInstructionDuplication: {
+        passes::PassManager pm;
+        pm.add(passes::make_instruction_duplication());
+        pm.run(lifted.module);
+        break;
+      }
     }
   }
   ir::verify(lifted.module);
   result.ir_after = passes::count_ops(lifted.module);
 
-  result.hardened =
-      lower::lower_to_image(lifted.module, lifted.guest_data, config.lower_options);
+  {
+    obs::Span span("harden.lower");
+    result.hardened =
+        lower::lower_to_image(lifted.module, lifted.guest_data, config.lower_options);
+  }
   result.hardened_code_size = result.hardened.code_size();
   result.module = std::move(lifted.module);
   return result;

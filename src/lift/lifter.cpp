@@ -8,6 +8,7 @@
 #include "ir/builder.h"
 #include "isa/printer.h"
 #include "isa/semantics.h"
+#include "obs/trace.h"
 #include "support/error.h"
 
 namespace r2r::lift {
@@ -660,6 +661,7 @@ bool is_exit_block(const bir::Module& bmod, const bir::BasicBlock& block) {
 }  // namespace
 
 LiftResult lift(const elf::Image& image) {
+  obs::Span span("lift.lift");
   bir::Module bmod = bir::recover(image);
   const Cfg cfg = bir::build_cfg(bmod);
 

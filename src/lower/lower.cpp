@@ -4,6 +4,7 @@
 #include <set>
 
 #include "bir/assemble.h"
+#include "obs/trace.h"
 #include "support/bits.h"
 #include "support/error.h"
 
@@ -721,6 +722,7 @@ bir::Module lower(const ir::Module& module, const std::vector<bir::DataSection>&
 elf::Image lower_to_image(const ir::Module& module,
                           const std::vector<bir::DataSection>& guest_data,
                           const LowerOptions& options) {
+  obs::Span span("lower.lower");
   bir::Module lowered = lower(module, guest_data, options);
   return bir::assemble(lowered);
 }

@@ -1,0 +1,132 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+#include "support/strings.h"
+
+namespace r2r::obs {
+
+void Histogram::observe(std::uint64_t value) noexcept {
+  buckets_[std::bit_width(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + support::json_quote(name) + ": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + support::json_quote(name) + ": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, data] : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + support::json_quote(name) + ": {\"count\": " +
+           std::to_string(data.count) + ", \"sum\": " +
+           std::to_string(data.sum) + ", \"mean\": " +
+           support::format_fixed(
+               data.count == 0
+                   ? 0.0
+                   : static_cast<double>(data.sum) /
+                         static_cast<double>(data.count),
+               1) +
+           ", \"buckets\": [";
+    bool first_bucket = true;
+    for (const auto& [width, count] : data.buckets) {
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += "{\"pow2\": " + std::to_string(width) + ", \"count\": " +
+             std::to_string(count) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+Metrics& Metrics::instance() noexcept {
+  static Metrics metrics;
+  return metrics;
+}
+
+Counter& Metrics::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Metrics::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Metrics::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.count = histogram->count();
+    data.sum = histogram->sum();
+    for (unsigned i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t bucket = histogram->bucket(i);
+      if (bucket != 0) data.buckets.emplace_back(i, bucket);
+    }
+    out.histograms.emplace(name, std::move(data));
+  }
+  return out;
+}
+
+void Metrics::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->reset();
+  for (const auto& [name, gauge] : gauges_) gauge->reset();
+  for (const auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+}  // namespace r2r::obs

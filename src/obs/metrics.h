@@ -1,0 +1,135 @@
+// r2r::obs — process-wide metrics registry: named atomic counters, gauges
+// and histograms.
+//
+// The registry is the one place every layer of the pipeline reports what it
+// did: the sim:: engine its fault/pair/prune totals, the patch:: fix-point
+// its iteration and patch counts, the passes:: op-count statistics their
+// tallies (this registry absorbed the old passes::StatsRegistry singleton).
+// Handles returned by counter()/gauge()/histogram() are stable for the
+// process lifetime, so hot paths cache the reference once and then touch a
+// single relaxed atomic per event.
+//
+// Determinism contract (tested): *counters* only ever carry work-derived
+// totals (faults planned, pairs reused, patches applied, ...), so their
+// values are invariant across thread counts and across tracing on/off.
+// Gauges and histograms may carry timing (faults/sec, restore latency) and
+// make no such promise — artifact comparisons must key on the counters
+// section only.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace r2r::obs {
+
+/// Monotonically increasing event total. Thread-safe, lock-free.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (interval lengths, resident bytes,
+/// rates). Thread-safe; concurrent writers race benignly.
+class Gauge {
+ public:
+  void set(std::int64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Power-of-two bucketed distribution: bucket i counts the observations
+/// whose bit width is i, i.e. values in [2^(i-1), 2^i). Fixed storage, so
+/// observe() is a handful of relaxed atomics — safe in the engine hot path.
+class Histogram {
+ public:
+  static constexpr unsigned kBuckets = 65;  ///< bit widths 0..64
+
+  void observe(std::uint64_t value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(unsigned index) const noexcept {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Point-in-time copy of every registered metric, ordered by name (so two
+/// snapshots with equal contents render to equal JSON).
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    /// (bit width, count) for the non-empty buckets, ascending.
+    std::vector<std::pair<unsigned, std::uint64_t>> buckets;
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} — schema in
+  /// docs/formats.md. Deterministic (maps are name-ordered).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// The process-wide registry. Registration takes a short mutex; the
+/// returned references never move or die, so call sites cache them.
+class Metrics {
+ public:
+  static Metrics& instance() noexcept;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] std::string to_json() const { return snapshot().to_json(); }
+
+  /// Zeroes every registered metric. Registrations (and therefore cached
+  /// references) stay valid.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace r2r::obs

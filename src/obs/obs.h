@@ -1,0 +1,9 @@
+// r2r::obs — umbrella header for the observability layer: metrics registry
+// (metrics.h), scoped spans + Chrome trace serialization (trace.h) and the
+// live progress sink (progress.h). See docs/observability.md for the
+// naming scheme and the inertness guarantees.
+#pragma once
+
+#include "obs/metrics.h"   // IWYU pragma: export
+#include "obs/progress.h"  // IWYU pragma: export
+#include "obs/trace.h"     // IWYU pragma: export

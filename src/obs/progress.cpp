@@ -1,0 +1,80 @@
+#include "obs/progress.h"
+
+#include "obs/trace.h"
+#include "support/strings.h"
+
+namespace r2r::obs {
+
+namespace {
+
+std::atomic<std::ostream*> g_progress_stream{nullptr};
+
+constexpr std::uint64_t kRenderPeriodNs = 100'000'000;  // ~10 Hz
+constexpr std::size_t kLineWidth = 78;  // pad to blank out the previous line
+
+}  // namespace
+
+void set_progress_stream(std::ostream* stream) noexcept {
+  g_progress_stream.store(stream, std::memory_order_relaxed);
+}
+
+std::ostream* progress_stream() noexcept {
+  return g_progress_stream.load(std::memory_order_relaxed);
+}
+
+Progress::Progress(std::string label, std::uint64_t total)
+    : stream_(progress_stream()),
+      label_(std::move(label)),
+      total_(total),
+      begin_ns_(now_ns()) {
+  if (total_ == 0) stream_ = nullptr;
+}
+
+Progress::~Progress() {
+  if (stream_ == nullptr) return;
+  render(done_.load(std::memory_order_relaxed), /*final=*/true);
+}
+
+void Progress::tick(std::uint64_t n) {
+  if (stream_ == nullptr) return;
+  const std::uint64_t done = done_.fetch_add(n, std::memory_order_relaxed) + n;
+  const std::uint64_t now = now_ns();
+  std::uint64_t last = last_render_ns_.load(std::memory_order_relaxed);
+  if (now - last < kRenderPeriodNs) return;
+  if (!last_render_ns_.compare_exchange_strong(last, now,
+                                               std::memory_order_relaxed)) {
+    return;  // another thread just rendered
+  }
+  render(done, /*final=*/false);
+}
+
+void Progress::render(std::uint64_t done, bool final) {
+  std::unique_lock<std::mutex> lock(render_mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    if (!final) return;  // drop a throttled frame rather than block a worker
+    lock.lock();
+  }
+  const double elapsed =
+      static_cast<double>(now_ns() - begin_ns_) * 1e-9;
+  const double fraction =
+      static_cast<double>(done) / static_cast<double>(total_);
+  const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0;
+  std::string line = label_ + ": " +
+                     support::format_fixed(100.0 * fraction, 1) + "% (" +
+                     std::to_string(done) + "/" + std::to_string(total_) +
+                     ") " + support::format_fixed(rate, 0) + "/s";
+  if (final) {
+    line += " in " + support::format_fixed(elapsed, 2) + "s";
+  } else if (rate > 0.0 && done <= total_) {
+    line += " eta " +
+            support::format_fixed(
+                static_cast<double>(total_ - done) / rate, 1) +
+            "s";
+  }
+  if (line.size() < kLineWidth) line.append(kLineWidth - line.size(), ' ');
+  *stream_ << '\r' << line;
+  if (final) *stream_ << '\n';
+  stream_->flush();
+}
+
+}  // namespace r2r::obs

@@ -1,0 +1,48 @@
+// r2r::obs — live progress sink: a plan-size-aware percent/rate/ETA line
+// rendered with carriage returns on a caller-provided stream (the CLI wires
+// it to stderr behind the global --progress flag).
+//
+// Disabled by default: with no stream installed a Progress object is a pure
+// no-op, so campaigns and fix-points on a non-TTY emit nothing to stderr
+// (tested). Renders are throttled to ~10 Hz and serialized, so worker
+// threads can tick() freely from the sharded sweep loops.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace r2r::obs {
+
+/// Installs (or, with nullptr, removes) the process-wide progress stream.
+void set_progress_stream(std::ostream* stream) noexcept;
+[[nodiscard]] std::ostream* progress_stream() noexcept;
+
+/// One tracked unit of work with a known plan size. Captures the installed
+/// stream at construction; the destructor renders a final 100% line.
+class Progress {
+ public:
+  Progress(std::string label, std::uint64_t total);
+  ~Progress();
+
+  Progress(const Progress&) = delete;
+  Progress& operator=(const Progress&) = delete;
+
+  /// Marks `n` items done. Thread-safe; renders at most every ~100 ms.
+  void tick(std::uint64_t n = 1);
+
+ private:
+  void render(std::uint64_t done, bool final);
+
+  std::ostream* stream_ = nullptr;
+  std::string label_;
+  std::uint64_t total_ = 0;
+  std::uint64_t begin_ns_ = 0;
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::uint64_t> last_render_ns_{0};
+  std::mutex render_mutex_;
+};
+
+}  // namespace r2r::obs

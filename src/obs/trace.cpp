@@ -1,0 +1,211 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "support/strings.h"
+
+namespace r2r::obs {
+
+namespace {
+
+std::uint64_t steady_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<bool> g_timing_enabled{false};
+
+}  // namespace
+
+std::uint64_t now_ns() noexcept {
+  static const std::uint64_t epoch = steady_ns();
+  return steady_ns() - epoch;
+}
+
+void set_timing_enabled(bool enabled) noexcept {
+  g_timing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool timing_enabled() noexcept {
+  return g_timing_enabled.load(std::memory_order_relaxed);
+}
+
+struct Tracer::ThreadBuffer {
+  std::mutex mutex;  ///< taken per append; uncontended except at serialize
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct Tracer::Impl {
+  std::atomic<bool> enabled{false};
+  std::mutex registry_mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::atomic<std::uint32_t> next_tid{0};
+};
+
+Tracer::Impl& Tracer::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+Tracer& Tracer::instance() noexcept {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_enabled(bool enabled) noexcept {
+  impl().enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Tracer::enabled() const noexcept {
+  return impl().enabled.load(std::memory_order_relaxed);
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  // The shared_ptr in the registry keeps the buffer alive after the owning
+  // thread exits, so short-lived engine workers still contribute events.
+  thread_local std::shared_ptr<ThreadBuffer> buffer;
+  if (!buffer) {
+    buffer = std::make_shared<ThreadBuffer>();
+    Impl& state = impl();
+    std::lock_guard<std::mutex> lock(state.registry_mutex);
+    buffer->tid = state.next_tid.fetch_add(1, std::memory_order_relaxed);
+    state.buffers.push_back(buffer);
+  }
+  return *buffer;
+}
+
+void Tracer::record(std::string name, std::uint64_t start_ns,
+                    std::uint64_t dur_ns, std::string args) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(
+      TraceEvent{std::move(name), std::move(args), start_ns, dur_ns});
+}
+
+void Tracer::clear() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.registry_mutex);
+  for (const auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+std::size_t Tracer::event_count() const {
+  Impl& state = impl();
+  std::size_t count = 0;
+  std::lock_guard<std::mutex> lock(state.registry_mutex);
+  for (const auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    count += buffer->events.size();
+  }
+  return count;
+}
+
+std::uint64_t Tracer::total_duration_ns(std::string_view name) const {
+  Impl& state = impl();
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(state.registry_mutex);
+  for (const auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    for (const TraceEvent& event : buffer->events) {
+      if (event.name == name) total += event.dur_ns;
+    }
+  }
+  return total;
+}
+
+std::string Tracer::to_chrome_json() const {
+  struct Row {
+    const TraceEvent* event;
+    std::uint32_t tid;
+    std::size_t seq;  ///< arrival order within the owning buffer
+  };
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.registry_mutex);
+
+  std::vector<Row> rows;
+  for (const auto& buffer : state.buffers) buffer->mutex.lock();
+  for (const auto& buffer : state.buffers) {
+    for (std::size_t i = 0; i < buffer->events.size(); ++i) {
+      rows.push_back(Row{&buffer->events[i], buffer->tid, i});
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.event->start_ns != b.event->start_ns) {
+      return a.event->start_ns < b.event->start_ns;
+    }
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.seq < b.seq;
+  });
+
+  std::string out = "{\"traceEvents\": [\n";
+  out +=
+      "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, "
+      "\"args\": {\"name\": \"r2r\"}}";
+  for (const Row& row : rows) {
+    // Chrome trace timestamps are microseconds; keep ns precision as
+    // fractional us.
+    out += ",\n{\"name\": " + support::json_quote(row.event->name) +
+           ", \"cat\": \"r2r\", \"ph\": \"X\", \"pid\": 1, \"tid\": " +
+           std::to_string(row.tid) + ", \"ts\": " +
+           support::format_fixed(
+               static_cast<double>(row.event->start_ns) / 1000.0, 3) +
+           ", \"dur\": " +
+           support::format_fixed(static_cast<double>(row.event->dur_ns) /
+                                     1000.0,
+                                 3);
+    if (!row.event->args.empty()) out += ", \"args\": " + row.event->args;
+    out += "}";
+  }
+  out += "\n]}\n";
+  for (const auto& buffer : state.buffers) buffer->mutex.unlock();
+  return out;
+}
+
+Span::Span(const char* name) noexcept {
+  if (Tracer::instance().enabled()) {
+    name_ = name;
+    start_ns_ = now_ns();
+    armed_ = true;
+  }
+}
+
+Span::Span(const char* name, std::string args) noexcept : Span(name) {
+  if (armed_) args_ = std::move(args);
+}
+
+void Span::set_args(std::string args) {
+  if (armed_) args_ = std::move(args);
+}
+
+void Span::end() {
+  if (!armed_) return;
+  armed_ = false;
+  Tracer::instance().record(name_, start_ns_, now_ns() - start_ns_,
+                            std::move(args_));
+}
+
+std::string args_u64(
+    std::initializer_list<std::pair<const char*, std::uint64_t>> pairs) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : pairs) {
+    if (!first) out += ", ";
+    first = false;
+    out += support::json_quote(key) + ": " + std::to_string(value);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace r2r::obs

@@ -1,0 +1,108 @@
+// r2r::obs — scoped spans over lock-free-on-the-hot-path per-thread event
+// buffers, serialized on demand as Chrome trace-event JSON ("traceEvents"
+// complete events) that loads directly in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+//
+// Recording discipline: each thread appends to its own buffer (registered
+// once with the global Tracer and kept alive by shared_ptr past thread
+// exit), so a span costs one relaxed atomic load when tracing is disabled
+// and one uncontended buffer append when enabled. Serialization merges the
+// buffers deterministically by (start, tid, arrival order).
+//
+// Spans never touch stdout or any artifact stream — the inertness tests
+// (tests/test_cli_obs.cpp) pin that every pipeline output stays
+// byte-identical with tracing on vs off.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace r2r::obs {
+
+/// Monotonic nanoseconds since the process-wide trace epoch.
+std::uint64_t now_ns() noexcept;
+
+/// Cheap global switch for timing-only instrumentation (histograms such as
+/// sim.restore_ns) that is worth collecting for --metrics-out even when no
+/// trace file was requested. Off by default so uninstrumented runs skip the
+/// clock reads entirely.
+void set_timing_enabled(bool enabled) noexcept;
+bool timing_enabled() noexcept;
+
+/// One completed span as recorded by a thread.
+struct TraceEvent {
+  std::string name;
+  std::string args;  ///< JSON object text, or "" for no args
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+/// The process-wide span sink. Disabled by default; the CLI enables it for
+/// --trace-out and benches via bench::enable_observability().
+class Tracer {
+ public:
+  static Tracer& instance() noexcept;
+
+  void set_enabled(bool enabled) noexcept;
+  [[nodiscard]] bool enabled() const noexcept;
+
+  /// Appends a completed span to the calling thread's buffer. No-op when
+  /// disabled.
+  void record(std::string name, std::uint64_t start_ns, std::uint64_t dur_ns,
+              std::string args);
+
+  /// Drops all recorded events (buffers stay registered).
+  void clear();
+
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Sum of dur_ns over every recorded span with this exact name — used by
+  /// the benches to check span totals against measured wall clock.
+  [[nodiscard]] std::uint64_t total_duration_ns(std::string_view name) const;
+
+  /// Merges all per-thread buffers into one Chrome trace-event JSON
+  /// document, events sorted by (start, tid, arrival order).
+  [[nodiscard]] std::string to_chrome_json() const;
+
+ private:
+  Tracer() = default;
+  struct ThreadBuffer;
+  ThreadBuffer& local_buffer();
+
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// RAII scoped span: records one complete ("ph":"X") event covering its
+/// lifetime. Arms itself only when the tracer is enabled at construction.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept;
+  Span(const char* name, std::string args) noexcept;
+  ~Span() { end(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Replaces the args JSON emitted with the span (no-op when unarmed).
+  void set_args(std::string args);
+
+  /// Records the span now instead of at destruction (idempotent).
+  void end();
+
+ private:
+  const char* name_ = nullptr;
+  std::string args_;
+  std::uint64_t start_ns_ = 0;
+  bool armed_ = false;
+};
+
+/// Builds a span-args JSON object from integer key/values, e.g.
+/// args_u64({{"faults", 120}}) == R"({"faults": 120})".
+std::string args_u64(
+    std::initializer_list<std::pair<const char*, std::uint64_t>> pairs);
+
+}  // namespace r2r::obs

@@ -1,13 +1,19 @@
 #include "passes/stats.h"
 
+#include "obs/metrics.h"
+
 namespace r2r::passes {
 
-StatsRegistry& StatsRegistry::instance() noexcept {
-  static StatsRegistry registry;
-  return registry;
-}
-
 OpcodeCounts count_ops(const ir::Function& fn) {
+  // Registry handles are stable for the process lifetime, so resolve them
+  // once; the per-call cost is three relaxed atomic adds.
+  static obs::Counter& functions =
+      obs::Metrics::instance().counter("passes.functions_counted");
+  static obs::Counter& ops =
+      obs::Metrics::instance().counter("passes.ops_counted");
+  static obs::Counter& blocks =
+      obs::Metrics::instance().counter("passes.blocks_counted");
+
   OpcodeCounts out;
   for (const auto& block : fn.blocks) {
     ++out.blocks;
@@ -16,7 +22,9 @@ OpcodeCounts count_ops(const ir::Function& fn) {
       ++out.total;
     }
   }
-  StatsRegistry::instance().record(out);
+  functions.add(1);
+  ops.add(out.total);
+  blocks.add(out.blocks);
   return out;
 }
 

@@ -1,8 +1,11 @@
 // r2r::passes — IR statistics (Table IV's op-count methodology).
+//
+// Process-wide tallies of everything count_ops has measured live in the
+// obs::Metrics registry (the bespoke StatsRegistry singleton this header
+// used to define was folded into it) under:
+//   passes.functions_counted / passes.ops_counted / passes.blocks_counted
 #pragma once
 
-#include <atomic>
-#include <cstdint>
 #include <map>
 #include <string>
 
@@ -26,40 +29,5 @@ OpcodeCounts count_ops(const ir::Module& module);
 
 /// "op: n, op: n, ..." rendering for reports.
 std::string to_string(const OpcodeCounts& counts);
-
-/// Process-wide tally of everything count_ops has measured. All counters
-/// are atomics, so sim:: worker threads (and any other concurrent caller)
-/// can run stats without a lock; reads are monotonic snapshots.
-class StatsRegistry {
- public:
-  static StatsRegistry& instance() noexcept;
-
-  void record(const OpcodeCounts& counts) noexcept {
-    functions_.fetch_add(1, std::memory_order_relaxed);
-    ops_.fetch_add(counts.total, std::memory_order_relaxed);
-    blocks_.fetch_add(counts.blocks, std::memory_order_relaxed);
-  }
-
-  [[nodiscard]] std::uint64_t functions_counted() const noexcept {
-    return functions_.load(std::memory_order_relaxed);
-  }
-  [[nodiscard]] std::uint64_t ops_counted() const noexcept {
-    return ops_.load(std::memory_order_relaxed);
-  }
-  [[nodiscard]] std::uint64_t blocks_counted() const noexcept {
-    return blocks_.load(std::memory_order_relaxed);
-  }
-
-  void reset() noexcept {
-    functions_.store(0, std::memory_order_relaxed);
-    ops_.store(0, std::memory_order_relaxed);
-    blocks_.store(0, std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<std::uint64_t> functions_{0};
-  std::atomic<std::uint64_t> ops_{0};
-  std::atomic<std::uint64_t> blocks_{0};
-};
 
 }  // namespace r2r::passes

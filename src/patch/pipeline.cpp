@@ -5,6 +5,7 @@
 
 #include "bir/assemble.h"
 #include "bir/recover.h"
+#include "obs/obs.h"
 #include "support/error.h"
 #include "support/strings.h"
 
@@ -32,6 +33,12 @@ PipelineResult faulter_patcher(const elf::Image& input, const std::string& good_
                  support::ErrorKind::kExecution,
                  "faulter_patcher: campaign.models.order must be 1 or 2");
 
+  obs::Span run_span("fixpoint.run");
+  static obs::Counter& iterations_total =
+      obs::Metrics::instance().counter("fixpoint.iterations");
+  static obs::Counter& patches_total =
+      obs::Metrics::instance().counter("fixpoint.patches_applied");
+
   PipelineResult result;
   result.original_code_size = input.code_size();
   result.module = bir::recover(input);
@@ -45,10 +52,19 @@ PipelineResult faulter_patcher(const elf::Image& input, const std::string& good_
 
   unsigned iteration = 0;
   for (; iteration < config.max_iterations; ++iteration) {
+    obs::Span iter_span("fixpoint.iteration",
+                        obs::args_u64({{"iteration", iteration}, {"order", 1}}));
+    iterations_total.add(1);
     elf::Image image = bir::assemble(result.module);
-    fault::CampaignResult campaign =
-        fault::run_campaign(image, good_input, bad_input, order1_campaign);
+    fault::CampaignResult campaign = [&] {
+      obs::Span span("fixpoint.campaign");
+      return fault::run_campaign(image, good_input, bad_input, order1_campaign);
+    }();
     IterationReport report = make_report(campaign, 1, image.code_size());
+    iter_span.set_args(obs::args_u64({{"iteration", iteration},
+                                      {"order", 1},
+                                      {"successful_faults",
+                                       report.successful_faults}}));
 
     if (campaign.vulnerabilities.empty()) {
       result.hardened = std::move(image);
@@ -58,8 +74,12 @@ PipelineResult faulter_patcher(const elf::Image& input, const std::string& good_
       break;
     }
 
-    const PatchStats stats = apply_patches(result.module, campaign.vulnerabilities);
+    const PatchStats stats = [&] {
+      obs::Span span("fixpoint.patch");
+      return apply_patches(result.module, campaign.vulnerabilities);
+    }();
     report.patches_applied = stats.total_applied();
+    patches_total.add(stats.total_applied());
     report.unpatchable_points = stats.unpatchable.size();
     result.iterations.push_back(report);
 
@@ -104,13 +124,23 @@ PipelineResult faulter_patcher(const elf::Image& input, const std::string& good_
   // broke out before its ++, so resume from the report count.
   iteration = static_cast<unsigned>(result.iterations.size());
   for (; iteration < config.max_iterations; ++iteration) {
+    obs::Span iter_span("fixpoint.iteration",
+                        obs::args_u64({{"iteration", iteration}, {"order", 2}}));
+    iterations_total.add(1);
     elf::Image image = bir::assemble(result.module);
-    fault::CampaignResult campaign =
-        fault::run_campaign(image, good_input, bad_input, config.campaign);
+    fault::CampaignResult campaign = [&] {
+      obs::Span span("fixpoint.campaign");
+      return fault::run_campaign(image, good_input, bad_input, config.campaign);
+    }();
 
     IterationReport report = make_report(campaign, 2, image.code_size());
     report.total_pairs = campaign.total_pairs;
     report.successful_pairs = campaign.pair_vulnerabilities.size();
+    iter_span.set_args(obs::args_u64({{"iteration", iteration},
+                                      {"order", 2},
+                                      {"total_pairs", report.total_pairs},
+                                      {"successful_pairs",
+                                       report.successful_pairs}}));
     // Reinforce only the strictly-second-order pairs: a pair one of whose
     // faults succeeds alone is just that order-1 vulnerability republished
     // (reuse-from-first pads it with window-following golden addresses the
@@ -130,6 +160,7 @@ PipelineResult faulter_patcher(const elf::Image& input, const std::string& good_
       break;
     }
 
+    obs::Span patch_span("fixpoint.patch");
     PatchStats stats = apply_patches(result.module, campaign.vulnerabilities);
     // A site can be order-1 vulnerable *and* pair-implicated (a different
     // fault kind at the same address); the order-1 patcher just protected
@@ -149,8 +180,10 @@ PipelineResult faulter_patcher(const elf::Image& input, const std::string& good_
                 sites.end());
     const PatchStats pair_stats = reinforce_sites(result.module, std::move(sites),
                                                   pair_window);
+    patch_span.end();
     for (const auto& [kind, count] : pair_stats.applied) stats.applied[kind] += count;
     report.patches_applied = stats.total_applied();
+    patches_total.add(stats.total_applied());
     // An address can be unpatchable to both passes; count it once.
     std::vector<std::uint64_t> unpatchable = stats.unpatchable;
     unpatchable.insert(unpatchable.end(), pair_stats.unpatchable.begin(),

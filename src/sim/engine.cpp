@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/obs.h"
 #include "support/error.h"
 #include "support/strings.h"
 
@@ -30,10 +31,14 @@ using support::ErrorKind;
 /// of the caller's result vector is written only by per_item(machine, i), so
 /// aggregation order — and every derived counter — is identical for every
 /// thread count. The first worker exception is rethrown after the join.
+/// Each worker covers its lifetime with an obs span named `span_label` and
+/// ticks `progress` (when non-null) once per item — both no-ops unless the
+/// caller opted into observability, and neither touches the result slots.
 /// Returns the thread count actually used.
 template <typename PerItem>
 unsigned run_sharded(const elf::Image& image, const std::string& stdin_data,
                      unsigned configured_threads, std::size_t count,
+                     const char* span_label, obs::Progress* progress,
                      const PerItem& per_item) {
   unsigned threads = configured_threads != 0
                          ? configured_threads
@@ -50,13 +55,18 @@ unsigned run_sharded(const elf::Image& image, const std::string& stdin_data,
 
   const auto worker = [&]() {
     try {
+      obs::Span span(span_label);
+      std::uint64_t items = 0;
       emu::Machine machine(image, stdin_data);
       while (!failed.load(std::memory_order_relaxed)) {
         const std::size_t begin = cursor.fetch_add(kChunk, std::memory_order_relaxed);
         if (begin >= count) break;
         const std::size_t end = std::min(count, begin + kChunk);
         for (std::size_t i = begin; i < end; ++i) per_item(machine, i);
+        items += end - begin;
+        if (progress != nullptr) progress->tick(end - begin);
       }
+      span.set_args(obs::args_u64({{"items", items}}));
     } catch (...) {
       const std::lock_guard<std::mutex> lock(error_mutex);
       if (!first_error) first_error = std::current_exception();
@@ -111,6 +121,41 @@ void for_each_pair(const std::vector<PlannedFault>& plan,
     for (std::uint64_t t2 = t1 + 1; t2 <= last; ++t2) {
       for (std::size_t j = ranges[t2].first; j < ranges[t2].second; ++j) fn(i, j);
     }
+  }
+}
+
+/// make_references wrapped in a span so golden-run recording shows up in
+/// traces (it runs in the Engine member-initializer list).
+References traced_references(const elf::Image& image, const std::string& good_input,
+                             const std::string& bad_input) {
+  obs::Span span("sim.references");
+  return make_references(image, good_input, bad_input);
+}
+
+/// Checkpoint restore with optional latency sampling (sim.restore_ns). The
+/// handle is resolved once; the disabled path costs one relaxed load.
+void timed_restore(const MachineSnapshot& snapshot, emu::Machine& machine) {
+  static obs::Histogram& restore_ns =
+      obs::Metrics::instance().histogram("sim.restore_ns");
+  if (!obs::timing_enabled()) {
+    restore(snapshot, machine);
+    return;
+  }
+  const std::uint64_t begin = obs::now_ns();
+  restore(snapshot, machine);
+  restore_ns.observe(obs::now_ns() - begin);
+}
+
+/// Order-1 outcome/prune counters, shared by run() and run_pairs() phase A.
+/// Everything recorded here is derived from the deterministic sweep result,
+/// so totals are invariant across thread counts (tested).
+void record_order1_metrics(const CampaignResult& result) {
+  auto& metrics = obs::Metrics::instance();
+  metrics.counter("sim.sweeps_order1").add(1);
+  metrics.counter("sim.faults_planned").add(result.total_faults);
+  metrics.counter("sim.faults_pruned").add(result.pruned_faults);
+  for (const auto& [outcome, count] : result.outcome_counts) {
+    metrics.counter("sim.outcome." + std::string(to_string(outcome))).add(count);
   }
 }
 }  // namespace
@@ -248,7 +293,7 @@ Engine::Engine(elf::Image image, std::string good_input, std::string bad_input,
     : image_(std::move(image)),
       bad_input_(std::move(bad_input)),
       config_(config),
-      refs_(make_references(image_, good_input, bad_input_)) {
+      refs_(traced_references(image_, good_input, bad_input_)) {
   interval_ = config_.policy.interval_for(refs_.bad_trace.size());
   fuel_ = refs_.bad_reference.steps * config_.fuel_multiplier + config_.fuel_slack;
   bad_reference_outcome_ =
@@ -257,14 +302,19 @@ Engine::Engine(elf::Image image, std::string good_input, std::string bad_input,
   // Record the checkpoint chain: the golden bad-input machine frozen at
   // every multiple of the interval. Pages are shared between neighbouring
   // checkpoints, so chain memory grows with the write set, not the trace.
-  emu::Machine recorder(image_, bad_input_);
-  chain_.push_back(capture(recorder));
-  RunConfig record_config;
-  while (true) {
-    record_config.fuel = static_cast<std::uint64_t>(chain_.size()) * interval_;
-    const RunResult segment = recorder.run(record_config);
-    if (segment.reason != StopReason::kFuelExhausted) break;
+  {
+    obs::Span span("sim.checkpoint_chain");
+    emu::Machine recorder(image_, bad_input_);
     chain_.push_back(capture(recorder));
+    RunConfig record_config;
+    while (true) {
+      record_config.fuel = static_cast<std::uint64_t>(chain_.size()) * interval_;
+      const RunResult segment = recorder.run(record_config);
+      if (segment.reason != StopReason::kFuelExhausted) break;
+      chain_.push_back(capture(recorder));
+    }
+    span.set_args(obs::args_u64(
+        {{"snapshots", chain_.size()}, {"interval", interval_}}));
   }
 
   std::unordered_set<const emu::Memory::Page*> unique_pages;
@@ -276,6 +326,13 @@ Engine::Engine(elf::Image image, std::string good_input, std::string bad_input,
     }
   }
   chain_pages_ = unique_pages.size();
+
+  auto& metrics = obs::Metrics::instance();
+  metrics.counter("sim.engines_built").add(1);
+  metrics.counter("sim.checkpoints_captured").add(chain_.size());
+  metrics.gauge("sim.checkpoint_interval").set(static_cast<std::int64_t>(interval_));
+  metrics.gauge("sim.chain_resident_bytes")
+      .set(static_cast<std::int64_t>(chain_bytes_));
 }
 
 Engine::FaultProfile Engine::finish_with_pruning(emu::Machine& machine,
@@ -329,7 +386,7 @@ Engine::FaultProfile Engine::profile_one(emu::Machine& machine, const PlannedFau
   const std::uint64_t index = fault.spec.trace_index;
   const std::size_t nearest =
       std::min<std::size_t>(index / interval_, chain_.size() - 1);
-  restore(chain_[nearest], machine);
+  timed_restore(chain_[nearest], machine);
   return finish_with_pruning(machine, fault.spec, (index / interval_ + 1) * interval_,
                              pruned);
 }
@@ -341,7 +398,7 @@ Engine::PairSim Engine::simulate_pair(emu::Machine& machine, const emu::FaultSpe
   const std::uint64_t t1 = first.trace_index;
   const std::uint64_t t2 = second.trace_index;
   const std::size_t nearest = std::min<std::size_t>(t1 / interval_, chain_.size() - 1);
-  restore(chain_[nearest], machine);
+  timed_restore(chain_[nearest], machine);
 
   // Leg 1: run with the first fault armed, pausing just before the second
   // injection point. A run that terminates here is the first fault alone
@@ -396,13 +453,23 @@ CampaignResult Engine::run(const FaultModels& models) const {
   std::vector<Outcome> outcomes(plan.size(), Outcome::kNoEffect);
   std::atomic<std::uint64_t> pruned_total{0};
 
+  obs::Span span("sim.run_order1", obs::args_u64({{"faults", plan.size()}}));
+  obs::Progress progress("order-1 sweep", plan.size());
+  const std::uint64_t sweep_begin = obs::now_ns();
   const unsigned threads = run_sharded(
-      image_, bad_input_, config_.threads, plan.size(),
+      image_, bad_input_, config_.threads, plan.size(), "sim.worker", &progress,
       [&](emu::Machine& machine, std::size_t i) {
         outcomes[i] = profile_one(machine, plan[i], pruned_total).outcome;
       });
+  const std::uint64_t sweep_ns = obs::now_ns() - sweep_begin;
 
-  return aggregate_order1(plan, outcomes, pruned_total.load(), threads);
+  CampaignResult result = aggregate_order1(plan, outcomes, pruned_total.load(), threads);
+  record_order1_metrics(result);
+  if (sweep_ns > 0) {
+    obs::Metrics::instance().gauge("sim.faults_per_second")
+        .set(static_cast<std::int64_t>(plan.size() * 1'000'000'000ull / sweep_ns));
+  }
+  return result;
 }
 
 PairCampaignResult Engine::run_pairs(const FaultModels& models) const {
@@ -440,16 +507,24 @@ PairCampaignResult Engine::run_pairs(const FaultModels& models) const {
   result.trace_length = refs_.bad_trace.size();
   result.pair_window = models.pair_window;
 
+  obs::Span run_span("sim.run_pairs");
+  const std::uint64_t pairs_begin = obs::now_ns();
+
   // ---- phase A: profile every single fault. This *is* the order-1 sweep
   // (bit-identical to run(models)), plus the reconvergence/termination
   // metadata pairs are pruned with.
   std::vector<FaultProfile> profiles(plan.size());
   std::atomic<std::uint64_t> pruned_total{0};
-  const unsigned threads_profile = run_sharded(
-      image_, bad_input_, config_.threads, plan.size(),
-      [&](emu::Machine& machine, std::size_t i) {
-        profiles[i] = profile_one(machine, plan[i], pruned_total);
-      });
+  unsigned threads_profile = 0;
+  {
+    obs::Span span("sim.pairs_profile", obs::args_u64({{"faults", plan.size()}}));
+    obs::Progress progress("order-2 profile", plan.size());
+    threads_profile = run_sharded(
+        image_, bad_input_, config_.threads, plan.size(), "sim.worker", &progress,
+        [&](emu::Machine& machine, std::size_t i) {
+          profiles[i] = profile_one(machine, plan[i], pruned_total);
+        });
+  }
 
   std::vector<Outcome> order1_outcomes(profiles.size());
   for (std::size_t i = 0; i < profiles.size(); ++i) {
@@ -457,6 +532,7 @@ PairCampaignResult Engine::run_pairs(const FaultModels& models) const {
   }
   result.order1 =
       aggregate_order1(plan, order1_outcomes, pruned_total.load(), threads_profile);
+  record_order1_metrics(result.order1);
 
   // ---- phase B: enumerate the pair plan and classify by outcome reuse
   // wherever the first fault's profile proves the answer. Both rules are
@@ -471,18 +547,21 @@ PairCampaignResult Engine::run_pairs(const FaultModels& models) const {
 
   std::vector<Outcome> outcomes(pairs.size(), Outcome::kNoEffect);
   std::vector<std::uint8_t> needs_sim(pairs.size(), 1);
-  if (config_.pair_outcome_reuse && config_.convergence_pruning) {
-    for (std::size_t k = 0; k < pairs.size(); ++k) {
-      const FaultProfile& first = profiles[pairs[k].first];
-      const std::uint64_t t2 = plan[pairs[k].second].spec.trace_index;
-      if (t2 >= first.reconverge_step) {
-        outcomes[k] = profiles[pairs[k].second].outcome;
-        needs_sim[k] = 0;
-        ++result.reused_from_second;
-      } else if (t2 >= first.end_step) {
-        outcomes[k] = first.outcome;
-        needs_sim[k] = 0;
-        ++result.reused_from_first;
+  {
+    obs::Span span("sim.pairs_reuse", obs::args_u64({{"pairs", pairs.size()}}));
+    if (config_.pair_outcome_reuse && config_.convergence_pruning) {
+      for (std::size_t k = 0; k < pairs.size(); ++k) {
+        const FaultProfile& first = profiles[pairs[k].first];
+        const std::uint64_t t2 = plan[pairs[k].second].spec.trace_index;
+        if (t2 >= first.reconverge_step) {
+          outcomes[k] = profiles[pairs[k].second].outcome;
+          needs_sim[k] = 0;
+          ++result.reused_from_second;
+        } else if (t2 >= first.end_step) {
+          outcomes[k] = first.outcome;
+          needs_sim[k] = 0;
+          ++result.reused_from_first;
+        }
       }
     }
   }
@@ -499,8 +578,12 @@ PairCampaignResult Engine::run_pairs(const FaultModels& models) const {
   std::atomic<std::uint64_t> converged_total{0};
   unsigned threads_pairs = 0;
   if (!sim_indices.empty()) {
+    obs::Span span("sim.pairs_simulate",
+                   obs::args_u64({{"pairs", sim_indices.size()}}));
+    obs::Progress progress("order-2 pair sweep", sim_indices.size());
     threads_pairs = run_sharded(
         image_, bad_input_, config_.threads, sim_indices.size(),
+        "sim.pair_worker", &progress,
         [&](emu::Machine& machine, std::size_t s) {
           const std::size_t k = sim_indices[s];
           const PairSim sim =
@@ -546,6 +629,24 @@ PairCampaignResult Engine::run_pairs(const FaultModels& models) const {
       ++scan;
     }
     if (all_reused) ++result.fully_pruned_first_faults;
+  }
+
+  auto& metrics = obs::Metrics::instance();
+  metrics.counter("sim.sweeps_order2").add(1);
+  metrics.counter("sim.pairs_planned").add(result.total_pairs);
+  metrics.counter("sim.pairs_reused_first").add(result.reused_from_first);
+  metrics.counter("sim.pairs_reused_second").add(result.reused_from_second);
+  metrics.counter("sim.pairs_simulated").add(result.simulated_pairs);
+  metrics.counter("sim.pairs_converged").add(result.converged_pairs);
+  for (const auto& [outcome, count] : result.outcome_counts) {
+    metrics.counter("sim.pair_outcome." + std::string(to_string(outcome)))
+        .add(count);
+  }
+  const std::uint64_t pairs_ns = obs::now_ns() - pairs_begin;
+  if (pairs_ns > 0) {
+    metrics.gauge("sim.pairs_per_second")
+        .set(static_cast<std::int64_t>(result.total_pairs * 1'000'000'000ull /
+                                       pairs_ns));
   }
   return result;
 }

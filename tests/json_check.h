@@ -1,0 +1,174 @@
+// Minimal JSON well-formedness checker shared by the observability tests:
+// a recursive-descent validator (objects, arrays, strings, numbers,
+// true/false/null) with no allocation of a DOM. Strict enough to catch the
+// classic emitter bugs — trailing commas, unbalanced braces, bare tokens —
+// which is all the artifact tests need.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string_view>
+
+namespace r2r::testjson {
+
+namespace detail {
+
+inline void skip_ws(std::string_view text, std::size_t& i) {
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+}
+
+inline bool parse_value(std::string_view text, std::size_t& i, int depth);
+
+inline bool parse_string(std::string_view text, std::size_t& i) {
+  if (i >= text.size() || text[i] != '"') return false;
+  ++i;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '"') {
+      ++i;
+      return true;
+    }
+    if (c == '\\') {
+      if (i + 1 >= text.size()) return false;
+      const char escape = text[i + 1];
+      if (escape == 'u') {
+        if (i + 5 >= text.size()) return false;
+        for (std::size_t k = i + 2; k < i + 6; ++k) {
+          if (!std::isxdigit(static_cast<unsigned char>(text[k]))) return false;
+        }
+        i += 6;
+        continue;
+      }
+      if (escape != '"' && escape != '\\' && escape != '/' && escape != 'b' &&
+          escape != 'f' && escape != 'n' && escape != 'r' && escape != 't') {
+        return false;
+      }
+      i += 2;
+      continue;
+    }
+    if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+    ++i;
+  }
+  return false;  // unterminated
+}
+
+inline bool parse_number(std::string_view text, std::size_t& i) {
+  const std::size_t start = i;
+  if (i < text.size() && text[i] == '-') ++i;
+  std::size_t digits = 0;
+  while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+    ++i;
+    ++digits;
+  }
+  if (digits == 0) return false;
+  if (i < text.size() && text[i] == '.') {
+    ++i;
+    digits = 0;
+    while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+      ++i;
+      ++digits;
+    }
+    if (digits == 0) return false;
+  }
+  if (i < text.size() && (text[i] == 'e' || text[i] == 'E')) {
+    ++i;
+    if (i < text.size() && (text[i] == '+' || text[i] == '-')) ++i;
+    digits = 0;
+    while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+      ++i;
+      ++digits;
+    }
+    if (digits == 0) return false;
+  }
+  return i > start;
+}
+
+inline bool parse_object(std::string_view text, std::size_t& i, int depth) {
+  ++i;  // '{'
+  skip_ws(text, i);
+  if (i < text.size() && text[i] == '}') {
+    ++i;
+    return true;
+  }
+  while (true) {
+    skip_ws(text, i);
+    if (!parse_string(text, i)) return false;
+    skip_ws(text, i);
+    if (i >= text.size() || text[i] != ':') return false;
+    ++i;
+    if (!parse_value(text, i, depth)) return false;
+    skip_ws(text, i);
+    if (i >= text.size()) return false;
+    if (text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (text[i] == '}') {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+}
+
+inline bool parse_array(std::string_view text, std::size_t& i, int depth) {
+  ++i;  // '['
+  skip_ws(text, i);
+  if (i < text.size() && text[i] == ']') {
+    ++i;
+    return true;
+  }
+  while (true) {
+    if (!parse_value(text, i, depth)) return false;
+    skip_ws(text, i);
+    if (i >= text.size()) return false;
+    if (text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (text[i] == ']') {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+}
+
+inline bool parse_value(std::string_view text, std::size_t& i, int depth) {
+  if (depth > 128) return false;
+  skip_ws(text, i);
+  if (i >= text.size()) return false;
+  switch (text[i]) {
+    case '{': return parse_object(text, i, depth + 1);
+    case '[': return parse_array(text, i, depth + 1);
+    case '"': return parse_string(text, i);
+    case 't':
+      if (text.substr(i, 4) != "true") return false;
+      i += 4;
+      return true;
+    case 'f':
+      if (text.substr(i, 5) != "false") return false;
+      i += 5;
+      return true;
+    case 'n':
+      if (text.substr(i, 4) != "null") return false;
+      i += 4;
+      return true;
+    default: return parse_number(text, i);
+  }
+}
+
+}  // namespace detail
+
+/// True when `text` is exactly one well-formed JSON document (plus
+/// surrounding whitespace).
+inline bool valid_json(std::string_view text) {
+  std::size_t i = 0;
+  if (!detail::parse_value(text, i, 0)) return false;
+  detail::skip_ws(text, i);
+  return i == text.size();
+}
+
+}  // namespace r2r::testjson

@@ -9,6 +9,7 @@
 #include "ir/builder.h"
 #include "ir/interpreter.h"
 #include "ir/verifier.h"
+#include "obs/metrics.h"
 #include "passes/pass.h"
 #include "passes/stats.h"
 #include "support/rng.h"
@@ -424,13 +425,15 @@ TEST(Stats, CountsMatchModuleContents) {
   EXPECT_FALSE(to_string(counts).empty());
 }
 
-TEST(Stats, RegistryTalliesConcurrentCounting) {
-  StatsRegistry& registry = StatsRegistry::instance();
-  registry.reset();
+TEST(Stats, ObsMetricsTallyConcurrentCounting) {
+  // count_ops reports into the process-wide obs::Metrics registry (which
+  // absorbed the old StatsRegistry singleton).
+  obs::Metrics& metrics = obs::Metrics::instance();
+  metrics.reset();
 
   Module module = branch_module(7);
   const OpcodeCounts counts = count_ops(module);
-  registry.reset();
+  metrics.reset();
 
   constexpr unsigned kThreads = 8;
   constexpr unsigned kRounds = 50;
@@ -444,9 +447,11 @@ TEST(Stats, RegistryTalliesConcurrentCounting) {
   for (std::thread& worker : workers) worker.join();
 
   const std::uint64_t runs = kThreads * kRounds;
-  EXPECT_EQ(registry.ops_counted(), runs * counts.total);
-  EXPECT_EQ(registry.blocks_counted(), runs * counts.blocks);
-  EXPECT_EQ(registry.functions_counted(), runs);  // branch_module: one function
+  EXPECT_EQ(metrics.counter("passes.ops_counted").value(), runs * counts.total);
+  EXPECT_EQ(metrics.counter("passes.blocks_counted").value(),
+            runs * counts.blocks);
+  // branch_module: one function
+  EXPECT_EQ(metrics.counter("passes.functions_counted").value(), runs);
 }
 
 }  // namespace
