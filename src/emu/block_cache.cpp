@@ -1,0 +1,130 @@
+#include "emu/block_cache.h"
+
+#include <array>
+#include <span>
+
+#include "emu/memory.h"
+#include "isa/decoder.h"
+#include "obs/metrics.h"
+#include "support/error.h"
+
+namespace r2r::emu {
+
+namespace {
+
+bool is_terminator(isa::Mnemonic mnemonic) noexcept {
+  switch (mnemonic) {
+    case isa::Mnemonic::kJmp:
+    case isa::Mnemonic::kJcc:
+    case isa::Mnemonic::kCall:
+    case isa::Mnemonic::kJmpReg:
+    case isa::Mnemonic::kCallReg:
+    case isa::Mnemonic::kRet:
+    // Unconditional traps end the block too; caching past them would only
+    // ever hold dead entries.
+    case isa::Mnemonic::kHlt:
+    case isa::Mnemonic::kInt3:
+    case isa::Mnemonic::kUd2:
+      return true;
+    default:
+      // kSyscall stays mid-block: it does not redirect rip (exit() unwinds
+      // via an exception, which leaves the cache untouched).
+      return false;
+  }
+}
+
+}  // namespace
+
+void BlockCache::sync(Memory& memory) {
+  const std::uint64_t epoch = memory.code_write_epoch();
+  if (epoch == synced_epoch_) return;
+  synced_epoch_ = epoch;
+  const Memory::CodeWrites writes = memory.take_code_writes();
+  if (writes.overflow) {
+    ++invalidations_;
+    clear();
+    return;
+  }
+  for (const auto& [begin, end] : writes.ranges) invalidate_range(begin, end);
+}
+
+const DecodedBlock* BlockCache::lookup(std::uint64_t rip, Memory& memory) {
+  const auto it = blocks_.find(rip);
+  if (it != blocks_.end()) {
+    ++hits_;
+    return &it->second;
+  }
+  ++misses_;
+  return build(rip, memory);
+}
+
+const DecodedBlock* BlockCache::build(std::uint64_t rip, Memory& memory) {
+  if (arena_.size() >= kMaxCachedInstructions) clear();
+
+  DecodedBlock block;
+  block.start = rip;
+  block.first = static_cast<std::uint32_t>(arena_.size());
+
+  std::uint64_t address = rip;
+  std::array<std::uint8_t, isa::kMaxInstructionLength> window{};
+  while (block.count < kMaxBlockInstructions) {
+    isa::Decoded decoded;
+    try {
+      const std::size_t fetched = memory.fetch(address, window);
+      decoded = isa::decode(std::span<const std::uint8_t>(window.data(), fetched),
+                            address);
+    } catch (const support::Error&) {
+      // Unfetchable or undecodable: end the block here. The slow path hits
+      // the identical error when execution actually reaches this address.
+      break;
+    }
+    arena_.push_back(CachedInstr{decoded.instr, decoded.length});
+    ++block.count;
+    address += decoded.length;
+    if (is_terminator(decoded.instr.mnemonic)) break;
+  }
+
+  if (block.count == 0) return nullptr;
+  block.end = address;
+  return &blocks_.emplace(rip, block).first->second;
+}
+
+void BlockCache::invalidate_range(std::uint64_t begin, std::uint64_t end) {
+  // Erase every block overlapping [begin, end). Arena entries are left
+  // behind as tombstones (memory-safe; reclaimed by the clear-on-full
+  // valve) — invalidation is rare enough that compaction would cost more
+  // than it saves.
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    const DecodedBlock& block = it->second;
+    if (block.start < end && begin < block.end) {
+      ++invalidations_;
+      it = blocks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BlockCache::clear() {
+  blocks_.clear();
+  arena_.clear();
+}
+
+void BlockCache::flush_metrics() {
+  obs::Metrics& metrics = obs::Metrics::instance();
+  if (hits_ != flushed_hits_) {
+    metrics.counter("emu.block_cache.hits").add(hits_ - flushed_hits_);
+    flushed_hits_ = hits_;
+  }
+  if (misses_ != flushed_misses_) {
+    metrics.counter("emu.block_cache.misses").add(misses_ - flushed_misses_);
+    flushed_misses_ = misses_;
+  }
+  if (invalidations_ != flushed_invalidations_) {
+    metrics.counter("emu.block_cache.invalidations")
+        .add(invalidations_ - flushed_invalidations_);
+    flushed_invalidations_ = invalidations_;
+  }
+}
+
+}  // namespace r2r::emu

@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "emu/block_cache.h"
 #include "isa/decoder.h"
 #include "isa/semantics.h"
 #include "support/bits.h"
@@ -70,6 +71,27 @@ Machine::Machine(const elf::Image& image, std::string stdin_data)
   memory_.map("[stack]", kStackBase - kStackSize, kStackSize, elf::kRead | elf::kWrite);
   cpu_.rip = image.entry;
   cpu_.gpr[isa::reg_number(Reg::rsp)] = kStackBase - 16;
+  cache_ = std::make_unique<BlockCache>();
+  memory_.set_code_write_tracking(true);
+}
+
+Machine::~Machine() {
+  if (cache_ != nullptr) cache_->flush_metrics();
+}
+
+Machine::Machine(Machine&&) noexcept = default;
+Machine& Machine::operator=(Machine&&) noexcept = default;
+
+void Machine::set_block_cache_enabled(bool enabled) {
+  if (enabled == (cache_ != nullptr)) return;
+  if (enabled) {
+    cache_ = std::make_unique<BlockCache>();
+    memory_.set_code_write_tracking(true);
+  } else {
+    cache_->flush_metrics();
+    cache_.reset();
+    memory_.set_code_write_tracking(false);
+  }
 }
 
 std::uint64_t Machine::effective_address(const MemOperand& mem) const {
@@ -390,17 +412,21 @@ void Machine::step(bool faulted_this_step, const FaultSpec* fault, TraceEntry* e
       case 5: cpu_.flags.of = !cpu_.flags.of; break;
     }
   }
-  std::array<std::uint8_t, 15> window{};
+  std::array<std::uint8_t, isa::kMaxInstructionLength> window{};
   const std::size_t fetched = memory_.fetch(cpu_.rip, window);
 
   if (faulted_this_step && fault->kind == FaultSpec::Kind::kBitFlip) {
     // Transient fault: flip one bit of the fetched encoding; memory keeps
     // the original bytes (mirrors a glitch on the instruction bus).
+    // Enumeration clamps planned offsets to the instruction's actual
+    // length, so an out-of-range offset is a planning bug — fail loudly
+    // instead of silently running the fault-free instruction and counting
+    // a phantom fault.
     const std::uint32_t byte_index = fault->bit_offset / 8;
-    if (byte_index < fetched) {
-      window[byte_index] =
-          static_cast<std::uint8_t>(window[byte_index] ^ (1U << (fault->bit_offset % 8)));
-    }
+    support::check(byte_index < fetched, ErrorKind::kExecution,
+                   "bit-flip fault offset past the fetched encoding");
+    window[byte_index] =
+        static_cast<std::uint8_t>(window[byte_index] ^ (1U << (fault->bit_offset % 8)));
   }
 
   const isa::Decoded decoded =
@@ -414,11 +440,45 @@ void Machine::step(bool faulted_this_step, const FaultSpec* fault, TraceEntry* e
   execute(decoded.instr, cpu_.rip + decoded.length);
 }
 
+bool Machine::run_cached(const RunConfig& config, const FaultSpec* fault,
+                         RunResult& result) {
+  cache_->sync(memory_);
+  const DecodedBlock* block = cache_->lookup(cpu_.rip, memory_);
+  if (block == nullptr) return false;
+
+  // Stop before the faulted step: the faulted instruction always goes
+  // through the slow path, so the cache never serves a mutated encoding
+  // and pre-step register/flag flips land exactly where they would
+  // uncached.
+  std::uint64_t limit = config.fuel;
+  if (fault != nullptr && fault->trace_index >= steps_ && fault->trace_index < limit) {
+    limit = fault->trace_index;
+  }
+
+  const std::uint64_t epoch = memory_.code_write_epoch();
+  bool executed = false;
+  for (std::uint32_t i = 0; i < block->count && steps_ < limit; ++i) {
+    const CachedInstr& ci = cache_->instr(*block, i);
+    if (config.record_trace) result.trace.push_back(TraceEntry{cpu_.rip, ci.length});
+    ++steps_;
+    executed = true;
+    execute(ci.instr, cpu_.rip + ci.length);
+    // A store into code invalidates blocks — break out so the next
+    // iteration re-syncs before touching the cache again.
+    if (memory_.code_write_epoch() != epoch) break;
+  }
+  return executed;
+}
+
 RunResult Machine::run(const RunConfig& config) {
   RunResult result;
   const FaultSpec* fault = config.fault ? &*config.fault : nullptr;
   try {
     while (steps_ < config.fuel) {
+      const bool faulted = fault != nullptr && steps_ == fault->trace_index;
+      if (cache_ != nullptr && !faulted && run_cached(config, fault, result)) {
+        continue;
+      }
       TraceEntry* entry = nullptr;
       if (config.record_trace) {
         // The entry is created before execution so the trace covers
@@ -426,7 +486,6 @@ RunResult Machine::run(const RunConfig& config) {
         result.trace.push_back(TraceEntry{cpu_.rip, 0});
         entry = &result.trace.back();
       }
-      const bool faulted = fault != nullptr && steps_ == fault->trace_index;
       ++steps_;  // count attempted instructions, including the last
       step(faulted, fault, entry);
     }

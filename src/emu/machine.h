@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -17,6 +18,8 @@
 #include "isa/instruction.h"
 
 namespace r2r::emu {
+
+class BlockCache;
 
 /// A single transient fault to inject during one run. kSkip and kBitFlip
 /// are the paper's fault models (Section V); kRegisterBitFlip and
@@ -80,11 +83,24 @@ class Machine {
  public:
   /// Loads `image` plus a 1 MiB stack; `stdin_data` backs read(2).
   Machine(const elf::Image& image, std::string stdin_data);
+  ~Machine();
+
+  // Move-only (the block cache is a unique_ptr; out-of-line definitions
+  // keep BlockCache an incomplete type here).
+  Machine(Machine&&) noexcept;
+  Machine& operator=(Machine&&) noexcept;
 
   /// Runs until exit/crash or until the step counter reaches config.fuel.
   /// Calling run() again on a fuel-exhausted machine resumes execution —
   /// the sim:: engine uses this to pause at checkpoint boundaries.
   RunResult run(const RunConfig& config);
+
+  /// The decoded-block cache is on by default; turning it off reverts to
+  /// per-step fetch+decode (the bench baseline and the differential-test
+  /// reference). Both modes are step-for-step observably identical.
+  void set_block_cache_enabled(bool enabled);
+  [[nodiscard]] bool block_cache_enabled() const noexcept { return cache_ != nullptr; }
+  [[nodiscard]] BlockCache* block_cache() noexcept { return cache_.get(); }
 
   [[nodiscard]] Cpu& cpu() noexcept { return cpu_; }
   [[nodiscard]] const Cpu& cpu() const noexcept { return cpu_; }
@@ -114,6 +130,11 @@ class Machine {
   /// is recorded there before execution (so the trace is complete even for
   /// instructions that exit or crash).
   void step(bool faulted_this_step, const FaultSpec* fault, TraceEntry* entry);
+  /// Executes as many steps as possible through the decoded-block cache,
+  /// stopping before fuel, before the faulted step, and after any store
+  /// into code. Returns false when nothing could be executed (no block at
+  /// rip) — the caller then takes the per-step slow path.
+  bool run_cached(const RunConfig& config, const FaultSpec* fault, RunResult& result);
   void execute(const isa::Instruction& instr, std::uint64_t next_rip);
   std::uint64_t effective_address(const isa::MemOperand& mem) const;
   std::uint64_t read_operand(const isa::Operand& op, isa::Width width);
@@ -128,6 +149,7 @@ class Machine {
   std::size_t stdin_pos_ = 0;
   std::string output_;
   std::uint64_t steps_ = 0;
+  std::unique_ptr<BlockCache> cache_;  ///< null when the cache is disabled
 };
 
 /// Convenience wrapper used everywhere: fresh machine, one run.

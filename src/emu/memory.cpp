@@ -93,6 +93,9 @@ void Memory::write(std::uint64_t address, std::uint64_t value, unsigned bytes) {
   for (unsigned i = 0; i < bytes; ++i) {
     region->bytes[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
   }
+  if (track_code_writes_ && (region->perms & elf::kExecute) != 0) {
+    note_code_write(address, address + bytes);
+  }
 }
 
 std::size_t Memory::fetch(std::uint64_t address, std::span<std::uint8_t> out) {
@@ -125,6 +128,9 @@ void Memory::write_block(std::uint64_t address, std::span<const std::uint8_t> da
   if (!data.empty()) region->mark_dirty(address - region->base, data.size());
   std::copy(data.begin(), data.end(),
             region->bytes.begin() + static_cast<std::ptrdiff_t>(address - region->base));
+  if (track_code_writes_ && !data.empty() && (region->perms & elf::kExecute) != 0) {
+    note_code_write(address, address + data.size());
+  }
 }
 
 Memory::Snapshot Memory::capture() {
@@ -172,8 +178,38 @@ void Memory::restore(const Snapshot& snapshot) {
                 region.bytes.begin() + static_cast<std::ptrdiff_t>(page * kPageSize));
       region.synced[page] = state.pages[page];
       region.dirty[page] = false;
+      if (track_code_writes_ && (region.perms & elf::kExecute) != 0) {
+        const std::uint64_t begin = region.base + page * kPageSize;
+        note_code_write(begin, begin + content.size());
+      }
     }
   }
+}
+
+void Memory::set_code_write_tracking(bool enabled) noexcept {
+  track_code_writes_ = enabled;
+  if (!enabled) {
+    code_writes_.ranges.clear();
+    code_writes_.overflow = false;
+  }
+}
+
+void Memory::note_code_write(std::uint64_t begin, std::uint64_t end) {
+  ++code_write_epoch_;
+  if (code_writes_.overflow) return;
+  if (code_writes_.ranges.size() >= kMaxCodeWriteRanges) {
+    code_writes_.ranges.clear();
+    code_writes_.overflow = true;
+    return;
+  }
+  code_writes_.ranges.emplace_back(begin, end);
+}
+
+Memory::CodeWrites Memory::take_code_writes() {
+  CodeWrites taken = std::move(code_writes_);
+  code_writes_.ranges.clear();
+  code_writes_.overflow = false;
+  return taken;
 }
 
 bool Memory::equals(const Snapshot& snapshot) const noexcept {

@@ -16,6 +16,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "elf/image.h"
@@ -80,6 +81,29 @@ class Memory {
   /// only dirty or divergent pages are memcmp'd.
   [[nodiscard]] bool equals(const Snapshot& snapshot) const noexcept;
 
+  // --- code-write tracking (pull model, consumed by emu::BlockCache) --------
+  // When enabled, every store that lands in an executable region bumps an
+  // epoch counter and logs the written [begin, end) range. The cache polls
+  // the epoch on its hot path (one integer compare) and drains the range
+  // log only when it moved. restore() counts as a write for every
+  // executable page it actually rewrites.
+
+  void set_code_write_tracking(bool enabled) noexcept;
+  [[nodiscard]] bool code_write_tracking() const noexcept { return track_code_writes_; }
+
+  /// Monotonic counter, bumped once per tracked write batch. Never resets.
+  [[nodiscard]] std::uint64_t code_write_epoch() const noexcept { return code_write_epoch_; }
+
+  struct CodeWrites {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;  ///< [begin, end)
+    /// Set when the log spilled past its bound: the consumer must treat
+    /// every code byte as potentially rewritten.
+    bool overflow = false;
+  };
+
+  /// Returns and clears the accumulated write log.
+  CodeWrites take_code_writes();
+
  private:
   struct Region {
     std::string name;
@@ -108,8 +132,16 @@ class Memory {
 
   Region* region_for(std::uint64_t address, std::uint64_t size) noexcept;
   const Region* region_for(std::uint64_t address, std::uint64_t size) const noexcept;
+  void note_code_write(std::uint64_t begin, std::uint64_t end);
+
+  /// Range-log bound: past this the log degrades to a full-flush flag.
+  /// Self-modifying guests are rare; a tiny log keeps the common case cheap.
+  static constexpr std::size_t kMaxCodeWriteRanges = 64;
 
   std::vector<Region> regions_;
+  bool track_code_writes_ = false;
+  std::uint64_t code_write_epoch_ = 0;
+  CodeWrites code_writes_;
 };
 
 }  // namespace r2r::emu

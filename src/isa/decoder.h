@@ -15,6 +15,11 @@
 
 namespace r2r::isa {
 
+/// Architectural upper bound on one instruction's encoding. Fetch windows
+/// (the emulator's per-step fetch, the decoded-block builder) and bit-flip
+/// fault planning are all sized against this one constant.
+inline constexpr std::size_t kMaxInstructionLength = 15;
+
 struct Decoded {
   Instruction instr;
   std::uint8_t length = 0;  ///< bytes consumed

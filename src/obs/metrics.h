@@ -14,7 +14,11 @@
 // values are invariant across thread counts and across tracing on/off.
 // Gauges and histograms may carry timing (faults/sec, restore latency) and
 // make no such promise — artifact comparisons must key on the counters
-// section only.
+// section only. One carve-out: the emu.block_cache.* counters total
+// per-machine cache tallies, and sweep workers own private machines, so
+// their split depends on how the plan was sharded across threads — drop
+// them before diffing counter sections across thread counts (see
+// docs/observability.md).
 #pragma once
 
 #include <atomic>

@@ -26,20 +26,21 @@ using emu::StopReason;
 using support::check;
 using support::ErrorKind;
 
-/// Chunked dynamic scheduling shared by every sweep: workers pull fixed-size
-/// index ranges from a shared cursor and each owns a private Machine. Slot i
-/// of the caller's result vector is written only by per_item(machine, i), so
-/// aggregation order — and every derived counter — is identical for every
-/// thread count. The first worker exception is rethrown after the join.
-/// Each worker covers its lifetime with an obs span named `span_label` and
-/// ticks `progress` (when non-null) once per item — both no-ops unless the
-/// caller opted into observability, and neither touches the result slots.
-/// Returns the thread count actually used.
-template <typename PerItem>
-unsigned run_sharded(const elf::Image& image, const std::string& stdin_data,
-                     unsigned configured_threads, std::size_t count,
-                     const char* span_label, obs::Progress* progress,
-                     const PerItem& per_item) {
+/// Chunked dynamic scheduling shared by every sweep: workers pull
+/// fixed-size index ranges from a shared cursor; each owns private state
+/// built by make_state() (a Machine, or a walker/scratch pair for the
+/// batched sweeps). Slot i of the caller's result vector is written only by
+/// per_item(state, i), so aggregation order — and every derived counter —
+/// is identical for every thread count. The first worker exception is
+/// rethrown after the join. Each worker covers its lifetime with an obs
+/// span named `span_label` and ticks `progress` (when non-null) once per
+/// item — both no-ops unless the caller opted into observability, and
+/// neither touches the result slots. Returns the thread count used.
+template <typename MakeState, typename PerItem>
+unsigned run_sharded_state(unsigned configured_threads, std::size_t count,
+                           std::size_t chunk, const char* span_label,
+                           obs::Progress* progress, const MakeState& make_state,
+                           const PerItem& per_item) {
   unsigned threads = configured_threads != 0
                          ? configured_threads
                          : std::max(1u, std::thread::hardware_concurrency());
@@ -47,7 +48,6 @@ unsigned run_sharded(const elf::Image& image, const std::string& stdin_data,
     threads = static_cast<unsigned>(std::max<std::size_t>(1, count));
   }
 
-  constexpr std::size_t kChunk = 64;
   std::atomic<std::size_t> cursor{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
@@ -57,12 +57,12 @@ unsigned run_sharded(const elf::Image& image, const std::string& stdin_data,
     try {
       obs::Span span(span_label);
       std::uint64_t items = 0;
-      emu::Machine machine(image, stdin_data);
+      auto state = make_state();
       while (!failed.load(std::memory_order_relaxed)) {
-        const std::size_t begin = cursor.fetch_add(kChunk, std::memory_order_relaxed);
+        const std::size_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
         if (begin >= count) break;
-        const std::size_t end = std::min(count, begin + kChunk);
-        for (std::size_t i = begin; i < end; ++i) per_item(machine, i);
+        const std::size_t end = std::min(count, begin + chunk);
+        for (std::size_t i = begin; i < end; ++i) per_item(state, i);
         items += end - begin;
         if (progress != nullptr) progress->tick(end - begin);
       }
@@ -84,6 +84,23 @@ unsigned run_sharded(const elf::Image& image, const std::string& stdin_data,
   }
   if (first_error) std::rethrow_exception(first_error);
   return threads;
+}
+
+/// The classic one-machine-per-worker shard (order-1 profile, per-pair
+/// simulation). `block_cache` selects the worker machines' dispatch mode.
+template <typename PerItem>
+unsigned run_sharded(const elf::Image& image, const std::string& stdin_data,
+                     bool block_cache, unsigned configured_threads, std::size_t count,
+                     const char* span_label, obs::Progress* progress,
+                     const PerItem& per_item) {
+  return run_sharded_state(
+      configured_threads, count, /*chunk=*/64, span_label, progress,
+      [&]() {
+        emu::Machine machine(image, stdin_data);
+        machine.set_block_cache_enabled(block_cache);
+        return machine;
+      },
+      per_item);
 }
 
 /// [begin, end) range of each trace index's fault group within the order-1
@@ -127,9 +144,9 @@ void for_each_pair(const std::vector<PlannedFault>& plan,
 /// make_references wrapped in a span so golden-run recording shows up in
 /// traces (it runs in the Engine member-initializer list).
 References traced_references(const elf::Image& image, const std::string& good_input,
-                             const std::string& bad_input) {
+                             const std::string& bad_input, bool block_cache) {
   obs::Span span("sim.references");
-  return make_references(image, good_input, bad_input);
+  return make_references(image, good_input, bad_input, block_cache);
 }
 
 /// Checkpoint restore with optional latency sampling (sim.restore_ns). The
@@ -256,16 +273,21 @@ std::uint64_t SnapshotPolicy::interval_for(std::uint64_t trace_length) const noe
 }
 
 References make_references(const elf::Image& image, const std::string& good_input,
-                           const std::string& bad_input) {
+                           const std::string& bad_input, bool block_cache) {
+  const auto run_one = [&](const std::string& input, const RunConfig& config) {
+    emu::Machine machine(image, input);
+    machine.set_block_cache_enabled(block_cache);
+    return machine.run(config);
+  };
   References refs;
   RunConfig config;
-  refs.good_reference = emu::run_image(image, good_input, config);
+  refs.good_reference = run_one(good_input, config);
   check(refs.good_reference.reason == StopReason::kExited, ErrorKind::kExecution,
         "good-input golden run did not exit cleanly: " +
             refs.good_reference.crash_detail);
 
   config.record_trace = true;
-  RunResult bad = emu::run_image(image, bad_input, config);
+  RunResult bad = run_one(bad_input, config);
   check(bad.reason == StopReason::kExited, ErrorKind::kExecution,
         "bad-input golden run did not exit cleanly: " + bad.crash_detail);
   check(!bad.observably_equal(refs.good_reference), ErrorKind::kExecution,
@@ -293,7 +315,7 @@ Engine::Engine(elf::Image image, std::string good_input, std::string bad_input,
     : image_(std::move(image)),
       bad_input_(std::move(bad_input)),
       config_(config),
-      refs_(traced_references(image_, good_input, bad_input_)) {
+      refs_(traced_references(image_, good_input, bad_input_, config.block_cache)) {
   interval_ = config_.policy.interval_for(refs_.bad_trace.size());
   fuel_ = refs_.bad_reference.steps * config_.fuel_multiplier + config_.fuel_slack;
   bad_reference_outcome_ =
@@ -305,6 +327,7 @@ Engine::Engine(elf::Image image, std::string good_input, std::string bad_input,
   {
     obs::Span span("sim.checkpoint_chain");
     emu::Machine recorder(image_, bad_input_);
+    recorder.set_block_cache_enabled(config_.block_cache);
     chain_.push_back(capture(recorder));
     RunConfig record_config;
     while (true) {
@@ -426,6 +449,160 @@ Engine::PairSim Engine::simulate_pair(emu::Machine& machine, const emu::FaultSpe
           second_hit};
 }
 
+unsigned Engine::profile_all(const std::vector<PlannedFault>& plan,
+                             std::vector<FaultProfile>& profiles,
+                             std::atomic<std::uint64_t>& pruned,
+                             obs::Progress& progress) const {
+  profiles.assign(plan.size(), FaultProfile{});
+  if (!config_.lockstep_batching) {
+    return run_sharded(image_, bad_input_, config_.block_cache, config_.threads,
+                       plan.size(), "sim.worker", &progress,
+                       [&](emu::Machine& machine, std::size_t i) {
+                         profiles[i] = profile_one(machine, plan[i], pruned);
+                       });
+  }
+
+  // Lockstep batching: the plan (grouped by ascending trace index) is cut
+  // into checkpoint segments. A worker restores the segment's checkpoint
+  // once into its walker, advances the walker along the golden prefix once
+  // per distinct injection point, and forks every fault at that point from
+  // a local snapshot into its scratch machine — instead of replaying the
+  // prefix from the checkpoint for every single fault. Determinism makes
+  // this exact: a machine forked at step t is the machine replayed to t.
+  struct Segment {
+    std::size_t begin = 0;
+    std::size_t end = 0;  ///< [begin, end) range of plan indices
+  };
+  std::vector<Segment> segments;
+  for (std::size_t i = 0; i < plan.size();) {
+    const std::uint64_t key = plan[i].spec.trace_index / interval_;
+    std::size_t j = i;
+    while (j < plan.size() && plan[j].spec.trace_index / interval_ == key) ++j;
+    segments.push_back(Segment{i, j});
+    i = j;
+  }
+
+  struct State {
+    emu::Machine walker;
+    emu::Machine scratch;
+  };
+  return run_sharded_state(
+      config_.threads, segments.size(), /*chunk=*/1, "sim.worker", nullptr,
+      [&]() {
+        State state{emu::Machine(image_, bad_input_), emu::Machine(image_, bad_input_)};
+        state.walker.set_block_cache_enabled(config_.block_cache);
+        state.scratch.set_block_cache_enabled(config_.block_cache);
+        return state;
+      },
+      [&](State& state, std::size_t s) {
+        const Segment segment = segments[s];
+        const std::size_t checkpoint = std::min<std::size_t>(
+            plan[segment.begin].spec.trace_index / interval_, chain_.size() - 1);
+        timed_restore(chain_[checkpoint], state.walker);
+        RunConfig advance;
+        std::size_t i = segment.begin;
+        while (i < segment.end) {
+          const std::uint64_t t = plan[i].spec.trace_index;
+          // The golden run exits strictly after the last trace index, so
+          // this never terminates early.
+          advance.fuel = t;
+          state.walker.run(advance);
+          const MachineSnapshot at_t = capture(state.walker);
+          const std::uint64_t boundary = (t / interval_ + 1) * interval_;
+          for (; i < segment.end && plan[i].spec.trace_index == t; ++i) {
+            timed_restore(at_t, state.scratch);
+            profiles[i] = finish_with_pruning(state.scratch, plan[i].spec, boundary, pruned);
+          }
+        }
+        progress.tick(segment.end - segment.begin);
+      });
+}
+
+unsigned Engine::simulate_pair_groups(
+    const std::vector<PlannedFault>& plan,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs,
+    const std::vector<std::size_t>& sim_indices, std::vector<Outcome>& outcomes,
+    std::vector<std::uint64_t>& sim_hits, std::atomic<std::uint64_t>& converged,
+    obs::Progress& progress) const {
+  // Pair enumeration is grouped by first fault with ascending second
+  // injection points inside each group — exactly the shape the lockstep
+  // walk wants: one walker runs leg 1 (first fault armed) through the
+  // ascending t2 sequence, pausing at each, and every pair at that t2
+  // forks into the scratch machine for leg 2. simulate_pair's per-pair
+  // decisions are reproduced verbatim at each pause.
+  struct Group {
+    std::size_t begin = 0;
+    std::size_t end = 0;  ///< [begin, end) range into sim_indices
+  };
+  std::vector<Group> groups;
+  for (std::size_t s = 0; s < sim_indices.size();) {
+    const std::uint32_t first = pairs[sim_indices[s]].first;
+    std::size_t e = s;
+    while (e < sim_indices.size() && pairs[sim_indices[e]].first == first) ++e;
+    groups.push_back(Group{s, e});
+    s = e;
+  }
+
+  struct State {
+    emu::Machine walker;
+    emu::Machine scratch;
+  };
+  return run_sharded_state(
+      config_.threads, groups.size(), /*chunk=*/1, "sim.pair_worker", nullptr,
+      [&]() {
+        State state{emu::Machine(image_, bad_input_), emu::Machine(image_, bad_input_)};
+        state.walker.set_block_cache_enabled(config_.block_cache);
+        state.scratch.set_block_cache_enabled(config_.block_cache);
+        return state;
+      },
+      [&](State& state, std::size_t g) {
+        const Group group = groups[g];
+        const emu::FaultSpec& first = plan[pairs[sim_indices[group.begin]].first].spec;
+        const std::uint64_t t1 = first.trace_index;
+        const std::size_t nearest =
+            std::min<std::size_t>(t1 / interval_, chain_.size() - 1);
+        timed_restore(chain_[nearest], state.walker);
+
+        RunConfig leg1_config;
+        leg1_config.fault = first;  // fires exactly once, at step t1
+        bool terminated = false;
+        Outcome terminal_outcome = Outcome::kNoEffect;
+        std::uint64_t walked_t2 = kNeverStep;
+        std::uint64_t second_hit = 0;
+        std::optional<MachineSnapshot> at_t2;
+        for (std::size_t s = group.begin; s < group.end; ++s) {
+          const std::size_t k = sim_indices[s];
+          const emu::FaultSpec& second = plan[pairs[k].second].spec;
+          const std::uint64_t t2 = second.trace_index;
+          if (!terminated && t2 != walked_t2) {
+            leg1_config.fuel = std::min(t2, fuel_);
+            const RunResult leg1 = state.walker.run(leg1_config);
+            if (leg1.reason != StopReason::kFuelExhausted || leg1_config.fuel >= fuel_) {
+              // The first fault's run ended before t2: every remaining pair
+              // of the group (t2 only grows) is the first fault alone.
+              terminated = true;
+              terminal_outcome = classify(refs_, leg1, config_.detected_exit_code);
+            } else {
+              walked_t2 = t2;
+              second_hit = state.walker.cpu().rip;
+              at_t2 = capture(state.walker);
+            }
+          }
+          if (terminated) {
+            outcomes[k] = terminal_outcome;
+            sim_hits[s] = plan[pairs[k].second].address;
+            continue;
+          }
+          timed_restore(*at_t2, state.scratch);
+          outcomes[k] = finish_with_pruning(state.scratch, second,
+                                            (t2 / interval_ + 1) * interval_, converged)
+                            .outcome;
+          sim_hits[s] = second_hit;
+        }
+        progress.tick(group.end - group.begin);
+      });
+}
+
 CampaignResult Engine::aggregate_order1(const std::vector<PlannedFault>& plan,
                                         const std::vector<Outcome>& outcomes,
                                         std::uint64_t pruned, unsigned threads) const {
@@ -450,19 +627,20 @@ CampaignResult Engine::run(const FaultModels& models) const {
         "the order-1 sweep requires FaultModels::order == 1; order-2 models "
         "go to run_pairs()");
   const std::vector<PlannedFault> plan = enumerate_faults(models, refs_.bad_trace);
-  std::vector<Outcome> outcomes(plan.size(), Outcome::kNoEffect);
+  std::vector<FaultProfile> profiles;
   std::atomic<std::uint64_t> pruned_total{0};
 
   obs::Span span("sim.run_order1", obs::args_u64({{"faults", plan.size()}}));
   obs::Progress progress("order-1 sweep", plan.size());
+  // Reset up front: a sub-nanosecond-resolution sweep (sweep_ns == 0) must
+  // not leave a previous sweep's rate standing in-process.
+  obs::Metrics::instance().gauge("sim.faults_per_second").set(0);
   const std::uint64_t sweep_begin = obs::now_ns();
-  const unsigned threads = run_sharded(
-      image_, bad_input_, config_.threads, plan.size(), "sim.worker", &progress,
-      [&](emu::Machine& machine, std::size_t i) {
-        outcomes[i] = profile_one(machine, plan[i], pruned_total).outcome;
-      });
+  const unsigned threads = profile_all(plan, profiles, pruned_total, progress);
   const std::uint64_t sweep_ns = obs::now_ns() - sweep_begin;
 
+  std::vector<Outcome> outcomes(plan.size(), Outcome::kNoEffect);
+  for (std::size_t i = 0; i < plan.size(); ++i) outcomes[i] = profiles[i].outcome;
   CampaignResult result = aggregate_order1(plan, outcomes, pruned_total.load(), threads);
   record_order1_metrics(result);
   if (sweep_ns > 0) {
@@ -508,22 +686,21 @@ PairCampaignResult Engine::run_pairs(const FaultModels& models) const {
   result.pair_window = models.pair_window;
 
   obs::Span run_span("sim.run_pairs");
+  // Reset up front so a sub-nanosecond sweep can't republish a stale rate
+  // (mirrors the order-1 fix).
+  obs::Metrics::instance().gauge("sim.pairs_per_second").set(0);
   const std::uint64_t pairs_begin = obs::now_ns();
 
   // ---- phase A: profile every single fault. This *is* the order-1 sweep
   // (bit-identical to run(models)), plus the reconvergence/termination
   // metadata pairs are pruned with.
-  std::vector<FaultProfile> profiles(plan.size());
+  std::vector<FaultProfile> profiles;
   std::atomic<std::uint64_t> pruned_total{0};
   unsigned threads_profile = 0;
   {
     obs::Span span("sim.pairs_profile", obs::args_u64({{"faults", plan.size()}}));
     obs::Progress progress("order-2 profile", plan.size());
-    threads_profile = run_sharded(
-        image_, bad_input_, config_.threads, plan.size(), "sim.worker", &progress,
-        [&](emu::Machine& machine, std::size_t i) {
-          profiles[i] = profile_one(machine, plan[i], pruned_total);
-        });
+    threads_profile = profile_all(plan, profiles, pruned_total, progress);
   }
 
   std::vector<Outcome> order1_outcomes(profiles.size());
@@ -581,18 +758,23 @@ PairCampaignResult Engine::run_pairs(const FaultModels& models) const {
     obs::Span span("sim.pairs_simulate",
                    obs::args_u64({{"pairs", sim_indices.size()}}));
     obs::Progress progress("order-2 pair sweep", sim_indices.size());
-    threads_pairs = run_sharded(
-        image_, bad_input_, config_.threads, sim_indices.size(),
-        "sim.pair_worker", &progress,
-        [&](emu::Machine& machine, std::size_t s) {
-          const std::size_t k = sim_indices[s];
-          const PairSim sim =
-              simulate_pair(machine, plan[pairs[k].first].spec,
-                            plan[pairs[k].second].spec,
-                            plan[pairs[k].second].address, converged_total);
-          outcomes[k] = sim.outcome;
-          sim_hits[s] = sim.second_hit_address;
-        });
+    if (config_.lockstep_batching) {
+      threads_pairs = simulate_pair_groups(plan, pairs, sim_indices, outcomes,
+                                           sim_hits, converged_total, progress);
+    } else {
+      threads_pairs = run_sharded(
+          image_, bad_input_, config_.block_cache, config_.threads,
+          sim_indices.size(), "sim.pair_worker", &progress,
+          [&](emu::Machine& machine, std::size_t s) {
+            const std::size_t k = sim_indices[s];
+            const PairSim sim =
+                simulate_pair(machine, plan[pairs[k].first].spec,
+                              plan[pairs[k].second].spec,
+                              plan[pairs[k].second].address, converged_total);
+            outcomes[k] = sim.outcome;
+            sim_hits[s] = sim.second_hit_address;
+          });
+    }
   }
 
   result.total_pairs = pairs.size();

@@ -38,6 +38,10 @@
 #include "patch/detected_exit.h"
 #include "sim/snapshot.h"
 
+namespace r2r::obs {
+class Progress;
+}
+
 namespace r2r::sim {
 
 /// Classification of one faulted run against the golden references.
@@ -146,8 +150,11 @@ struct References {
   std::vector<emu::TraceEntry> bad_trace;
 };
 
+/// `block_cache` selects the emulator dispatch mode for the reference runs
+/// (default: cached). The two modes are step-for-step identical; the flag
+/// exists so benches can time a fully uncached pipeline.
 References make_references(const elf::Image& image, const std::string& good_input,
-                           const std::string& bad_input);
+                           const std::string& bad_input, bool block_cache = true);
 
 /// Classifies one faulted run against the two golden references.
 Outcome classify(const emu::RunResult& good_reference,
@@ -185,6 +192,18 @@ struct EngineConfig {
   /// bookkeeping); run_pairs pre-counts the fan-out and throws a clear
   /// Error{kExecution} instead of exhausting memory when it exceeds this.
   std::uint64_t max_pairs = 1ULL << 27;
+  /// Execute every engine machine (references, checkpoint recorder, sweep
+  /// workers) through the emu decoded-block cache. Off reverts to per-step
+  /// fetch+decode — the bench baseline. Classification is bit-identical
+  /// either way.
+  bool block_cache = true;
+  /// Lockstep batched sweeps: all faults sharing a checkpoint segment run
+  /// behind one golden-prefix walker (restore the checkpoint once, walk
+  /// each prefix once, fork every fault from a per-index snapshot) instead
+  /// of replaying the prefix per fault. Bit-identical to the per-fault
+  /// schedule — the machine is deterministic, so forking from a snapshot
+  /// at step t equals replaying to step t.
+  bool lockstep_batching = true;
 };
 
 /// Sweep outcome aggregation (deterministic across thread counts).
@@ -391,6 +410,28 @@ class Engine {
   CampaignResult aggregate_order1(const std::vector<PlannedFault>& plan,
                                   const std::vector<Outcome>& outcomes,
                                   std::uint64_t pruned, unsigned threads) const;
+
+  /// Profiles every fault of `plan` into `profiles` — the shared heart of
+  /// run() and run_pairs() phase A. Per-fault profile_one scheduling, or
+  /// the lockstep batched segment walk when config_.lockstep_batching is
+  /// on; slot i is written only by fault i either way. Returns the thread
+  /// count used.
+  unsigned profile_all(const std::vector<PlannedFault>& plan,
+                       std::vector<FaultProfile>& profiles,
+                       std::atomic<std::uint64_t>& pruned,
+                       obs::Progress& progress) const;
+
+  /// Phase C batched counterpart of simulate_pair: pairs needing
+  /// simulation, grouped by first fault, execute behind one walker with the
+  /// first fault armed, advancing through ascending second-injection
+  /// points. Writes outcomes[k] / sim_hits[s] exactly like the per-pair
+  /// schedule.
+  unsigned simulate_pair_groups(
+      const std::vector<PlannedFault>& plan,
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs,
+      const std::vector<std::size_t>& sim_indices, std::vector<Outcome>& outcomes,
+      std::vector<std::uint64_t>& sim_hits, std::atomic<std::uint64_t>& converged,
+      obs::Progress& progress) const;
 
   elf::Image image_;
   std::string bad_input_;

@@ -1,0 +1,395 @@
+// Decoded-block cache: the cached dispatch loop must be step-for-step
+// indistinguishable from the per-step fetch+decode slow path — same trace,
+// same outcome, same step count — on clean runs, on every fault kind, on
+// self-modifying code, and at the edges of mapped code. Plus the
+// fault-window regressions this PR pins: bit-flip planning stays within the
+// instruction encoding, out-of-range specs fail loudly, and the sweep-rate
+// gauges reset at sweep start.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bir/assemble.h"
+#include "bir/module.h"
+#include "emu/block_cache.h"
+#include "emu/machine.h"
+#include "guests/guests.h"
+#include "guests/synth.h"
+#include "obs/metrics.h"
+#include "sim/engine.h"
+#include "synth_corpus.h"
+
+namespace r2r {
+namespace {
+
+using emu::FaultSpec;
+using emu::Machine;
+using emu::RunConfig;
+using emu::RunResult;
+using emu::StopReason;
+
+elf::Image build(const std::string& text) {
+  bir::Module module = bir::module_from_assembly(".global _start\n_start:\n" + text);
+  return bir::assemble(module);
+}
+
+/// Raw image builder for boundary cases: one segment of exactly these
+/// bytes, so fetch windows shorten at the segment end.
+elf::Image raw_image(std::vector<std::uint8_t> code) {
+  elf::Image image;
+  image.entry = 0x401000;
+  elf::Segment segment;
+  segment.name = ".text";
+  segment.vaddr = image.entry;
+  segment.flags = elf::kRead | elf::kExecute;
+  segment.mem_size = code.size();
+  segment.data = std::move(code);
+  image.segments.push_back(std::move(segment));
+  return image;
+}
+
+/// Runs the image twice — cached (default) and uncached — and asserts the
+/// runs are trace-identical: reason, exit code, output, crash detail, step
+/// count, and the full TraceEntry sequence.
+void expect_identical_runs(const elf::Image& image, const std::string& input,
+                           std::optional<FaultSpec> fault = std::nullopt) {
+  RunConfig config;
+  config.record_trace = true;
+  config.fault = fault;
+
+  Machine cached(image, input);
+  ASSERT_TRUE(cached.block_cache_enabled());  // the default
+  Machine uncached(image, input);
+  uncached.set_block_cache_enabled(false);
+
+  const RunResult a = cached.run(config);
+  const RunResult b = uncached.run(config);
+  EXPECT_EQ(a.reason, b.reason);
+  EXPECT_EQ(a.exit_code, b.exit_code);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.crash_detail, b.crash_detail);
+  EXPECT_EQ(a.steps, b.steps);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    if (a.trace[i].address != b.trace[i].address ||
+        a.trace[i].length != b.trace[i].length) {
+      FAIL() << "trace diverges at step " << i << ": cached 0x" << std::hex
+             << a.trace[i].address << "/" << std::dec << int(a.trace[i].length)
+             << " vs uncached 0x" << std::hex << b.trace[i].address << "/"
+             << std::dec << int(b.trace[i].length);
+    }
+  }
+}
+
+/// The golden trace of `image` on `input` (uncached reference).
+std::vector<emu::TraceEntry> golden_trace(const elf::Image& image,
+                                          const std::string& input) {
+  Machine machine(image, input);
+  machine.set_block_cache_enabled(false);
+  RunConfig config;
+  config.record_trace = true;
+  return machine.run(config).trace;
+}
+
+/// Every fault kind injected at a mid-trace step.
+std::vector<FaultSpec> mid_trace_faults(const std::vector<emu::TraceEntry>& trace) {
+  const std::uint64_t mid = trace.size() / 2;
+  return {
+      FaultSpec{FaultSpec::Kind::kSkip, mid, 0},
+      FaultSpec{FaultSpec::Kind::kBitFlip, mid, 3},
+      FaultSpec{FaultSpec::Kind::kRegisterBitFlip, mid, 0 * 64 + 5},
+      FaultSpec{FaultSpec::Kind::kFlagFlip, mid, 3},
+  };
+}
+
+// ---- differential oracle: builtin guests + frozen synth corpus --------------
+
+TEST(BlockCacheDifferential, BuiltinGuestsFaultlessAndEveryFaultKind) {
+  for (const guests::Guest* guest : guests::all_guests()) {
+    SCOPED_TRACE(guest->name);
+    const elf::Image image = guests::build_image(*guest);
+    expect_identical_runs(image, guest->good_input);
+    expect_identical_runs(image, guest->bad_input);
+    for (const FaultSpec& fault : mid_trace_faults(golden_trace(image, guest->bad_input))) {
+      SCOPED_TRACE("fault kind " + std::string(sim::kind_name(fault.kind)));
+      expect_identical_runs(image, guest->bad_input, fault);
+    }
+  }
+}
+
+TEST(BlockCacheDifferential, FrozenSynthCorpusFaultlessAndEveryFaultKind) {
+  for (const synth_corpus::CorpusSeed& corpus_seed : synth_corpus::kCorpus) {
+    SCOPED_TRACE("seed " + std::to_string(corpus_seed.seed));
+    const guests::Guest guest = guests::synth::generate(corpus_seed.seed);
+    const elf::Image image = guests::build_image(guest);
+    expect_identical_runs(image, guest.good_input);
+    expect_identical_runs(image, guest.bad_input);
+    for (const FaultSpec& fault : mid_trace_faults(golden_trace(image, guest.bad_input))) {
+      SCOPED_TRACE("fault kind " + std::string(sim::kind_name(fault.kind)));
+      expect_identical_runs(image, guest.bad_input, fault);
+    }
+  }
+}
+
+// ---- self-modifying code ----------------------------------------------------
+
+/// A guest that overwrites its own `mov rdi, 1` (48 c7 c7 01 00 00 00) with
+/// `mov rdi, 9` before reaching it. The 8-byte store also rewrites the
+/// first byte of the following instruction with its original value (0x48),
+/// so only the immediate changes. Requires a writable .text.
+elf::Image self_modifying_image() {
+  elf::Image image = build(
+      "    mov rbx, offset patch\n"
+      "    mov rcx, 0x48\n"
+      "    shl rcx, 56\n"
+      "    mov rax, 0x09c7c748\n"  // little-endian 48 c7 c7 09 ("mov rdi, 9")
+      "    or rax, rcx\n"
+      "    mov [rbx], rax\n"
+      "patch:\n"
+      "    mov rdi, 1\n"
+      "    mov rax, 60\n"
+      "    syscall\n");
+  for (elf::Segment& segment : image.segments) {
+    if (segment.name == ".text") segment.flags |= elf::kWrite;
+  }
+  return image;
+}
+
+TEST(BlockCacheSelfModify, GuestStoreIntoCodeInvalidatesAndMatchesUncached) {
+  const elf::Image image = self_modifying_image();
+
+  // Sanity: the patched immediate is what actually executes.
+  Machine machine(image, "");
+  const RunResult result = machine.run(RunConfig{});
+  EXPECT_EQ(result.reason, StopReason::kExited);
+  EXPECT_EQ(result.exit_code, 9) << "self-modified store did not take effect";
+  ASSERT_NE(machine.block_cache(), nullptr);
+  EXPECT_GE(machine.block_cache()->invalidations(), 1u)
+      << "store into code did not invalidate any cached block";
+
+  expect_identical_runs(image, "");
+}
+
+TEST(BlockCacheSelfModify, HostWriteBlockBetweenRunsIsPickedUp) {
+  // Pause both machines mid-run, poke the not-yet-executed `mov rdi, 1`
+  // immediate through the host-side write_block (no perm checks), resume.
+  const elf::Image image = build(
+      "    nop\n"
+      "    nop\n"
+      "patch:\n"
+      "    mov rdi, 1\n"
+      "    mov rax, 60\n"
+      "    syscall\n");
+  const elf::Symbol* patch = image.find_symbol("patch");
+  ASSERT_NE(patch, nullptr);
+  const std::uint64_t patch_address = patch->value;
+  const std::vector<std::uint8_t> patched = {0x48, 0xc7, 0xc7, 0x07, 0x00, 0x00, 0x00};
+
+  const auto run_with_poke = [&](bool block_cache) {
+    Machine machine(image, "");
+    machine.set_block_cache_enabled(block_cache);
+    RunConfig pause;
+    pause.fuel = 1;  // executed the first nop only; `patch` not yet reached
+    EXPECT_EQ(machine.run(pause).reason, StopReason::kFuelExhausted);
+    machine.memory().write_block(patch_address, patched);
+    return machine.run(RunConfig{});
+  };
+
+  const RunResult cached = run_with_poke(true);
+  const RunResult uncached = run_with_poke(false);
+  EXPECT_EQ(cached.reason, StopReason::kExited);
+  EXPECT_EQ(cached.exit_code, 7);
+  EXPECT_EQ(uncached.exit_code, 7);
+  EXPECT_EQ(cached.steps, uncached.steps);
+}
+
+// ---- mapped-code boundary behaviour -----------------------------------------
+// An instruction straddling the last mapped byte must produce the same
+// deterministic crash cached and uncached; an instruction ending exactly at
+// the last mapped byte must execute normally.
+
+TEST(BlockCacheBoundary, RunningOffTheEndOfMappedCodeCrashesIdentically) {
+  const elf::Image image = raw_image({0x90});  // one nop, then nothing
+  expect_identical_runs(image, "");
+  Machine machine(image, "");
+  const RunResult result = machine.run(RunConfig{});
+  EXPECT_EQ(result.reason, StopReason::kCrashed);
+  EXPECT_NE(result.crash_detail.find("unmapped fetch"), std::string::npos)
+      << result.crash_detail;
+  EXPECT_EQ(result.steps, 2u);  // the nop, plus the attempted fetch past it
+}
+
+TEST(BlockCacheBoundary, TruncatedTrailingInstructionCrashesIdentically) {
+  // nop, then a lone REX prefix: the decoder runs out of bytes inside the
+  // one-byte fetch window at the segment edge.
+  const elf::Image image = raw_image({0x90, 0x48});
+  expect_identical_runs(image, "");
+  Machine machine(image, "");
+  const RunResult result = machine.run(RunConfig{});
+  EXPECT_EQ(result.reason, StopReason::kCrashed);
+  EXPECT_NE(result.crash_detail.find("underrun"), std::string::npos)
+      << result.crash_detail;
+}
+
+TEST(BlockCacheBoundary, InstructionEndingAtLastMappedByteExecutes) {
+  // mov rax, 60 / mov rdi, 5 / syscall — with .text cut to exactly these
+  // bytes, the syscall's fetch window is 2 bytes long.
+  const elf::Image image = raw_image({0x48, 0xc7, 0xc0, 0x3c, 0x00, 0x00, 0x00,
+                                      0x48, 0xc7, 0xc7, 0x05, 0x00, 0x00, 0x00,
+                                      0x0f, 0x05});
+  expect_identical_runs(image, "");
+  Machine machine(image, "");
+  const RunResult result = machine.run(RunConfig{});
+  EXPECT_EQ(result.reason, StopReason::kExited);
+  EXPECT_EQ(result.exit_code, 5);
+}
+
+// ---- cache accounting -------------------------------------------------------
+
+TEST(BlockCache, LoopingGuestHitsTheCache) {
+  const guests::Guest& guest = guests::bootloader();
+  Machine machine(guests::build_image(guest), guest.bad_input);
+  machine.run(RunConfig{});
+  ASSERT_NE(machine.block_cache(), nullptr);
+  EXPECT_GT(machine.block_cache()->hits(), 0u);
+  EXPECT_GT(machine.block_cache()->misses(), 0u);
+  EXPECT_GT(machine.block_cache()->hits(), machine.block_cache()->misses())
+      << "a looping guest should revisit blocks far more often than build them";
+}
+
+TEST(BlockCache, DisablingTheCacheFlushesCountersToMetrics) {
+  const std::uint64_t before =
+      obs::Metrics::instance().counter("emu.block_cache.hits").value();
+  const guests::Guest& guest = guests::bootloader();
+  Machine machine(guests::build_image(guest), guest.bad_input);
+  machine.run(RunConfig{});
+  const std::uint64_t hits = machine.block_cache()->hits();
+  ASSERT_GT(hits, 0u);
+  machine.set_block_cache_enabled(false);  // flushes tallies
+  EXPECT_EQ(obs::Metrics::instance().counter("emu.block_cache.hits").value(),
+            before + hits);
+}
+
+// ---- fault-window regressions -----------------------------------------------
+
+TEST(FaultPlanning, BitFlipOffsetsStayWithinEachInstructionEncoding) {
+  const guests::Guest& guest = guests::bootloader();
+  const elf::Image image = guests::build_image(guest);
+  const sim::References refs =
+      sim::make_references(image, guest.good_input, guest.bad_input);
+
+  sim::FaultModels models;  // skip + bit flip
+  const std::vector<sim::PlannedFault> plan =
+      sim::enumerate_faults(models, refs.bad_trace);
+
+  std::uint64_t expected = 0;
+  for (const emu::TraceEntry& entry : refs.bad_trace) {
+    ASSERT_GT(entry.length, 0u);
+    expected += 1 + 8ull * entry.length;  // one skip + one flip per encoding bit
+  }
+  EXPECT_EQ(plan.size(), expected)
+      << "bit-flip fan-out is not tied to the actual instruction lengths";
+
+  for (const sim::PlannedFault& planned : plan) {
+    if (planned.spec.kind != FaultSpec::Kind::kBitFlip) continue;
+    const std::uint32_t bits =
+        static_cast<std::uint32_t>(refs.bad_trace[planned.spec.trace_index].length) * 8;
+    ASSERT_LT(planned.spec.bit_offset, bits)
+        << "planned bit flip outside the instruction at trace index "
+        << planned.spec.trace_index;
+  }
+}
+
+TEST(FaultInjection, OutOfRangeBitFlipFailsLoudlyInBothModes) {
+  // A phantom fault (offset past the fetched window) used to silently
+  // execute the fault-free instruction; it must now be a loud crash.
+  const elf::Image image = build(
+      "    nop\n"
+      "    mov rax, 60\n"
+      "    mov rdi, 0\n"
+      "    syscall\n");
+  const FaultSpec out_of_range{FaultSpec::Kind::kBitFlip, 0, 15 * 8};
+  for (const bool block_cache : {true, false}) {
+    Machine machine(image, "");
+    machine.set_block_cache_enabled(block_cache);
+    RunConfig config;
+    config.fault = out_of_range;
+    const RunResult result = machine.run(config);
+    EXPECT_EQ(result.reason, StopReason::kCrashed);
+    EXPECT_NE(result.crash_detail.find("bit-flip fault offset"), std::string::npos)
+        << result.crash_detail;
+  }
+}
+
+// ---- engine: cached+batched vs legacy classification ------------------------
+
+TEST(BlockCacheEngine, CampaignJsonIdenticalToUncachedUnbatchedEngine) {
+  const guests::Guest& guest = guests::pincheck();
+  const elf::Image image = guests::build_image(guest);
+
+  sim::EngineConfig fast;
+  fast.threads = 1;
+  sim::EngineConfig legacy = fast;
+  legacy.block_cache = false;
+  legacy.lockstep_batching = false;
+
+  const sim::Engine cached(image, guest.good_input, guest.bad_input, fast);
+  const sim::Engine baseline(image, guest.good_input, guest.bad_input, legacy);
+
+  sim::FaultModels models;  // skip + bit flip
+  EXPECT_EQ(cached.run(models).to_json(), baseline.run(models).to_json());
+
+  models.bit_flip = false;  // keep the pair fan-out tier-1-sized
+  models.order = 2;
+  models.pair_window = 4;
+  EXPECT_EQ(cached.run_pairs(models).to_json(), baseline.run_pairs(models).to_json());
+}
+
+TEST(BlockCacheEngine, PairSweepIdenticalPrunedVsExhaustiveWithBatching) {
+  const guests::Guest& guest = guests::toymov();
+  const elf::Image image = guests::build_image(guest);
+
+  sim::EngineConfig pruned;
+  pruned.threads = 1;
+  sim::EngineConfig exhaustive = pruned;
+  exhaustive.pair_outcome_reuse = false;
+
+  sim::FaultModels models;
+  models.order = 2;
+  models.pair_window = 4;
+
+  const sim::PairCampaignResult a =
+      sim::Engine(image, guest.good_input, guest.bad_input, pruned).run_pairs(models);
+  const sim::PairCampaignResult b =
+      sim::Engine(image, guest.good_input, guest.bad_input, exhaustive).run_pairs(models);
+  EXPECT_EQ(a.vulnerabilities, b.vulnerabilities);
+  EXPECT_EQ(a.outcome_counts, b.outcome_counts);
+}
+
+// ---- gauge reset (stale-rate regression) ------------------------------------
+
+TEST(EngineGauges, SweepRateGaugesResetAtSweepStart) {
+  auto& metrics = obs::Metrics::instance();
+  metrics.gauge("sim.faults_per_second").set(123456789);
+  metrics.gauge("sim.pairs_per_second").set(123456789);
+
+  const guests::Guest& guest = guests::toymov();
+  const sim::Engine engine(guests::build_image(guest), guest.good_input,
+                           guest.bad_input);
+  sim::FaultModels models;
+  models.bit_flip = false;
+  engine.run(models);
+  EXPECT_NE(metrics.gauge("sim.faults_per_second").value(), 123456789)
+      << "order-1 sweep left a stale faults/sec value standing";
+
+  models.order = 2;
+  engine.run_pairs(models);
+  EXPECT_NE(metrics.gauge("sim.pairs_per_second").value(), 123456789)
+      << "order-2 sweep left a stale pairs/sec value standing";
+}
+
+}  // namespace
+}  // namespace r2r

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -51,12 +52,29 @@ std::string replace_all(std::string text, const std::string& from,
 /// Extracts the `"counters": {...}` object from a metrics JSON document —
 /// the thread-invariant section; gauges/histograms carry timing and are
 /// excluded from invariance comparisons by design (see src/obs/metrics.h).
+/// The `emu.block_cache.*` counters are the one documented carve-out: each
+/// worker thread owns a private cache, so hit/miss splits depend on how the
+/// sweep was sharded (see docs/observability.md) — drop those lines before
+/// comparing.
 std::string counters_section(const std::string& metrics_json) {
   const std::size_t begin = metrics_json.find("\"counters\"");
   EXPECT_NE(begin, std::string::npos) << metrics_json;
   const std::size_t end = metrics_json.find("\"gauges\"");
   EXPECT_NE(end, std::string::npos) << metrics_json;
-  return metrics_json.substr(begin, end - begin);
+  const std::string section = metrics_json.substr(begin, end - begin);
+  std::string filtered;
+  std::size_t pos = 0;
+  while (pos < section.size()) {
+    std::size_t line_end = section.find('\n', pos);
+    if (line_end == std::string::npos) line_end = section.size();
+    const std::string_view line(section.data() + pos, line_end - pos);
+    if (line.find("\"emu.block_cache.") == std::string_view::npos) {
+      filtered.append(line);
+      filtered.push_back('\n');
+    }
+    pos = line_end + 1;
+  }
+  return filtered;
 }
 
 // ---- satellite: silence without --progress ----------------------------------

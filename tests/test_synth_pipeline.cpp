@@ -35,6 +35,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -234,6 +235,56 @@ TEST_P(SynthPipeline, FullChainPreservesBehaviourAndNeverAddsVulnerabilities) {
       << "hardening added vulnerabilities";
   EXPECT_LE(after.vulnerable_addresses().size(),
             original.vulnerable_addresses().size());
+}
+
+TEST_P(SynthPipeline, CachedDispatchIsStepIdenticalToUncached) {
+  // Differential oracle for the decoded-block cache: on every seed the
+  // cached dispatch loop must produce the exact TraceEntry sequence,
+  // outcome, and step count of per-step fetch+decode — faultless on both
+  // inputs, and under every fault kind at a mid-trace step.
+  const SeedCase& param = GetParam();
+  if (!param.corpus && sweep_budget_exhausted()) {
+    GTEST_SKIP() << "R2R_SYNTH_TIME_BUDGET_S exhausted";
+  }
+  SCOPED_TRACE("seed " + std::to_string(param.seed));
+
+  const Guest guest = guests::synth::generate(param.seed);
+  const elf::Image image = guests::build_image(guest);
+
+  const auto run_both = [&](const std::string& input,
+                            std::optional<emu::FaultSpec> fault) {
+    emu::RunConfig config;
+    config.record_trace = true;
+    config.fault = fault;
+    emu::Machine cached(image, input);
+    emu::Machine uncached(image, input);
+    uncached.set_block_cache_enabled(false);
+    const emu::RunResult a = cached.run(config);
+    const emu::RunResult b = uncached.run(config);
+    EXPECT_EQ(a.reason, b.reason);
+    EXPECT_EQ(a.exit_code, b.exit_code);
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.crash_detail, b.crash_detail);
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size() && i < b.trace.size(); ++i) {
+      if (a.trace[i].address != b.trace[i].address ||
+          a.trace[i].length != b.trace[i].length) {
+        ADD_FAILURE() << "trace diverges at step " << i;
+        break;
+      }
+    }
+    return a;
+  };
+
+  run_both(guest.good_input, std::nullopt);
+  const emu::RunResult golden = run_both(guest.bad_input, std::nullopt);
+  const std::uint64_t mid = golden.trace.size() / 2;
+  using Kind = emu::FaultSpec::Kind;
+  run_both(guest.bad_input, emu::FaultSpec{Kind::kSkip, mid, 0});
+  run_both(guest.bad_input, emu::FaultSpec{Kind::kBitFlip, mid, 3});
+  run_both(guest.bad_input, emu::FaultSpec{Kind::kRegisterBitFlip, mid, 0 * 64 + 5});
+  run_both(guest.bad_input, emu::FaultSpec{Kind::kFlagFlip, mid, 3});
 }
 
 using SynthOrder2 = SynthSeedTest;
