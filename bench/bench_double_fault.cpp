@@ -128,7 +128,8 @@ int main(int argc, char** argv) {
   const guests::Guest& guest = guests::pincheck();
   const elf::Image image = guests::build_image(guest);
 
-  std::string json = "{\n  \"guest\": \"" + guest.name + "\",\n  \"threads\": [";
+  std::string json = "{\n  " + bench::target_field(isa::Arch::kX64) +
+                     ",\n  \"guest\": \"" + guest.name + "\",\n  \"threads\": [";
   bool first = true;
   std::optional<SweepNumbers> serial_numbers;
   for (const unsigned threads : {1u, 8u}) {

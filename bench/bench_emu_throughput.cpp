@@ -8,7 +8,8 @@
 // the largest synthetic guest and self-checks the acceptance bars:
 //
 //   * sustained emulated instructions/sec, cached >= 3x uncached, in the
-//     engine's own restore+run usage pattern;
+//     engine's own restore+run usage pattern, swept over every registered
+//     isa::Target;
 //   * order-2 pairs/sec, cached+batched engine >= 2x the uncached unbatched
 //     engine, with byte-identical pair classification.
 //
@@ -20,6 +21,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "bench_util.h"
 #include "guests/synth.h"
@@ -124,43 +126,70 @@ BENCHMARK(BM_RunUncachedLargestSynth)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
+/// Per-target emu-throughput leg: restore+run dispatch, cached vs uncached,
+/// with the >= 3x self-check bar.
+struct TargetLeg {
+  isa::Arch arch;
+  std::string guest;
+  Throughput uncached;
+  Throughput cached;
+  double speedup = 0;
+};
+
+bool run_emu_leg(const isa::Target& target, unsigned repeats, TargetLeg& leg) {
+  const guests::Guest guest =
+      guests::synth::generate(kLargestSynthSeed, target.arch());
+  const elf::Image image = guests::build_image(guest);
+  const double min_speedup = 3.0;
+
+  leg.arch = target.arch();
+  leg.guest = guest.name;
+  std::printf("\n-- [%s] emulated instructions/sec on %s (x%u restore+run) --\n",
+              std::string(target.name()).c_str(), guest.name.c_str(), repeats);
+  leg.uncached = measure_emu(image, guest, false, repeats, "bench.emu_uncached");
+  leg.cached = measure_emu(image, guest, true, repeats, "bench.emu_cached");
+  leg.speedup = leg.uncached.per_second() > 0
+                    ? leg.cached.per_second() / leg.uncached.per_second()
+                    : 0.0;
+  std::printf("uncached: %10.0f instr/sec (%llu instr in %.3fs)\n",
+              leg.uncached.per_second(),
+              static_cast<unsigned long long>(leg.uncached.instructions),
+              leg.uncached.seconds);
+  std::printf("cached:   %10.0f instr/sec (%llu instr in %.3fs)\n",
+              leg.cached.per_second(),
+              static_cast<unsigned long long>(leg.cached.instructions),
+              leg.cached.seconds);
+  std::printf("speedup:  %.2fx (acceptance: >= %.1fx)\n", leg.speedup, min_speedup);
+  if (leg.cached.instructions != leg.uncached.instructions) {
+    std::printf("FAILED: cached and uncached step counts diverged\n");
+    return false;
+  }
+  if (leg.speedup < min_speedup) {
+    std::printf("FAILED: acceptance bar is >= %.1fx instructions/sec; got %.2fx\n",
+                min_speedup, leg.speedup);
+    return false;
+  }
+  return true;
+}
+
 int main(int argc, char** argv) {
   r2r::bench::enable_observability();
   r2r::bench::print_header(
       "Decoded-block cache + lockstep batched fault execution",
       "decode-once superblock dispatch under the Fig. 2 faulter");
 
+  // -- raw dispatch throughput (restore+run, the sweep's inner loop), on
+  // -- every registered target ----------------------------------------------
+  constexpr unsigned kRepeats = 20000;
+  std::vector<TargetLeg> legs;
+  for (const isa::Target* target : isa::all_targets()) {
+    TargetLeg leg;
+    if (!run_emu_leg(*target, kRepeats, leg)) return 1;
+    legs.push_back(std::move(leg));
+  }
+
   const guests::Guest guest = guests::synth::generate(kLargestSynthSeed);
   const elf::Image image = guests::build_image(guest);
-
-  // -- raw dispatch throughput (restore+run, the sweep's inner loop) --------
-  constexpr unsigned kRepeats = 20000;
-  std::printf("\n-- emulated instructions/sec on %s (x%u restore+run) --\n",
-              guest.name.c_str(), kRepeats);
-  const Throughput uncached =
-      measure_emu(image, guest, false, kRepeats, "bench.emu_uncached");
-  const Throughput cached =
-      measure_emu(image, guest, true, kRepeats, "bench.emu_cached");
-  const double emu_speedup =
-      uncached.per_second() > 0 ? cached.per_second() / uncached.per_second() : 0.0;
-  std::printf("uncached: %10.0f instr/sec (%llu instr in %.3fs)\n",
-              uncached.per_second(),
-              static_cast<unsigned long long>(uncached.instructions),
-              uncached.seconds);
-  std::printf("cached:   %10.0f instr/sec (%llu instr in %.3fs)\n",
-              cached.per_second(),
-              static_cast<unsigned long long>(cached.instructions),
-              cached.seconds);
-  std::printf("speedup:  %.2fx (acceptance: >= 3x)\n", emu_speedup);
-  if (cached.instructions != uncached.instructions) {
-    std::printf("FAILED: cached and uncached step counts diverged\n");
-    return 1;
-  }
-  if (emu_speedup < 3.0) {
-    std::printf("FAILED: acceptance bar is >= 3x instructions/sec; got %.2fx\n",
-                emu_speedup);
-    return 1;
-  }
 
   // -- order-2 sweep throughput (cached+batched vs the legacy engine) -------
   std::printf("\n-- order-2 pairs/sec on %s (skip + bit-flip, window 4) --\n",
@@ -194,12 +223,27 @@ int main(int argc, char** argv) {
   {
     std::ostringstream body;
     body << "{\n"
+         << "  " << r2r::bench::target_field(isa::Arch::kX64) << ",\n"
          << "  \"guest\": \"" << guest.name << "\",\n"
          << "  \"repeats\": " << kRepeats << ",\n"
-         << "  \"uncached_instructions_per_second\": " << uncached.per_second()
-         << ",\n"
-         << "  \"cached_instructions_per_second\": " << cached.per_second() << ",\n"
-         << "  \"emu_speedup\": " << emu_speedup << ",\n"
+         << "  \"targets\": [\n";
+    for (std::size_t i = 0; i < legs.size(); ++i) {
+      const TargetLeg& leg = legs[i];
+      body << "    {" << r2r::bench::target_field(leg.arch) << ", "
+           << "\"guest\": \"" << leg.guest << "\", "
+           << "\"uncached_instructions_per_second\": " << leg.uncached.per_second()
+           << ", "
+           << "\"cached_instructions_per_second\": " << leg.cached.per_second()
+           << ", "
+           << "\"emu_speedup\": " << leg.speedup << "}"
+           << (i + 1 < legs.size() ? "," : "") << "\n";
+    }
+    body << "  ],\n"
+         << "  \"uncached_instructions_per_second\": "
+         << legs.front().uncached.per_second() << ",\n"
+         << "  \"cached_instructions_per_second\": "
+         << legs.front().cached.per_second() << ",\n"
+         << "  \"emu_speedup\": " << legs.front().speedup << ",\n"
          << "  \"total_pairs\": " << fast.result.total_pairs << ",\n"
          << "  \"legacy_pairs_per_second\": " << legacy.per_second() << ",\n"
          << "  \"batched_pairs_per_second\": " << fast.per_second() << ",\n"

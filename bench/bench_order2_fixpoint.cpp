@@ -125,7 +125,8 @@ int main(int argc, char** argv) {
       "Fig. 2 loop extended to the multi-fault scenario (Boespflug et al.)");
 
   bool ok = true;
-  std::string json = "{\n  \"pair_window\": 8,\n  \"guests\": [";
+  std::string json = "{\n  " + bench::target_field(isa::Arch::kX64) +
+                     ",\n  \"pair_window\": 8,\n  \"guests\": [";
   bool first_guest = true;
   for (const guests::Guest* guest : guests::all_guests()) {
     const elf::Image input = guests::build_image(*guest);

@@ -107,6 +107,7 @@ int main(int argc, char** argv) {
   {
     std::ostringstream body;
     body << "{\n"
+         << "  " << r2r::bench::target_field(isa::Arch::kX64) << ",\n"
          << "  \"sweep_base\": " << kSweepBase << ",\n"
          << "  \"sweep_count\": " << kSweepCount << ",\n"
          << "  \"full_chain_seconds\": " << elapsed << ",\n"

@@ -13,6 +13,7 @@
 #include "guests/guests.h"
 #include "harden/report.h"
 #include "isa/printer.h"
+#include "isa/target.h"
 #include "obs/obs.h"
 #include "support/strings.h"
 
@@ -67,6 +68,13 @@ inline std::string with_metrics_snapshot(std::string json) {
   }
   json.insert(brace, ",\n  \"metrics\": " + indented + "\n");
   return json;
+}
+
+/// JSON member naming the instruction-set target a bench (or bench section)
+/// ran on — every BENCH_*.json artifact carries it so downstream tooling can
+/// tell cross-target runs apart.
+inline std::string target_field(isa::Arch arch) {
+  return "\"target\": \"" + std::string(isa::target(arch).name()) + "\"";
 }
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {

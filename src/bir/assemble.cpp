@@ -4,6 +4,7 @@
 
 #include "isa/encoder.h"
 #include "isa/printer.h"
+#include "isa/target.h"
 #include "obs/trace.h"
 #include "support/error.h"
 #include "support/strings.h"
@@ -19,14 +20,14 @@ using SymbolMap = std::map<std::string, std::uint64_t, std::less<>>;
 
 /// " (line N: <instr>)" context for layout errors, empty when the item was
 /// synthesized (no source line to point at).
-std::string item_context(const CodeItem& item) {
+std::string item_context(const CodeItem& item, const isa::Target& target) {
   std::string context;
   if (item.source_line != 0) {
     context = " (line " + std::to_string(item.source_line);
-    if (item.is_instruction()) context += ": " + isa::print(*item.instr);
+    if (item.is_instruction()) context += ": " + target.print(*item.instr);
     context += ")";
   } else if (item.is_instruction()) {
-    context = " (in " + isa::print(*item.instr) + ")";
+    context = " (in " + target.print(*item.instr) + ")";
   }
   return context;
 }
@@ -37,11 +38,11 @@ std::string item_context(const CodeItem& item) {
 /// context string is only built on the failure path).
 isa::Instruction resolve(const isa::Instruction& instr, const SymbolMap& symbols,
                          std::uint64_t placeholder_for_unknown, bool allow_unknown,
-                         const CodeItem& item) {
+                         const CodeItem& item, const isa::Target& target) {
   // Error messages (and the item context) are only built on the failure
   // path — resolve() runs for every instruction of every assemble() pass.
-  const auto fail_item = [&item](const std::string& message) {
-    support::fail(ErrorKind::kRewrite, message + item_context(item));
+  const auto fail_item = [&item, &target](const std::string& message) {
+    support::fail(ErrorKind::kRewrite, message + item_context(item, target));
   };
   isa::Instruction out = instr;
   for (isa::Operand& op : out.operands) {
@@ -99,6 +100,7 @@ isa::Instruction resolve(const isa::Instruction& instr, const SymbolMap& symbols
 
 elf::Image assemble(Module& module) {
   obs::Span span("bir.assemble");
+  const isa::Target& target = isa::target(module.arch);
   SymbolMap symbols;
   const auto define = [&symbols](const std::string& name, std::uint64_t address) {
     const auto [it, inserted] = symbols.emplace(name, address);
@@ -127,8 +129,9 @@ elf::Image assemble(Module& module) {
     if (item.is_instruction()) {
       // Unknown (text) labels use the current address as a placeholder;
       // branch sizes are rel32 and independent of the distance.
-      const isa::Instruction sized = resolve(*item.instr, symbols, cursor, true, item);
-      cursor += isa::encoded_length(sized, item.address);
+      const isa::Instruction sized =
+          resolve(*item.instr, symbols, cursor, true, item, target);
+      cursor += target.encoded_length(sized, item.address);
     } else {
       cursor += item.raw.size();
     }
@@ -139,10 +142,11 @@ elf::Image assemble(Module& module) {
   text_bytes.reserve(static_cast<std::size_t>(cursor - module.text_base));
   for (const CodeItem& item : module.text) {
     if (item.is_instruction()) {
-      const isa::Instruction final_instr = resolve(*item.instr, symbols, 0, false, item);
-      const std::vector<std::uint8_t> bytes = isa::encode(final_instr, item.address);
+      const isa::Instruction final_instr =
+          resolve(*item.instr, symbols, 0, false, item, target);
+      const std::vector<std::uint8_t> bytes = target.encode(final_instr, item.address);
       check(module.text_base + text_bytes.size() == item.address, ErrorKind::kRewrite,
-            "layout drift at " + isa::print(*item.instr));
+            "layout drift at " + target.print(*item.instr));
       text_bytes.insert(text_bytes.end(), bytes.begin(), bytes.end());
     } else {
       text_bytes.insert(text_bytes.end(), item.raw.begin(), item.raw.end());
@@ -151,6 +155,7 @@ elf::Image assemble(Module& module) {
 
   // --- image assembly ------------------------------------------------------------
   elf::Image image;
+  image.machine = isa::elf_machine(module.arch);
   elf::Segment text_segment;
   text_segment.name = ".text";
   text_segment.vaddr = module.text_base;

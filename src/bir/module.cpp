@@ -102,8 +102,9 @@ std::size_t Module::instruction_count() const noexcept {
   return count;
 }
 
-Module from_source(const isa::SourceProgram& program) {
+Module from_source(const isa::SourceProgram& program, isa::Arch arch) {
   Module module;
+  module.arch = arch;
   module.globals = program.globals;
 
   std::uint64_t next_data_base = 0x600000;
@@ -147,8 +148,8 @@ Module from_source(const isa::SourceProgram& program) {
   return module;
 }
 
-Module module_from_assembly(std::string_view text) {
-  return from_source(isa::parse_assembly(text));
+Module module_from_assembly(std::string_view text, isa::Arch arch) {
+  return from_source(isa::target(arch).parse_assembly(text), arch);
 }
 
 }  // namespace r2r::bir

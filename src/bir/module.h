@@ -19,6 +19,7 @@
 
 #include "isa/asm_parser.h"
 #include "isa/instruction.h"
+#include "isa/target.h"
 
 namespace r2r::bir {
 
@@ -64,6 +65,9 @@ struct DataSection {
 
 class Module {
  public:
+  /// Instruction set of the code in `text`. assemble()/print paths dispatch
+  /// through isa::target(arch); recovery derives it from the ELF e_machine.
+  isa::Arch arch = isa::Arch::kX64;
   std::vector<CodeItem> text;
   std::uint64_t text_base = 0x400000;
   std::vector<DataSection> data_sections;
@@ -111,10 +115,13 @@ class Module {
   unsigned label_counter_ = 0;
 };
 
-/// Converts the text-assembler output into a Module.
-Module from_source(const isa::SourceProgram& program);
+/// Converts the text-assembler output into a Module for `arch`.
+Module from_source(const isa::SourceProgram& program,
+                   isa::Arch arch = isa::Arch::kX64);
 
-/// Parses assembly text straight into a Module (parse + from_source).
-Module module_from_assembly(std::string_view text);
+/// Parses assembly text straight into a Module (parse + from_source) using
+/// the target's register syntax.
+Module module_from_assembly(std::string_view text,
+                            isa::Arch arch = isa::Arch::kX64);
 
 }  // namespace r2r::bir

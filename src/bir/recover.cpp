@@ -6,6 +6,7 @@
 
 #include "isa/decoder.h"
 #include "isa/semantics.h"
+#include "isa/target.h"
 #include "obs/trace.h"
 #include "support/error.h"
 #include "support/strings.h"
@@ -19,6 +20,7 @@ using support::ErrorKind;
 
 struct RecoveryState {
   const elf::Image* image = nullptr;
+  const isa::Target* target = nullptr;
   const elf::Segment* text = nullptr;
   std::map<std::uint64_t, isa::Decoded> decoded;
   std::set<std::uint64_t> code_label_addresses;
@@ -46,7 +48,7 @@ void explore(RecoveryState& state, std::uint64_t start) {
                                                  state.text->data.size() - offset);
       isa::Decoded decoded;
       try {
-        decoded = isa::decode(window, address);
+        decoded = state.target->decode(window, address);
       } catch (const support::Error& error) {
         support::fail(ErrorKind::kRecovery,
                       "undecodable instruction at " + support::hex_string(address) +
@@ -99,9 +101,10 @@ void symbolize(RecoveryState& state, isa::Instruction& instr) {
     }
     if (auto* imm = std::get_if<isa::ImmOperand>(&op);
         imm != nullptr && instr.mnemonic == isa::Mnemonic::kMov &&
-        instr.width == isa::Width::b64) {
-      // movabs value that points into a data segment: treat as a reference
-      // (the UROBOROS-style heuristic; see DESIGN.md for the discussion).
+        instr.width == state.target->natural_width()) {
+      // Full-width mov immediate pointing into a data segment: treat as a
+      // reference (the UROBOROS-style heuristic; see DESIGN.md). On x64 this
+      // is the movabs form; on rv32i the fused lui+addi mov.
       const auto value = static_cast<std::uint64_t>(imm->value);
       if (state.data_segment_of(value) != nullptr) {
         state.data_label_addresses.insert(value);
@@ -114,8 +117,12 @@ void symbolize(RecoveryState& state, isa::Instruction& instr) {
 
 Module recover(const elf::Image& image) {
   obs::Span span("bir.recover");
+  const auto arch = isa::arch_from_elf_machine(image.machine);
+  check(arch.has_value(), ErrorKind::kRecovery,
+        "image has an e_machine no registered target handles");
   RecoveryState state;
   state.image = &image;
+  state.target = &isa::target(*arch);
   for (const auto& segment : image.segments) {
     if ((segment.flags & elf::kExecute) != 0) {
       check(state.text == nullptr, ErrorKind::kRecovery,
@@ -159,6 +166,7 @@ Module recover(const elf::Image& image) {
 
   // --- build text items --------------------------------------------------------
   Module module;
+  module.arch = *arch;
   module.text_base = state.text->vaddr;
 
   const std::uint64_t text_end = state.text->vaddr + state.text->data.size();
@@ -213,7 +221,7 @@ Module recover(const elf::Image& image) {
           }
         } else if (auto* imm = std::get_if<isa::ImmOperand>(&op);
                    imm != nullptr && instr.mnemonic == isa::Mnemonic::kMov &&
-                   instr.width == isa::Width::b64) {
+                   instr.width == state.target->natural_width()) {
           const auto value = static_cast<std::uint64_t>(imm->value);
           if (const auto name = data_names.find(value); name != data_names.end()) {
             imm->label = name->second;

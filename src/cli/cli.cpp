@@ -4,6 +4,7 @@
 #include <optional>
 #include <ostream>
 
+#include "isa/target.h"
 #include "obs/obs.h"
 #include "sim/engine.h"
 #include "support/error.h"
@@ -57,6 +58,57 @@ ObsOptions extract_obs_flags(std::vector<std::string>& args) {
   args = std::move(kept);
   return options;
 }
+
+/// Strips the global --target flag (both `--target NAME` and
+/// `--target=NAME`) out of `args` and resolves it against the target
+/// registry. Defaults to x86-64 when absent.
+const isa::Target& extract_target_flag(std::vector<std::string>& args) {
+  const isa::Target* selected = &isa::target(isa::Arch::kX64);
+  std::vector<std::string> kept;
+  kept.reserve(args.size());
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    std::string name;
+    if (arg.starts_with("--target=")) {
+      name = arg.substr(std::string_view("--target=").size());
+    } else if (arg == "--target") {
+      if (i + 1 >= args.size()) {
+        fail(ErrorKind::kInvalidArgument, "--target requires a target name");
+      }
+      name = args[++i];
+    } else {
+      kept.push_back(arg);
+      continue;
+    }
+    const isa::Target* found = isa::find_target(name);
+    if (found == nullptr) {
+      std::string known;
+      for (const isa::Target* candidate : isa::all_targets()) {
+        if (!known.empty()) known += ", ";
+        known += candidate->name();
+      }
+      fail(ErrorKind::kInvalidArgument,
+           "unknown target '" + name + "' (available: " + known + ")");
+    }
+    selected = found;
+  }
+  args = std::move(kept);
+  return *selected;
+}
+
+/// Applies the --target selection for one run() invocation and restores the
+/// previous one on the way out — in-process callers (tests, batch) must not
+/// inherit a stale target.
+class TargetScope {
+ public:
+  explicit TargetScope(isa::Arch arch) : previous_(active_target()) {
+    set_active_target(arch);
+  }
+  ~TargetScope() { set_active_target(previous_); }
+
+ private:
+  isa::Arch previous_;
+};
 
 /// Arms the obs layer for one run() invocation and writes the requested
 /// artifacts on the way out, then disarms everything — sequential
@@ -139,6 +191,15 @@ std::string top_level_help() {
   }
   out +=
       "\nglobal flags (accepted by every command):\n"
+      "  --target NAME       instruction-set target for guests and codegen\n"
+      "                      (default x64):\n";
+  for (const isa::Target* target : isa::all_targets()) {
+    std::string name(target->name());
+    out += "                        " + name +
+           std::string(name.size() < 7 ? 7 - name.size() : 1, ' ') +
+           std::string(target->description()) + "\n";
+  }
+  out +=
       "  --trace-out FILE    write a Chrome trace-event JSON of this run\n"
       "                      (open in Perfetto; see docs/observability.md)\n"
       "  --metrics-out FILE  write the obs metrics snapshot (counters,\n"
@@ -154,12 +215,15 @@ std::string top_level_help() {
 int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
   std::vector<std::string> argv = args;
   ObsOptions obs_options;
+  const isa::Target* target = nullptr;
   try {
     obs_options = extract_obs_flags(argv);
+    target = &extract_target_flag(argv);
   } catch (const support::Error& error) {
     err << "r2r: " << error.what() << "\n";
     return 2;
   }
+  const TargetScope target_scope(target->arch());
 
   if (argv.empty() || argv[0] == "--help" || argv[0] == "-h" || argv[0] == "help") {
     out << top_level_help();

@@ -7,6 +7,7 @@
 #include "cli/cli.h"
 #include "ir/printer.h"
 #include "isa/printer.h"
+#include "isa/target.h"
 #include "lift/lifter.h"
 #include "support/error.h"
 #include "support/strings.h"
@@ -31,6 +32,7 @@ namespace {
 
 std::string bir_listing(const guests::Guest& guest, const elf::Image& image,
                         bir::Module& module) {
+  const isa::Target& target = isa::target(module.arch);
   std::string out = "; r2r lift — " + guest.name + ": " +
                     std::to_string(module.instruction_count()) + " instruction(s), " +
                     std::to_string(image.code_size()) + " code bytes, entry " +
@@ -38,7 +40,7 @@ std::string bir_listing(const guests::Guest& guest, const elf::Image& image,
   for (const bir::CodeItem& item : module.text) {
     for (const std::string& label : item.labels) out += label + ":\n";
     if (item.is_instruction()) {
-      out += "  " + support::hex_string(item.address) + "  " + isa::print(*item.instr) +
+      out += "  " + support::hex_string(item.address) + "  " + target.print(*item.instr) +
              "\n";
     } else if (!item.raw.empty()) {
       out += "  " + support::hex_string(item.address) + "  .byte <" +

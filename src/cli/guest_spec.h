@@ -24,6 +24,14 @@
 
 namespace r2r::cli {
 
+/// Process-wide target selection (the --target global flag). load_guest
+/// resolves built-in names against this target's registry, generates synth
+/// guests in its dialect, and stamps file guests with it; cli::run() scopes
+/// the setting to one invocation, so in-process callers (tests, the batch
+/// driver) never leak a target into the next run.
+void set_active_target(isa::Arch arch);
+isa::Arch active_target();
+
 /// Inline input overrides (the --good-input / --bad-input flags). A value
 /// of the form "@path" reads the bytes of `path` instead.
 struct GuestOverrides {

@@ -47,6 +47,10 @@ struct Symbol {
 
 struct Image {
   std::uint64_t entry = 0;
+  /// ELF e_machine of the code in this image (62 = EM_X86_64, the default;
+  /// 243 = EM_RISCV). isa::arch_from_elf_machine maps it to a Target — the
+  /// elf layer itself stays ISA-agnostic.
+  std::uint16_t machine = 62;
   std::vector<Segment> segments;
   std::vector<Symbol> symbols;
 

@@ -34,9 +34,11 @@ Image read_elf(std::span<const std::uint8_t> bytes) {
   const std::uint16_t type = reader.read_u16();
   check(type == 2, ErrorKind::kElf, "not ET_EXEC");
   const std::uint16_t machine = reader.read_u16();
-  check(machine == 62, ErrorKind::kElf, "not EM_X86_64");
+  check(machine == 62 || machine == 243, ErrorKind::kElf,
+        "unsupported e_machine (want EM_X86_64 or EM_RISCV)");
   reader.read_u32();  // version
   Image image;
+  image.machine = machine;
   image.entry = reader.read_u64();
   const std::uint64_t phoff = reader.read_u64();
   const std::uint64_t shoff = reader.read_u64();

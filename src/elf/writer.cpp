@@ -12,7 +12,6 @@ using support::ByteBuffer;
 
 constexpr std::uint64_t kPageSize = 0x1000;
 constexpr std::uint16_t kEtExec = 2;
-constexpr std::uint16_t kEmX86_64 = 62;
 constexpr std::uint32_t kPtLoad = 1;
 constexpr std::uint32_t kShtProgbits = 1;
 constexpr std::uint32_t kShtSymtab = 2;
@@ -137,7 +136,7 @@ std::vector<std::uint8_t> write_elf(const Image& image) {
   out.append_u8(1);  // EV_CURRENT
   for (int i = 0; i < 9; ++i) out.append_u8(0);
   out.append_u16(kEtExec);
-  out.append_u16(kEmX86_64);
+  out.append_u16(image.machine);
   out.append_u32(1);                                       // e_version
   out.append_u64(image.entry);                             // e_entry
   out.append_u64(kEhdrSize);                               // e_phoff

@@ -71,8 +71,8 @@ const DecodedBlock* BlockCache::build(std::uint64_t rip, Memory& memory) {
     isa::Decoded decoded;
     try {
       const std::size_t fetched = memory.fetch(address, window);
-      decoded = isa::decode(std::span<const std::uint8_t>(window.data(), fetched),
-                            address);
+      decoded = target_->decode(std::span<const std::uint8_t>(window.data(), fetched),
+                                address);
     } catch (const support::Error&) {
       // Unfetchable or undecodable: end the block here. The slow path hits
       // the identical error when execution actually reaches this address.

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "isa/instruction.h"
+#include "isa/target.h"
 
 namespace r2r::emu {
 
@@ -48,6 +49,8 @@ struct DecodedBlock {
 
 class BlockCache {
  public:
+  explicit BlockCache(const isa::Target& target) : target_(&target) {}
+
   /// Block-length bound: long straight-line runs split into several blocks,
   /// which keeps the fault-window slow-path handoff (stop mid-block at the
   /// faulted step) from ever skipping a cached tail.
@@ -86,6 +89,7 @@ class BlockCache {
   const DecodedBlock* build(std::uint64_t rip, Memory& memory);
   void invalidate_range(std::uint64_t begin, std::uint64_t end);
 
+  const isa::Target* target_;
   std::unordered_map<std::uint64_t, DecodedBlock> blocks_;
   std::vector<CachedInstr> arena_;
   std::uint64_t synced_epoch_ = 0;

@@ -67,11 +67,16 @@ void set_sub_flags(Flags& f, std::uint64_t a, std::uint64_t b, std::uint64_t res
 
 Machine::Machine(const elf::Image& image, std::string stdin_data)
     : stdin_data_(std::move(stdin_data)) {
+  const auto arch = isa::arch_from_elf_machine(image.machine);
+  support::check(arch.has_value(), ErrorKind::kElf,
+                 "image has an e_machine no registered target handles");
+  target_ = &isa::target(*arch);
   memory_.map_image(image);
-  memory_.map("[stack]", kStackBase - kStackSize, kStackSize, elf::kRead | elf::kWrite);
+  const std::uint64_t stack_base = target_->stack_base();
+  memory_.map("[stack]", stack_base - kStackSize, kStackSize, elf::kRead | elf::kWrite);
   cpu_.rip = image.entry;
-  cpu_.gpr[isa::reg_number(Reg::rsp)] = kStackBase - 16;
-  cache_ = std::make_unique<BlockCache>();
+  cpu_.gpr[isa::reg_number(Reg::rsp)] = stack_base - 16;
+  cache_ = std::make_unique<BlockCache>(*target_);
   memory_.set_code_write_tracking(true);
 }
 
@@ -85,7 +90,7 @@ Machine& Machine::operator=(Machine&&) noexcept = default;
 void Machine::set_block_cache_enabled(bool enabled) {
   if (enabled == (cache_ != nullptr)) return;
   if (enabled) {
-    cache_ = std::make_unique<BlockCache>();
+    cache_ = std::make_unique<BlockCache>(*target_);
     memory_.set_code_write_tracking(true);
   } else {
     cache_->flush_metrics();
@@ -351,7 +356,11 @@ void Machine::execute(const Instruction& instr, std::uint64_t next_rip) {
       if (evaluate(instr.cond, f)) cpu_.rip = read_operand(instr.op(0), Width::b64);
       break;
     case Mnemonic::kCall:
-      push64(next_rip);
+      if (target_->link_register_calls()) {
+        cpu_.write(target_->link_register(), Width::b64, next_rip);
+      } else {
+        push64(next_rip);
+      }
       cpu_.rip = read_operand(instr.op(0), Width::b64);
       break;
     case Mnemonic::kJmpReg:
@@ -359,12 +368,18 @@ void Machine::execute(const Instruction& instr, std::uint64_t next_rip) {
       break;
     case Mnemonic::kCallReg: {
       const std::uint64_t target = read_operand(instr.op(0), Width::b64);
-      push64(next_rip);
+      if (target_->link_register_calls()) {
+        cpu_.write(target_->link_register(), Width::b64, next_rip);
+      } else {
+        push64(next_rip);
+      }
       cpu_.rip = target;
       break;
     }
     case Mnemonic::kRet:
-      cpu_.rip = pop64();
+      cpu_.rip = target_->link_register_calls()
+                     ? cpu_.read(target_->link_register(), Width::b64)
+                     : pop64();
       break;
 
     case Mnemonic::kSetcc:
@@ -394,6 +409,13 @@ void Machine::execute(const Instruction& instr, std::uint64_t next_rip) {
       support::fail(ErrorKind::kExecution, "breakpoint trap");
     case Mnemonic::kUd2:
       support::fail(ErrorKind::kExecution, "ud2 invalid opcode");
+
+    case Mnemonic::kReadFlags:
+      write_operand(instr.op(0), w, f.to_rflags());
+      break;
+    case Mnemonic::kWriteFlags:
+      f = Flags::from_rflags(read_operand(instr.op(0), w));
+      break;
   }
 }
 
@@ -430,7 +452,7 @@ void Machine::step(bool faulted_this_step, const FaultSpec* fault, TraceEntry* e
   }
 
   const isa::Decoded decoded =
-      isa::decode(std::span<const std::uint8_t>(window.data(), fetched), cpu_.rip);
+      target_->decode(std::span<const std::uint8_t>(window.data(), fetched), cpu_.rip);
   if (entry != nullptr) entry->length = decoded.length;
 
   if (faulted_this_step && fault->kind == FaultSpec::Kind::kSkip) {

@@ -16,6 +16,7 @@
 #include "emu/cpu.h"
 #include "emu/memory.h"
 #include "isa/instruction.h"
+#include "isa/target.h"
 
 namespace r2r::emu {
 
@@ -102,6 +103,9 @@ class Machine {
   [[nodiscard]] bool block_cache_enabled() const noexcept { return cache_ != nullptr; }
   [[nodiscard]] BlockCache* block_cache() noexcept { return cache_.get(); }
 
+  /// The instruction set this machine executes (from the image's e_machine).
+  [[nodiscard]] const isa::Target& target() const noexcept { return *target_; }
+
   [[nodiscard]] Cpu& cpu() noexcept { return cpu_; }
   [[nodiscard]] const Cpu& cpu() const noexcept { return cpu_; }
   [[nodiscard]] Memory& memory() noexcept { return memory_; }
@@ -118,6 +122,7 @@ class Machine {
   [[nodiscard]] const std::string& output() const noexcept { return output_; }
   void set_output(std::string output) { output_ = std::move(output); }
 
+  /// x86-64 stack top; other targets place theirs at target().stack_base().
   static constexpr std::uint64_t kStackBase = 0x7FFF'0000'0000ULL;
   static constexpr std::uint64_t kStackSize = 1ULL << 20;
 
@@ -143,6 +148,7 @@ class Machine {
   void push64(std::uint64_t value);
   std::uint64_t pop64();
 
+  const isa::Target* target_;
   Cpu cpu_;
   Memory memory_;
   std::string stdin_data_;

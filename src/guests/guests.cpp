@@ -277,6 +277,171 @@ Guest make_bootloader() {
   return guest;
 }
 
+// RV32I flavours of the syscall boilerplate: the abstract syscall registers
+// map to a0 (nr/ret), a5 (arg0), a4 (arg1), a2 (arg2); immediates are built
+// with add (no inc/dec) and fit the addi range by construction.
+std::string rv_write_msg(const std::string& symbol, std::size_t length) {
+  return "    mov a0, 1\n"
+         "    mov a5, 1\n"
+         "    mov a4, offset " + symbol + "\n"
+         "    mov a2, " + std::to_string(length) + "\n"
+         "    syscall\n";
+}
+
+std::string rv_write_and_exit(const std::string& symbol, std::size_t length, int code) {
+  return rv_write_msg(symbol, length) +
+         "    mov a0, 60\n"
+         "    mov a5, " + std::to_string(code) + "\n"
+         "    syscall\n";
+}
+
+// The pincheck port: same banner/verdict/stats contract as the x86-64
+// original, depth-1 calls only (helpers never call helpers — the link
+// register is the only return-address storage on this target).
+Guest make_pincheck_rv32i() {
+  Guest guest;
+  guest.name = "pincheck";
+  guest.arch = isa::Arch::kRv32i;
+  guest.good_input = "7391";
+  guest.bad_input = "0000";
+  guest.good_output =
+      std::string(kPinBanner) + std::string(kGranted) + std::string(kSecret);
+  guest.bad_output = std::string(kPinBanner) + std::string(kDenied);
+  guest.good_exit = 0;
+  guest.bad_exit = 1;
+  guest.assembly =
+      ".global _start\n"
+      ".section .text\n"
+      "_start:\n" +
+      rv_write_msg("msg_banner", kPinBanner.size()) +
+      "    mov a0, 0\n"
+      "    mov a5, 0\n"
+      "    mov a4, offset pinbuf\n"
+      "    mov a2, 4\n"
+      "    syscall\n"
+      "    cmp a0, 4\n"
+      "    jne io_error\n"
+      "    call validate_format\n"
+      "    cmp a0, 1\n"
+      "    jne format_error\n"
+      "    call check_pin\n"
+      "    cmp a0, 1\n"
+      "    jne deny\n"
+      "grant:\n"
+      "    call log_success\n" +
+      rv_write_msg("msg_granted", kGranted.size()) +
+      rv_write_and_exit("secret", kSecret.size(), 0) +
+      "deny:\n"
+      "    call log_failure\n" +
+      rv_write_and_exit("msg_denied", kDenied.size(), 1) +
+      "format_error:\n" +
+      rv_write_and_exit("msg_badformat", kBadFormat.size(), 2) +
+      "io_error:\n" +
+      rv_write_and_exit("msg_ioerror", kIoError.size(), 3) +
+      "\n"
+      "validate_format:\n"
+      "    mov a4, offset pinbuf\n"
+      "    mov a1, 4\n"
+      "vf_loop:\n"
+      "    movzx a3, byte ptr [a4]\n"
+      "    cmp a3, 48\n"
+      "    jb vf_bad\n"
+      "    cmp a3, 57\n"
+      "    ja vf_bad\n"
+      "    add a4, 1\n"
+      "    add a1, -1\n"
+      "    cmp a1, 0\n"
+      "    jne vf_loop\n"
+      "    mov a0, 1\n"
+      "    ret\n"
+      "vf_bad:\n"
+      "    xor a0, a0\n"
+      "    ret\n"
+      "\n"
+      "check_pin:\n"  // accumulate-difference comparison (no early exit)
+      "    mov a4, offset pinbuf\n"
+      "    mov a5, offset expected_pin\n"
+      "    mov a1, 4\n"
+      "    xor a0, a0\n"
+      "cp_loop:\n"
+      "    movzx a3, byte ptr [a4]\n"
+      "    movzx a2, byte ptr [a5]\n"
+      "    xor a3, a2\n"
+      "    or a0, a3\n"
+      "    add a4, 1\n"
+      "    add a5, 1\n"
+      "    add a1, -1\n"
+      "    cmp a1, 0\n"
+      "    jne cp_loop\n"
+      "    cmp a0, 0\n"
+      "    jne cp_fail\n"
+      "    mov a0, 1\n"
+      "    ret\n"
+      "cp_fail:\n"
+      "    xor a0, a0\n"
+      "    ret\n"
+      "\n"
+      "log_success:\n"
+      "    mov a3, offset stats\n"
+      "    mov a0, [a3]\n"
+      "    add a0, 1\n"
+      "    mov [a3], a0\n"
+      "    ret\n"
+      "log_failure:\n"
+      "    mov a3, offset stats\n"
+      "    mov a0, [a3+8]\n"
+      "    add a0, 1\n"
+      "    mov [a3+8], a0\n"
+      "    ret\n"
+      "\n"
+      ".section .data\n"
+      "expected_pin: .ascii \"7391\"\n"
+      "pinbuf: .zero 8\n"
+      "stats: .quad 0, 0\n"
+      "msg_banner: .asciz \"R2R PIN SERVICE v1.2\\n\"\n"
+      "msg_granted: .asciz \"ACCESS GRANTED\\n\"\n"
+      "msg_denied: .asciz \"ACCESS DENIED\\n\"\n"
+      "msg_badformat: .asciz \"BAD FORMAT\\n\"\n"
+      "msg_ioerror: .asciz \"IO ERROR\\n\"\n"
+      "secret: .asciz \"S3CR3T\\n\"\n";
+  return guest;
+}
+
+Guest make_toymov_rv32i() {
+  Guest guest;
+  guest.name = "toymov";
+  guest.arch = isa::Arch::kRv32i;
+  guest.good_input = "A";
+  guest.bad_input = "B";
+  guest.good_output = std::string(kYes);
+  guest.bad_output = std::string(kNo);
+  guest.good_exit = 0;
+  guest.bad_exit = 1;
+  guest.assembly =
+      ".global _start\n"
+      ".section .text\n"
+      "_start:\n"
+      "    mov a0, 0\n"
+      "    mov a5, 0\n"
+      "    mov a4, offset buf\n"
+      "    mov a2, 1\n"
+      "    syscall\n"
+      "    mov a4, offset buf\n"
+      "    movzx a3, byte ptr [a4]\n"
+      "    cmp a3, 65\n"
+      "    jne no\n"
+      "yes:\n" +
+      rv_write_and_exit("msg_yes", kYes.size(), 0) +
+      "no:\n" +
+      rv_write_and_exit("msg_no", kNo.size(), 1) +
+      "\n"
+      ".section .data\n"
+      "buf: .zero 8\n"
+      "msg_yes: .asciz \"YES\\n\"\n"
+      "msg_no: .asciz \"NO\\n\"\n";
+  return guest;
+}
+
 Guest make_toymov() {
   Guest guest;
   guest.name = "toymov";
@@ -345,20 +510,35 @@ const Guest& toymov() {
   return guest;
 }
 
+const Guest& pincheck_rv32i() {
+  static const Guest guest = make_pincheck_rv32i();
+  return guest;
+}
+
+const Guest& toymov_rv32i() {
+  static const Guest guest = make_toymov_rv32i();
+  return guest;
+}
+
 const std::vector<const Guest*>& all_guests() {
   static const std::vector<const Guest*> guests = {&pincheck(), &bootloader(), &toymov()};
   return guests;
 }
 
-const Guest* find_guest(std::string_view name) {
-  for (const Guest* guest : all_guests()) {
+const std::vector<const Guest*>& all_guests(isa::Arch arch) {
+  static const std::vector<const Guest*> rv32i = {&pincheck_rv32i(), &toymov_rv32i()};
+  return arch == isa::Arch::kRv32i ? rv32i : all_guests();
+}
+
+const Guest* find_guest(std::string_view name, isa::Arch arch) {
+  for (const Guest* guest : all_guests(arch)) {
     if (guest->name == name) return guest;
   }
   return nullptr;
 }
 
 bir::Module build_module(const Guest& guest) {
-  return bir::module_from_assembly(guest.assembly);
+  return bir::module_from_assembly(guest.assembly, guest.arch);
 }
 
 elf::Image build_image(const Guest& guest) {

@@ -21,6 +21,7 @@ namespace r2r::guests {
 
 struct Guest {
   std::string name;
+  isa::Arch arch = isa::Arch::kX64;  ///< dialect the assembly is written in
   std::string assembly;     ///< source text in the r2r dialect
   std::string good_input;   ///< authorized input
   std::string bad_input;    ///< attacker input
@@ -40,13 +41,23 @@ const Guest& bootloader();
 /// Minimal mov/cmp/branch demo used by the quickstart and pattern tests.
 const Guest& toymov();
 
-/// All three, for parameterized tests.
+/// RV32I port of pincheck: same observable contract, written in the rv32i
+/// register dialect (a0..a7/t*, add-immediate instead of inc/dec, depth-1
+/// calls through the link register).
+const Guest& pincheck_rv32i();
+
+/// RV32I port of toymov.
+const Guest& toymov_rv32i();
+
+/// All built-in guests, for parameterized tests (the historical zero-arg
+/// form lists the x86-64 case studies).
 const std::vector<const Guest*>& all_guests();
+const std::vector<const Guest*>& all_guests(isa::Arch arch);
 
 /// Case-study lookup by name ("pincheck", "bootloader", "toymov");
-/// nullptr when no built-in guest has that name. The registry behind every
-/// name-driven surface (the r2r CLI, batch configs).
-const Guest* find_guest(std::string_view name);
+/// nullptr when no built-in guest has that name for `arch`. The registry
+/// behind every name-driven surface (the r2r CLI, batch configs).
+const Guest* find_guest(std::string_view name, isa::Arch arch = isa::Arch::kX64);
 
 /// The 64-byte firmware accepted by the bootloader.
 std::string good_firmware();

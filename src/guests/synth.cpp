@@ -23,13 +23,57 @@ std::string draw_token(support::Rng& rng, std::size_t length) {
   return token;
 }
 
-/// 31-bit positive immediate (always encodable as imm32, never sign-trouble).
-std::uint64_t draw_imm(support::Rng& rng) { return (rng.next() & 0x7FFFFFFFULL) | 1; }
+/// Per-target assembly idioms: register names for the fixed roles the
+/// generator uses, the immediate range, and the inc/dec spelling. RV32I has
+/// no inc/dec/imul and only simm12 ALU immediates; its digest is a 32-bit
+/// x33 shift-add recurrence instead of the 64-bit multiply.
+struct Dialect {
+  isa::Arch arch;
+  bool rv;           ///< register-save RISC target (rv32i)
+  const char* acc;   ///< rax / a0 — accumulator, syscall nr + verdict
+  const char* cnt;   ///< rcx / a1 — loop counter
+  const char* dat;   ///< rdx / a2 — second temp, syscall arg2
+  const char* tmp;   ///< rbx / a3 — scratch byte
+  const char* ptr;   ///< rsi / a4 — input pointer, syscall arg1
+  const char* ptr2;  ///< rdi / a5 — reference pointer, syscall arg0
+};
 
-/// The guest-side digest loop mirrored host-side: h = (h ^ byte) * prime,
-/// 64-bit wrapping — identical to the emulated xor+imul sequence.
-std::uint64_t synth_digest(std::string_view data, std::uint64_t basis,
-                           std::uint64_t prime) {
+Dialect dialect_for(isa::Arch arch) {
+  if (arch == isa::Arch::kRv32i) {
+    return {arch, true, "a0", "a1", "a2", "a3", "a4", "a5"};
+  }
+  return {arch, false, "rax", "rcx", "rdx", "rbx", "rsi", "rdi"};
+}
+
+std::string inc_reg(const Dialect& d, const char* reg) {
+  return d.rv ? "    add " + std::string(reg) + ", 1\n"
+              : "    inc " + std::string(reg) + "\n";
+}
+
+std::string dec_reg(const Dialect& d, const char* reg) {
+  return d.rv ? "    add " + std::string(reg) + ", -1\n"
+              : "    dec " + std::string(reg) + "\n";
+}
+
+/// Positive immediate the target's ALU forms accept everywhere the
+/// generator uses one (imm32 on x86-64, simm12 on rv32i).
+std::uint64_t draw_imm(support::Rng& rng, const Dialect& d) {
+  const std::uint64_t mask = d.rv ? 0x7FFULL : 0x7FFFFFFFULL;
+  return (rng.next() & mask) | 1;
+}
+
+/// The guest-side digest loop mirrored host-side. x86-64: h = (h ^ byte) *
+/// prime, 64-bit wrapping (xor+imul). rv32i: h = (h ^ byte) * 33, 32-bit
+/// wrapping — the multiply is a shl-5 + add, so no mul instruction needed.
+std::uint64_t synth_digest(const Dialect& d, std::string_view data,
+                           std::uint64_t basis, std::uint64_t prime) {
+  if (d.rv) {
+    auto hash = static_cast<std::uint32_t>(basis);
+    for (const char c : data) {
+      hash = (hash ^ static_cast<std::uint8_t>(c)) * 33u;
+    }
+    return hash;
+  }
   std::uint64_t hash = basis;
   for (const char c : data) {
     hash ^= static_cast<std::uint8_t>(c);
@@ -38,17 +82,18 @@ std::uint64_t synth_digest(std::string_view data, std::uint64_t basis,
   return hash;
 }
 
-std::string write_msg(const std::string& symbol, std::size_t length) {
-  return "    mov rax, 1\n"
-         "    mov rdi, 1\n"
-         "    mov rsi, offset " + symbol + "\n"
-         "    mov rdx, " + std::to_string(length) + "\n"
+std::string write_msg(const Dialect& d, const std::string& symbol,
+                      std::size_t length) {
+  return "    mov " + std::string(d.acc) + ", 1\n"
+         "    mov " + d.ptr2 + ", 1\n"
+         "    mov " + d.ptr + ", offset " + symbol + "\n"
+         "    mov " + d.dat + ", " + std::to_string(length) + "\n"
          "    syscall\n";
 }
 
-std::string exit_with(int code) {
-  return "    mov rax, 60\n"
-         "    mov rdi, " + std::to_string(code) + "\n"
+std::string exit_with(const Dialect& d, int code) {
+  return "    mov " + std::string(d.acc) + ", 60\n"
+         "    mov " + d.ptr2 + ", " + std::to_string(code) + "\n"
          "    syscall\n";
 }
 
@@ -69,20 +114,23 @@ bool chance(support::Rng& rng, unsigned percent) {
 /// decision `cmp` and its `jcc` — the Table II/III "compare far from the
 /// branch" shape. `allow_loads` admits memory-reading fillers; keep it off
 /// inside loops whose registers must survive.
-std::string draw_gap_fillers(support::Rng& rng, unsigned max_gap, bool allow_loads) {
+std::string draw_gap_fillers(support::Rng& rng, const Dialect& d, unsigned max_gap,
+                             bool allow_loads) {
   std::string out;
   const std::uint64_t count = max_gap == 0 ? 0 : rng.next_below(max_gap + 1);
   for (std::uint64_t i = 0; i < count; ++i) {
     switch (rng.next_below(allow_loads ? 3 : 2)) {
       case 0:
-        out += "    mov rbx, " + std::to_string(draw_imm(rng)) + "\n";
+        out += "    mov " + std::string(d.tmp) + ", " +
+               std::to_string(draw_imm(rng, d)) + "\n";
         break;
       case 1:
-        out += "    mov rdx, " + std::to_string(draw_imm(rng)) + "\n";
+        out += "    mov " + std::string(d.dat) + ", " +
+               std::to_string(draw_imm(rng, d)) + "\n";
         break;
       default:
-        out += "    mov rsi, offset inbuf\n"
-               "    movzx rbx, byte ptr [rsi]\n";
+        out += "    mov " + std::string(d.ptr) + ", offset inbuf\n"
+               "    movzx " + d.tmp + ", byte ptr [" + d.ptr + "]\n";
         break;
     }
   }
@@ -99,47 +147,55 @@ struct NoiseHelper {
 };
 
 NoiseHelper make_noise_helper(support::Rng& rng, const SynthConfig& config,
-                              unsigned index, unsigned helper_count,
-                              unsigned key_len) {
+                              const Dialect& d, unsigned index,
+                              unsigned helper_count, unsigned key_len) {
   NoiseHelper helper;
   const std::string name = "noise_" + std::to_string(index);
-  const std::string slot = index == 0 ? std::string("[rbx]")
-                                      : "[rbx+" + std::to_string(8 * index) + "]";
+  const std::string slot =
+      index == 0 ? "[" + std::string(d.tmp) + "]"
+                 : "[" + std::string(d.tmp) + "+" + std::to_string(8 * index) + "]";
   std::string body;
   body += name + ":\n";
-  body += "    mov rbx, offset scratch\n";
-  body += "    mov rax, " + slot + "\n";
-  body += "    add rax, " + std::to_string(draw_imm(rng)) + "\n";
-  body += "    xor rax, " + std::to_string(draw_imm(rng)) + "\n";
+  body += "    mov " + std::string(d.tmp) + ", offset scratch\n";
+  body += "    mov " + std::string(d.acc) + ", " + slot + "\n";
+  body += "    add " + std::string(d.acc) + ", " + std::to_string(draw_imm(rng, d)) + "\n";
+  body += "    xor " + std::string(d.acc) + ", " + std::to_string(draw_imm(rng, d)) + "\n";
 
   if (chance(rng, config.branch_density_percent)) {
     static constexpr std::string_view kCc[] = {"jb", "ja", "jne", "je"};
     const std::string_view cc = kCc[rng.next_below(4)];
-    body += "    cmp rax, " + std::to_string(draw_imm(rng)) + "\n";
+    body += "    cmp " + std::string(d.acc) + ", " + std::to_string(draw_imm(rng, d)) + "\n";
     body += "    " + std::string(cc) + " n" + std::to_string(index) + "_else\n";
-    body += "    add rax, " + std::to_string(draw_imm(rng)) + "\n";
+    body += "    add " + std::string(d.acc) + ", " + std::to_string(draw_imm(rng, d)) + "\n";
     body += "    jmp n" + std::to_string(index) + "_join\n";
     body += "n" + std::to_string(index) + "_else:\n";
-    body += "    xor rax, " + std::to_string(draw_imm(rng)) + "\n";
+    body += "    xor " + std::string(d.acc) + ", " + std::to_string(draw_imm(rng, d)) + "\n";
     body += "n" + std::to_string(index) + "_join:\n";
   }
 
   if (chance(rng, config.loop_chance_percent)) {
     const std::uint64_t byte_index = rng.next_below(key_len);
-    body += "    mov rsi, offset inbuf\n";
-    body += "    movzx rcx, byte ptr [rsi+" + std::to_string(byte_index) + "]\n";
-    body += "    and rcx, 7\n";
-    body += "    inc rcx\n";
+    body += "    mov " + std::string(d.ptr) + ", offset inbuf\n";
+    body += "    movzx " + std::string(d.cnt) + ", byte ptr [" + d.ptr + "+" +
+            std::to_string(byte_index) + "]\n";
+    body += "    and " + std::string(d.cnt) + ", 7\n";
+    body += inc_reg(d, d.cnt);
     body += "n" + std::to_string(index) + "_loop:\n";
-    body += "    add rax, " + std::to_string(draw_imm(rng)) + "\n";
-    if (config.mov_store_opportunities) body += "    mov " + slot + ", rax\n";
-    body += "    dec rcx\n";
-    body += "    cmp rcx, 0\n";
+    body += "    add " + std::string(d.acc) + ", " + std::to_string(draw_imm(rng, d)) + "\n";
+    if (config.mov_store_opportunities) {
+      body += "    mov " + slot + ", " + d.acc + "\n";
+    }
+    body += dec_reg(d, d.cnt);
+    body += "    cmp " + std::string(d.cnt) + ", 0\n";
     body += "    jne n" + std::to_string(index) + "_loop\n";
   }
 
-  body += "    mov " + slot + ", rax\n";
-  if (index + 1 < helper_count && chance(rng, 50)) {
+  body += "    mov " + slot + ", " + d.acc + "\n";
+  // The link register is the only return-address storage on rv32i, so the
+  // call tree stays depth-1 there: helpers never call helpers. The rng draw
+  // happens on both targets to keep the per-seed shape aligned.
+  const bool wants_next = index + 1 < helper_count && chance(rng, 50);
+  if (wants_next && !d.rv) {
     helper.calls_next = true;
     body += "    call noise_" + std::to_string(index + 1) + "\n";
   }
@@ -151,34 +207,34 @@ NoiseHelper make_noise_helper(support::Rng& rng, const SynthConfig& config,
 /// Accumulate-difference byte compare (pincheck's cp_loop shape): xor every
 /// input byte against the expected key, OR the differences, one verdict cmp.
 std::string byte_compare_accumulate(support::Rng& rng, const SynthConfig& config,
-                                    const std::string& label, unsigned offset,
-                                    unsigned length) {
+                                    const Dialect& d, const std::string& label,
+                                    unsigned offset, unsigned length) {
   const std::string p = label;
   std::string body;
   body += p + ":\n";
-  body += "    mov rsi, offset inbuf\n";
-  if (offset != 0) body += "    add rsi, " + std::to_string(offset) + "\n";
-  body += "    mov rdi, offset expected_key\n";
-  if (offset != 0) body += "    add rdi, " + std::to_string(offset) + "\n";
-  body += "    mov rcx, " + std::to_string(length) + "\n";
-  body += "    xor rax, rax\n";
+  body += "    mov " + std::string(d.ptr) + ", offset inbuf\n";
+  if (offset != 0) body += "    add " + std::string(d.ptr) + ", " + std::to_string(offset) + "\n";
+  body += "    mov " + std::string(d.ptr2) + ", offset expected_key\n";
+  if (offset != 0) body += "    add " + std::string(d.ptr2) + ", " + std::to_string(offset) + "\n";
+  body += "    mov " + std::string(d.cnt) + ", " + std::to_string(length) + "\n";
+  body += "    xor " + std::string(d.acc) + ", " + d.acc + "\n";
   body += p + "_loop:\n";
-  body += "    movzx rbx, byte ptr [rsi]\n";
-  body += "    movzx rdx, byte ptr [rdi]\n";
-  body += "    xor rbx, rdx\n";
-  body += "    or rax, rbx\n";
-  body += "    inc rsi\n";
-  body += "    inc rdi\n";
-  body += "    dec rcx\n";
-  body += "    cmp rcx, 0\n";
+  body += "    movzx " + std::string(d.tmp) + ", byte ptr [" + d.ptr + "]\n";
+  body += "    movzx " + std::string(d.dat) + ", byte ptr [" + d.ptr2 + "]\n";
+  body += "    xor " + std::string(d.tmp) + ", " + d.dat + "\n";
+  body += "    or " + std::string(d.acc) + ", " + d.tmp + "\n";
+  body += inc_reg(d, d.ptr);
+  body += inc_reg(d, d.ptr2);
+  body += dec_reg(d, d.cnt);
+  body += "    cmp " + std::string(d.cnt) + ", 0\n";
   body += "    jne " + p + "_loop\n";
-  body += "    cmp rax, 0\n";
-  body += draw_gap_fillers(rng, config.max_cmp_jcc_gap, /*allow_loads=*/true);
+  body += "    cmp " + std::string(d.acc) + ", 0\n";
+  body += draw_gap_fillers(rng, d, config.max_cmp_jcc_gap, /*allow_loads=*/true);
   body += "    jne " + p + "_fail\n";
-  body += "    mov rax, 1\n";
+  body += "    mov " + std::string(d.acc) + ", 1\n";
   body += "    ret\n";
   body += p + "_fail:\n";
-  body += "    xor rax, rax\n";
+  body += "    xor " + std::string(d.acc) + ", " + d.acc + "\n";
   body += "    ret\n";
   return body;
 }
@@ -187,31 +243,31 @@ std::string byte_compare_accumulate(support::Rng& rng, const SynthConfig& config
 /// first mismatching byte. The per-byte cmp/jcc pair may be separated by
 /// immediate-only fillers.
 std::string byte_compare_early_exit(support::Rng& rng, const SynthConfig& config,
-                                    const std::string& label, unsigned offset,
-                                    unsigned length) {
+                                    const Dialect& d, const std::string& label,
+                                    unsigned offset, unsigned length) {
   const std::string p = label;
   std::string body;
   body += p + ":\n";
-  body += "    mov rsi, offset inbuf\n";
-  if (offset != 0) body += "    add rsi, " + std::to_string(offset) + "\n";
-  body += "    mov rdi, offset expected_key\n";
-  if (offset != 0) body += "    add rdi, " + std::to_string(offset) + "\n";
-  body += "    mov rcx, " + std::to_string(length) + "\n";
+  body += "    mov " + std::string(d.ptr) + ", offset inbuf\n";
+  if (offset != 0) body += "    add " + std::string(d.ptr) + ", " + std::to_string(offset) + "\n";
+  body += "    mov " + std::string(d.ptr2) + ", offset expected_key\n";
+  if (offset != 0) body += "    add " + std::string(d.ptr2) + ", " + std::to_string(offset) + "\n";
+  body += "    mov " + std::string(d.cnt) + ", " + std::to_string(length) + "\n";
   body += p + "_loop:\n";
-  body += "    movzx rbx, byte ptr [rsi]\n";
-  body += "    movzx rdx, byte ptr [rdi]\n";
-  body += "    cmp rbx, rdx\n";
-  body += draw_gap_fillers(rng, config.max_cmp_jcc_gap, /*allow_loads=*/false);
+  body += "    movzx " + std::string(d.tmp) + ", byte ptr [" + d.ptr + "]\n";
+  body += "    movzx " + std::string(d.dat) + ", byte ptr [" + d.ptr2 + "]\n";
+  body += "    cmp " + std::string(d.tmp) + ", " + d.dat + "\n";
+  body += draw_gap_fillers(rng, d, config.max_cmp_jcc_gap, /*allow_loads=*/false);
   body += "    jne " + p + "_fail\n";
-  body += "    inc rsi\n";
-  body += "    inc rdi\n";
-  body += "    dec rcx\n";
-  body += "    cmp rcx, 0\n";
+  body += inc_reg(d, d.ptr);
+  body += inc_reg(d, d.ptr2);
+  body += dec_reg(d, d.cnt);
+  body += "    cmp " + std::string(d.cnt) + ", 0\n";
   body += "    jne " + p + "_loop\n";
-  body += "    mov rax, 1\n";
+  body += "    mov " + std::string(d.acc) + ", 1\n";
   body += "    ret\n";
   body += p + "_fail:\n";
-  body += "    xor rax, rax\n";
+  body += "    xor " + std::string(d.acc) + ", " + d.acc + "\n";
   body += "    ret\n";
   return body;
 }
@@ -219,32 +275,41 @@ std::string byte_compare_early_exit(support::Rng& rng, const SynthConfig& config
 /// Digest compare (the bootloader's compute_hash shape): seeded basis and
 /// odd prime, expected value loaded from a data quad.
 std::string digest_compare(support::Rng& rng, const SynthConfig& config,
-                           const std::string& label, unsigned length,
-                           std::uint64_t basis, std::uint64_t prime) {
+                           const Dialect& d, const std::string& label,
+                           unsigned length, std::uint64_t basis,
+                           std::uint64_t prime) {
   const std::string p = label;
   std::string body;
   body += p + ":\n";
-  body += "    mov rsi, offset inbuf\n";
-  body += "    mov rcx, " + std::to_string(length) + "\n";
-  body += "    mov rax, " + support::hex_string(basis) + "\n";
+  body += "    mov " + std::string(d.ptr) + ", offset inbuf\n";
+  body += "    mov " + std::string(d.cnt) + ", " + std::to_string(length) + "\n";
+  body += "    mov " + std::string(d.acc) + ", " +
+          support::hex_string(d.rv ? (basis & 0xFFFFFFFFULL) : basis) + "\n";
   body += p + "_loop:\n";
-  body += "    movzx rbx, byte ptr [rsi]\n";
-  body += "    xor rax, rbx\n";
-  body += "    mov rdi, " + support::hex_string(prime) + "\n";
-  body += "    imul rax, rdi\n";
-  body += "    inc rsi\n";
-  body += "    dec rcx\n";
-  body += "    cmp rcx, 0\n";
+  body += "    movzx " + std::string(d.tmp) + ", byte ptr [" + d.ptr + "]\n";
+  body += "    xor " + std::string(d.acc) + ", " + d.tmp + "\n";
+  if (d.rv) {
+    // h *= 33 without a multiplier: h = (h << 5) + h.
+    body += "    mov " + std::string(d.dat) + ", " + d.acc + "\n";
+    body += "    shl " + std::string(d.acc) + ", 5\n";
+    body += "    add " + std::string(d.acc) + ", " + d.dat + "\n";
+  } else {
+    body += "    mov " + std::string(d.ptr2) + ", " + support::hex_string(prime) + "\n";
+    body += "    imul " + std::string(d.acc) + ", " + d.ptr2 + "\n";
+  }
+  body += inc_reg(d, d.ptr);
+  body += dec_reg(d, d.cnt);
+  body += "    cmp " + std::string(d.cnt) + ", 0\n";
   body += "    jne " + p + "_loop\n";
-  body += "    mov rdi, offset expected_digest\n";
-  body += "    mov rdi, [rdi]\n";
-  body += "    cmp rax, rdi\n";
-  body += draw_gap_fillers(rng, config.max_cmp_jcc_gap, /*allow_loads=*/true);
+  body += "    mov " + std::string(d.ptr2) + ", offset expected_digest\n";
+  body += "    mov " + std::string(d.ptr2) + ", [" + d.ptr2 + "]\n";
+  body += "    cmp " + std::string(d.acc) + ", " + d.ptr2 + "\n";
+  body += draw_gap_fillers(rng, d, config.max_cmp_jcc_gap, /*allow_loads=*/true);
   body += "    jne " + p + "_fail\n";
-  body += "    mov rax, 1\n";
+  body += "    mov " + std::string(d.acc) + ", 1\n";
   body += "    ret\n";
   body += p + "_fail:\n";
-  body += "    xor rax, rax\n";
+  body += "    xor " + std::string(d.acc) + ", " + d.acc + "\n";
   body += "    ret\n";
   return body;
 }
@@ -258,6 +323,7 @@ DecisionKind decision_kind(const SynthConfig& config) {
 
 Guest generate(const SynthConfig& config) {
   support::Rng rng(config.seed);
+  const Dialect d = dialect_for(config.arch);
 
   // ---- decision, key, inputs (fixed draw order: the determinism contract).
   const DecisionKind kind = pick_decision(rng, config);
@@ -282,8 +348,8 @@ Guest generate(const SynthConfig& config) {
     if (replacement == good_key[pos]) continue;
     bad_key = good_key;
     bad_key[pos] = replacement;
-    if (!uses_digest ||
-        synth_digest(good_key, basis, prime) != synth_digest(bad_key, basis, prime)) {
+    if (!uses_digest || synth_digest(d, good_key, basis, prime) !=
+                            synth_digest(d, bad_key, basis, prime)) {
       break;
     }
   }
@@ -297,6 +363,7 @@ Guest generate(const SynthConfig& config) {
 
   Guest guest;
   guest.name = "synth_" + std::to_string(config.seed);
+  guest.arch = config.arch;
   guest.good_input = good_key;
   guest.bad_input = bad_key;
   guest.good_output = banner + granted + secret;
@@ -312,7 +379,7 @@ Guest generate(const SynthConfig& config) {
   std::vector<NoiseHelper> helpers;
   helpers.reserve(helper_count);
   for (unsigned i = 0; i < helper_count; ++i) {
-    helpers.push_back(make_noise_helper(rng, config, i, helper_count, key_len));
+    helpers.push_back(make_noise_helper(rng, config, d, i, helper_count, key_len));
   }
   // Helpers not reached through a deeper call are rooted in _start, either
   // before the decision or on the privileged continuation.
@@ -336,14 +403,14 @@ Guest generate(const SynthConfig& config) {
     case DecisionKind::kByteCompare:
       needs_expected_key = true;
       decision_text = chance(rng, 50)
-                          ? byte_compare_accumulate(rng, config, "check_stage0", 0,
+                          ? byte_compare_accumulate(rng, config, d, "check_stage0", 0,
                                                     key_len)
-                          : byte_compare_early_exit(rng, config, "check_stage0", 0,
+                          : byte_compare_early_exit(rng, config, d, "check_stage0", 0,
                                                     key_len);
       break;
     case DecisionKind::kDigestCompare:
       decision_text =
-          digest_compare(rng, config, "check_stage0", key_len, basis, prime);
+          digest_compare(rng, config, d, "check_stage0", key_len, basis, prime);
       break;
     case DecisionKind::kMultiStageGuard: {
       // Stage 0 guards the key prefix byte-wise, stage 1 digests the whole
@@ -352,8 +419,8 @@ Guest generate(const SynthConfig& config) {
       stage_count = 2;
       const unsigned prefix = (key_len + 1) / 2;
       decision_text =
-          byte_compare_early_exit(rng, config, "check_stage0", 0, prefix) + "\n" +
-          digest_compare(rng, config, "check_stage1", key_len, basis, prime);
+          byte_compare_early_exit(rng, config, d, "check_stage0", 0, prefix) + "\n" +
+          digest_compare(rng, config, d, "check_stage1", key_len, basis, prime);
       break;
     }
   }
@@ -363,21 +430,22 @@ Guest generate(const SynthConfig& config) {
   text += ".global _start\n";
   text += ".section .text\n";
   text += "_start:\n";
-  text += write_msg("msg_banner", banner.size());
-  text += "    mov rax, 0\n";
-  text += "    mov rdi, 0\n";
-  text += "    mov rsi, offset inbuf\n";
-  text += "    mov rdx, " + std::to_string(key_len) + "\n";
+  text += write_msg(d, "msg_banner", banner.size());
+  text += "    mov " + std::string(d.acc) + ", 0\n";
+  text += "    mov " + std::string(d.ptr2) + ", 0\n";
+  text += "    mov " + std::string(d.ptr) + ", offset inbuf\n";
+  text += "    mov " + std::string(d.dat) + ", " + std::to_string(key_len) + "\n";
   text += "    syscall\n";
-  text += "    cmp rax, " + std::to_string(key_len) + "\n";
+  text += "    cmp " + std::string(d.acc) + ", " + std::to_string(key_len) + "\n";
   text += "    jne io_error\n";
   for (const unsigned i : start_calls_pre) {
     text += "    call noise_" + std::to_string(i) + "\n";
   }
   for (unsigned stage = 0; stage < stage_count; ++stage) {
     text += "    call check_stage" + std::to_string(stage) + "\n";
-    text += "    cmp rax, 1\n";
-    text += draw_gap_fillers(rng, config.max_cmp_jcc_gap > 2 ? 2 : config.max_cmp_jcc_gap,
+    text += "    cmp " + std::string(d.acc) + ", 1\n";
+    text += draw_gap_fillers(rng, d,
+                             config.max_cmp_jcc_gap > 2 ? 2 : config.max_cmp_jcc_gap,
                              /*allow_loads=*/false);
     text += "    jne deny\n";
   }
@@ -385,15 +453,15 @@ Guest generate(const SynthConfig& config) {
     text += "    call noise_" + std::to_string(i) + "\n";
   }
   text += "grant:\n";
-  text += write_msg("msg_granted", granted.size());
-  text += write_msg("msg_secret", secret.size());
-  text += exit_with(0);
+  text += write_msg(d, "msg_granted", granted.size());
+  text += write_msg(d, "msg_secret", secret.size());
+  text += exit_with(d, 0);
   text += "deny:\n";
-  text += write_msg("msg_denied", denied.size());
-  text += exit_with(1);
+  text += write_msg(d, "msg_denied", denied.size());
+  text += exit_with(d, 1);
   text += "io_error:\n";
-  text += write_msg("msg_ioerror", ioerror.size());
-  text += exit_with(3);
+  text += write_msg(d, "msg_ioerror", ioerror.size());
+  text += exit_with(d, 3);
   text += "\n";
   text += decision_text;
   for (const NoiseHelper& helper : helpers) {
@@ -418,7 +486,7 @@ Guest generate(const SynthConfig& config) {
   }
   if (uses_digest) {
     text += "expected_digest: .quad " +
-            support::hex_string(synth_digest(good_key, basis, prime)) + "\n";
+            support::hex_string(synth_digest(d, good_key, basis, prime)) + "\n";
   }
   const auto emit_msg = [&text](const std::string& symbol, const std::string& message) {
     // Message charset is [A-Z0-9 ] plus the trailing newline — the only
@@ -440,6 +508,13 @@ Guest generate(const SynthConfig& config) {
 Guest generate(std::uint64_t seed) {
   SynthConfig config;
   config.seed = seed;
+  return generate(config);
+}
+
+Guest generate(std::uint64_t seed, isa::Arch arch) {
+  SynthConfig config;
+  config.seed = seed;
+  config.arch = arch;
   return generate(config);
 }
 

@@ -37,6 +37,11 @@ enum class DecisionKind : std::uint8_t {
 /// fields bound the shapes the seed can select.
 struct SynthConfig {
   std::uint64_t seed = 0;
+  /// Assembly dialect the guest targets. The program structure is the same
+  /// across targets for a given seed; registers, immediate ranges, and the
+  /// digest recurrence follow the target (rv32i digests with a 32-bit x33
+  /// shift-add since the ISA has no multiply).
+  isa::Arch arch = isa::Arch::kX64;
 
   // ---- size ----------------------------------------------------------------
   unsigned min_key_len = 4;  ///< input length lower bound (bytes)
@@ -77,6 +82,9 @@ Guest generate(const SynthConfig& config);
 
 /// generate() with default knobs and the given seed.
 Guest generate(std::uint64_t seed);
+
+/// generate() with default knobs for an explicit target.
+Guest generate(std::uint64_t seed, isa::Arch arch);
 
 /// The decision kind `config` selects (the first RNG draw); exposed so
 /// harnesses can stratify assertions by decision structure.

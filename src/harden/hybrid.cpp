@@ -1,8 +1,10 @@
 #include "harden/hybrid.h"
 
 #include "ir/verifier.h"
+#include "isa/target.h"
 #include "obs/obs.h"
 #include "passes/pass.h"
+#include "support/error.h"
 
 namespace r2r::harden {
 
@@ -13,13 +15,23 @@ HybridResult hybrid_harden(const elf::Image& input, const HybridConfig& config) 
   HybridResult result;
   result.original_code_size = input.code_size();
 
+  // The round trip stays on the input's ISA: lift derives it from e_machine,
+  // so lowering must emit for the same target.
+  HybridConfig effective = config;
+  {
+    const auto arch = isa::arch_from_elf_machine(input.machine);
+    support::check(arch.has_value(), support::ErrorKind::kElf,
+                   "input image has an e_machine no registered target handles");
+    effective.lower_options.arch = *arch;
+  }
+
   lift::LiftResult lifted = [&] {
     obs::Span span("harden.lift");
     return lift::lift(input);
   }();
   ir::verify(lifted.module);
 
-  if (config.cleanup) {
+  if (effective.cleanup) {
     obs::Span span("harden.cleanup");
     passes::PassManager cleanup;
     cleanup.add(passes::make_state_promotion());
@@ -34,7 +46,7 @@ HybridResult hybrid_harden(const elf::Image& input, const HybridConfig& config) 
 
   {
     obs::Span span("harden.countermeasure");
-    switch (config.countermeasure) {
+    switch (effective.countermeasure) {
       case HybridCountermeasure::kNone:
         break;
       case HybridCountermeasure::kBranchHardening: {
@@ -58,7 +70,7 @@ HybridResult hybrid_harden(const elf::Image& input, const HybridConfig& config) 
   {
     obs::Span span("harden.lower");
     result.hardened =
-        lower::lower_to_image(lifted.module, lifted.guest_data, config.lower_options);
+        lower::lower_to_image(lifted.module, lifted.guest_data, effective.lower_options);
   }
   result.hardened_code_size = result.hardened.code_size();
   result.module = std::move(lifted.module);

@@ -67,7 +67,11 @@ class Engine {
     }
   }
 
-  static unsigned bytes_of(Type type) { return type == Type::kI8 ? 1 : 8; }
+  static unsigned bytes_of(Type type) {
+    if (type == Type::kI8) return 1;
+    if (type == Type::kI32) return 4;
+    return 8;
+  }
 
   std::uint64_t eval(const std::map<const Instr*, std::uint64_t>& frame,
                      const Value* value) {

@@ -7,6 +7,7 @@ std::string_view to_string(Type type) noexcept {
     case Type::kVoid: return "void";
     case Type::kI1: return "i1";
     case Type::kI8: return "i8";
+    case Type::kI32: return "i32";
     case Type::kI64: return "i64";
   }
   return "?";
@@ -17,6 +18,7 @@ unsigned type_bits(Type type) noexcept {
     case Type::kVoid: return 0;
     case Type::kI1: return 1;
     case Type::kI8: return 8;
+    case Type::kI32: return 32;
     case Type::kI64: return 64;
   }
   return 0;

@@ -22,7 +22,7 @@
 
 namespace r2r::ir {
 
-enum class Type : std::uint8_t { kVoid, kI1, kI8, kI64 };
+enum class Type : std::uint8_t { kVoid, kI1, kI8, kI32, kI64 };
 
 std::string_view to_string(Type type) noexcept;
 unsigned type_bits(Type type) noexcept;

@@ -94,16 +94,18 @@ void verify_function(const Module& module, const Function& fn) {
           check(instr.operands.size() == 1, ErrorKind::kIr, at + "load arity");
           check(instr.operands[0]->type() == Type::kI64, ErrorKind::kIr,
                 at + "load address must be i64");
-          check(instr.type() == Type::kI8 || instr.type() == Type::kI64, ErrorKind::kIr,
-                at + "load type must be i8 or i64");
+          check(instr.type() == Type::kI8 || instr.type() == Type::kI32 ||
+                    instr.type() == Type::kI64,
+                ErrorKind::kIr, at + "load type must be i8, i32 or i64");
           break;
         case Opcode::kStore:
           check(instr.operands.size() == 2, ErrorKind::kIr, at + "store arity");
           check(instr.operands[1]->type() == Type::kI64, ErrorKind::kIr,
                 at + "store address must be i64");
           check(instr.operands[0]->type() == Type::kI8 ||
+                    instr.operands[0]->type() == Type::kI32 ||
                     instr.operands[0]->type() == Type::kI64,
-                ErrorKind::kIr, at + "store value must be i8 or i64");
+                ErrorKind::kIr, at + "store value must be i8, i32 or i64");
           break;
         case Opcode::kBr:
           check(instr.targets.size() == 1, ErrorKind::kIr, at + "br target count");

@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "isa/target.h"
 #include "support/error.h"
 #include "support/strings.h"
 
@@ -62,11 +63,13 @@ struct ParsedOperand {
   std::optional<Width> size_prefix; ///< width from byte/dword/qword ptr
 };
 
-/// Parses the inside of a bracketed memory reference.
-MemOperand parse_mem_body(std::string_view body) {
+/// Parses the inside of a bracketed memory reference. Address registers must
+/// be spelled at the target's natural width.
+MemOperand parse_mem_body(const Target& target, std::string_view body) {
   MemOperand mem;
+  const Width address_width = target.natural_width();
   // Tokenize on +/- at top level; each token is reg, reg*scale, number,
-  // "rip", or a symbol.
+  // the PC token, or a symbol.
   std::vector<std::pair<std::string_view, bool>> terms;  // (token, negative)
   bool negative = false;
   std::size_t start = 0;
@@ -80,15 +83,15 @@ MemOperand parse_mem_body(std::string_view body) {
   }
   for (const auto& [token, neg] : terms) {
     const std::string lower = to_lower(token);
-    if (lower == "rip") {
-      check(!neg, ErrorKind::kParse, "rip cannot be negated");
+    if (!target.pc_token().empty() && lower == target.pc_token()) {
+      check(!neg, ErrorKind::kParse, "the pc cannot be negated");
       mem.rip_relative = true;
       continue;
     }
     if (const auto star = token.find('*'); star != std::string_view::npos) {
-      const auto reg = parse_reg_name(to_lower(trim(token.substr(0, star))));
+      const auto reg = target.parse_reg(to_lower(trim(token.substr(0, star))));
       const auto scale = parse_integer(trim(token.substr(star + 1)));
-      check(reg.has_value() && reg->second == Width::b64, ErrorKind::kParse,
+      check(reg.has_value() && reg->second == address_width, ErrorKind::kParse,
             "bad index register in memory operand: " + quoted(token));
       check(scale.has_value() &&
                 (*scale == 1 || *scale == 2 || *scale == 4 || *scale == 8),
@@ -98,9 +101,9 @@ MemOperand parse_mem_body(std::string_view body) {
       mem.scale = static_cast<std::uint8_t>(*scale);
       continue;
     }
-    if (const auto reg = parse_reg_name(lower); reg.has_value()) {
-      check(reg->second == Width::b64, ErrorKind::kParse,
-            "memory operands use 64-bit registers: " + quoted(token));
+    if (const auto reg = target.parse_reg(lower); reg.has_value()) {
+      check(reg->second == address_width, ErrorKind::kParse,
+            "memory operands use full-width registers: " + quoted(token));
       check(!neg, ErrorKind::kParse, "register cannot be negated: " + quoted(token));
       if (!mem.base) {
         mem.base = reg->first;
@@ -125,7 +128,7 @@ MemOperand parse_mem_body(std::string_view body) {
   return mem;
 }
 
-ParsedOperand parse_operand(std::string_view text) {
+ParsedOperand parse_operand(const Target& target, std::string_view text) {
   ParsedOperand out;
   std::string lower = to_lower(text);
 
@@ -151,7 +154,7 @@ ParsedOperand parse_operand(std::string_view text) {
   if (!text.empty() && text.front() == '[') {
     check(text.back() == ']', ErrorKind::kParse,
           "unterminated memory operand: " + quoted(text));
-    out.op = parse_mem_body(text.substr(1, text.size() - 2));
+    out.op = parse_mem_body(target, text.substr(1, text.size() - 2));
     return out;
   }
   check(!out.size_prefix.has_value(), ErrorKind::kParse,
@@ -164,7 +167,7 @@ ParsedOperand parse_operand(std::string_view text) {
     out.op = ImmOperand{0, std::string(sym)};
     return out;
   }
-  if (const auto reg = parse_reg_name(lower); reg.has_value()) {
+  if (const auto reg = target.parse_reg(lower); reg.has_value()) {
     out.op = reg->first;
     out.reg_width = reg->second;
     return out;
@@ -205,6 +208,7 @@ std::optional<MnemonicSpec> parse_mnemonic(std::string_view name) {
       {"ret", Mnemonic::kRet},     {"syscall", Mnemonic::kSyscall},
       {"nop", Mnemonic::kNop},     {"hlt", Mnemonic::kHlt},
       {"int3", Mnemonic::kInt3},   {"ud2", Mnemonic::kUd2},
+      {"mvflags", Mnemonic::kReadFlags}, {"wrflags", Mnemonic::kWriteFlags},
   };
   for (const auto& entry : kPlain) {
     if (entry.name == name) return MnemonicSpec{entry.mnemonic, Cond::none};
@@ -263,7 +267,7 @@ const SourceSection* SourceProgram::find_section(std::string_view name) const no
   return nullptr;
 }
 
-Instruction parse_instruction(std::string_view line) {
+Instruction Target::parse_instruction(std::string_view line) const {
   line = trim(line);
   std::size_t split_at = 0;
   while (split_at < line.size() && is_ident_char(line[split_at])) ++split_at;
@@ -281,7 +285,7 @@ Instruction parse_instruction(std::string_view line) {
   if (!operand_text.empty()) {
     const auto pieces = split_operands(operand_text);
     for (std::size_t i = 0; i < pieces.size(); ++i) {
-      ParsedOperand parsed = parse_operand(pieces[i]);
+      ParsedOperand parsed = parse_operand(*this, pieces[i]);
       // The first register operand fixes the operation width; movzx/movsx
       // sources and shift counts are intrinsically 8-bit and ignored here.
       const bool is_ext_src =
@@ -304,13 +308,13 @@ Instruction parse_instruction(std::string_view line) {
     case Mnemonic::kPop:
     case Mnemonic::kJmp:
     case Mnemonic::kCall:
-      instr.width = Width::b64;
+      instr.width = natural_width();
       break;
     case Mnemonic::kSetcc:
       instr.width = Width::b8;
       break;
     default:
-      instr.width = width.value_or(mem_prefix_width.value_or(Width::b64));
+      instr.width = width.value_or(mem_prefix_width.value_or(natural_width()));
       break;
   }
 
@@ -327,7 +331,11 @@ Instruction parse_instruction(std::string_view line) {
   return instr;
 }
 
-SourceProgram parse_assembly(std::string_view text) {
+Instruction parse_instruction(std::string_view line) {
+  return detail::x64_target().parse_instruction(line);
+}
+
+SourceProgram Target::parse_assembly(std::string_view text) const {
   SourceProgram program;
   program.sections.push_back(SourceSection{".text", {}});
   SourceSection* current = &program.sections.back();
@@ -473,6 +481,10 @@ SourceProgram parse_assembly(std::string_view text) {
     current->items.push_back(std::move(item));
   }
   return program;
+}
+
+SourceProgram parse_assembly(std::string_view text) {
+  return detail::x64_target().parse_assembly(text);
 }
 
 }  // namespace r2r::isa

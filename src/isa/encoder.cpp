@@ -597,6 +597,12 @@ std::vector<std::uint8_t> encode(const Instruction& instr, std::uint64_t address
       out.u8(0x0F);
       out.u8(0x0B);
       break;
+
+    case Mnemonic::kReadFlags:
+    case Mnemonic::kWriteFlags:
+      // x86-64 spells these pushfq/popfq; the direct register forms only
+      // exist on targets without a stack-resident flags image.
+      support::fail(ErrorKind::kEncode, "mvflags/wrflags are not x86-64 instructions");
   }
 
   return out.finish();

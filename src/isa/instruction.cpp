@@ -40,6 +40,8 @@ std::string_view mnemonic_name(Mnemonic mnemonic) noexcept {
     case Mnemonic::kHlt: return "hlt";
     case Mnemonic::kInt3: return "int3";
     case Mnemonic::kUd2: return "ud2";
+    case Mnemonic::kReadFlags: return "mvflags";
+    case Mnemonic::kWriteFlags: return "wrflags";
   }
   return "?";
 }

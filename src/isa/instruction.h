@@ -54,6 +54,8 @@ enum class Mnemonic : std::uint8_t {
   kHlt,
   kInt3,
   kUd2,
+  kReadFlags,   ///< copy the packed flags word into a register ("mvflags")
+  kWriteFlags,  ///< restore the packed flags word from a register ("wrflags")
 };
 
 /// Mnemonic spelling without condition suffix ("mov", "j", "set", ...).
@@ -134,11 +136,11 @@ Instruction make2(Mnemonic m, Operand a, Operand b, Width w = Width::b64);
 inline Instruction mov(Operand dst, Operand src, Width w = Width::b64) {
   return make2(Mnemonic::kMov, std::move(dst), std::move(src), w);
 }
-inline Instruction movzx(Operand dst, Operand src) {
-  return make2(Mnemonic::kMovzx, std::move(dst), std::move(src), Width::b64);
+inline Instruction movzx(Operand dst, Operand src, Width w = Width::b64) {
+  return make2(Mnemonic::kMovzx, std::move(dst), std::move(src), w);
 }
-inline Instruction lea(Reg dst, Operand src) {
-  return make2(Mnemonic::kLea, dst, std::move(src), Width::b64);
+inline Instruction lea(Reg dst, Operand src, Width w = Width::b64) {
+  return make2(Mnemonic::kLea, dst, std::move(src), w);
 }
 inline Instruction add(Operand dst, Operand src, Width w = Width::b64) {
   return make2(Mnemonic::kAdd, std::move(dst), std::move(src), w);
@@ -185,5 +187,11 @@ inline Instruction setcc(Cond cond, Reg dst8) {
 inline Instruction syscall_() { return make0(Mnemonic::kSyscall); }
 inline Instruction nop() { return make0(Mnemonic::kNop); }
 inline Instruction hlt() { return make0(Mnemonic::kHlt); }
+inline Instruction read_flags(Reg dst, Width w) {
+  return make1(Mnemonic::kReadFlags, dst, w);
+}
+inline Instruction write_flags(Reg src, Width w) {
+  return make1(Mnemonic::kWriteFlags, src, w);
+}
 
 }  // namespace r2r::isa

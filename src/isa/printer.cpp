@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "isa/target.h"
 #include "support/strings.h"
 
 namespace r2r::isa {
@@ -28,7 +29,7 @@ std::string_view size_prefix(Width width) {
   return "";
 }
 
-std::string mem_to_string(const MemOperand& mem) {
+std::string mem_to_string(const MemOperand& mem, const Target& target) {
   std::string out = "[";
   bool first = true;
   const auto plus = [&out, &first] {
@@ -37,7 +38,7 @@ std::string mem_to_string(const MemOperand& mem) {
   };
   if (mem.rip_relative) {
     plus();
-    out += "rip";
+    out += target.pc_token();
     if (!mem.label.empty()) {
       out += "+";
       out += mem.label;
@@ -49,13 +50,15 @@ std::string mem_to_string(const MemOperand& mem) {
     out += "]";
     return out;
   }
+  // Address registers print at the machine's natural width.
+  const Width address_width = target.natural_width();
   if (mem.base) {
     plus();
-    out += reg_name(*mem.base);
+    out += target.reg_name(*mem.base, address_width);
   }
   if (mem.index) {
     plus();
-    out += reg_name(*mem.index);
+    out += target.reg_name(*mem.index, address_width);
     if (mem.scale != 1) {
       out += "*";
       out += std::to_string(mem.scale);
@@ -78,11 +81,9 @@ std::string mem_to_string(const MemOperand& mem) {
   return out;
 }
 
-}  // namespace
-
-std::string print_operand(const Operand& op, Width width, bool with_size_prefix,
-                          bool byte_memory) {
-  if (is_reg(op)) return std::string(reg_name(std::get<Reg>(op), width));
+std::string print_operand_for(const Target& target, const Operand& op, Width width,
+                              bool with_size_prefix, bool byte_memory) {
+  if (is_reg(op)) return std::string(target.reg_name(std::get<Reg>(op), width));
   if (is_imm(op)) {
     const auto& imm = std::get<ImmOperand>(op);
     if (!imm.label.empty()) return "offset " + imm.label;
@@ -92,11 +93,19 @@ std::string print_operand(const Operand& op, Width width, bool with_size_prefix,
   const auto& mem = std::get<MemOperand>(op);
   std::string out;
   if (with_size_prefix) out += size_prefix(byte_memory ? Width::b8 : width);
-  out += mem_to_string(mem);
+  out += mem_to_string(mem, target);
   return out;
 }
 
-std::string print(const Instruction& instr) {
+}  // namespace
+
+std::string print_operand(const Operand& op, Width width, bool with_size_prefix,
+                          bool byte_memory) {
+  return print_operand_for(detail::x64_target(), op, width, with_size_prefix,
+                           byte_memory);
+}
+
+std::string Target::print(const Instruction& instr) const {
   std::string out{mnemonic_name(instr.mnemonic)};
   if (instr.cond != Cond::none) out += cond_suffix(instr.cond);
 
@@ -113,7 +122,7 @@ std::string print(const Instruction& instr) {
     if ((instr.mnemonic == Mnemonic::kPush || instr.mnemonic == Mnemonic::kPop ||
          instr.mnemonic == Mnemonic::kJmpReg || instr.mnemonic == Mnemonic::kCallReg) &&
         is_reg(instr.op(i))) {
-      operand_width = Width::b64;
+      operand_width = natural_width();
     }
     // Shift-by-cl prints the count register as cl.
     if ((instr.mnemonic == Mnemonic::kShl || instr.mnemonic == Mnemonic::kShr ||
@@ -121,9 +130,14 @@ std::string print(const Instruction& instr) {
         i == 1 && is_reg(instr.op(i))) {
       operand_width = Width::b8;
     }
-    out += print_operand(instr.op(i), operand_width, size_prefix_needed, byte_memory && i == 1);
+    out += print_operand_for(*this, instr.op(i), operand_width, size_prefix_needed,
+                             byte_memory && i == 1);
   }
   return out;
+}
+
+std::string print(const Instruction& instr) {
+  return detail::x64_target().print(instr);
 }
 
 }  // namespace r2r::isa

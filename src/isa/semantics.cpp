@@ -59,6 +59,7 @@ bool writes_flags(const Instruction& instr) noexcept {
     case Mnemonic::kShr:
     case Mnemonic::kSar:
     case Mnemonic::kPopfq:
+    case Mnemonic::kWriteFlags:
       return true;
     default:
       return false;
@@ -71,6 +72,7 @@ bool reads_flags(const Instruction& instr) noexcept {
     case Mnemonic::kSetcc:
     case Mnemonic::kCmovcc:
     case Mnemonic::kPushfq:
+    case Mnemonic::kReadFlags:
       return true;
     default:
       return false;

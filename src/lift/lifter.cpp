@@ -155,7 +155,10 @@ class FunctionLifter {
     if (width == Width::b8) {
       return builder_.zext(builder_.load(Type::kI8, address), Type::kI64);
     }
-    check(width == Width::b64, ErrorKind::kLift, "16/32-bit memory access unsupported");
+    if (width == Width::b32) {
+      return builder_.zext(builder_.load(Type::kI32, address), Type::kI64);
+    }
+    check(width == Width::b64, ErrorKind::kLift, "16-bit memory access unsupported");
     return builder_.load(Type::kI64, address);
   }
 
@@ -165,7 +168,11 @@ class FunctionLifter {
       builder_.store(builder_.trunc(value, Type::kI8), address);
       return;
     }
-    check(width == Width::b64, ErrorKind::kLift, "16/32-bit memory access unsupported");
+    if (width == Width::b32) {
+      builder_.store(builder_.trunc(value, Type::kI32), address);
+      return;
+    }
+    check(width == Width::b64, ErrorKind::kLift, "16-bit memory access unsupported");
     builder_.store(value, address);
   }
 
@@ -512,11 +519,13 @@ class FunctionLifter {
           flag_store(state_.of,
                      count == 1 ? sign_bit(a, w) : builder_.const_i1(false));
         } else {  // sar
-          Value* widened = w == Width::b64
-                               ? a
-                               : builder_.sext(builder_.trunc(a, Type::kI8), Type::kI64);
-          check(w == Width::b64 || w == Width::b8, ErrorKind::kLift,
-                "sar width unsupported");
+          check(w != Width::b16, ErrorKind::kLift, "sar width unsupported");
+          Value* widened = a;
+          if (w == Width::b32) {
+            widened = builder_.sext(builder_.trunc(a, Type::kI32), Type::kI64);
+          } else if (w == Width::b8) {
+            widened = builder_.sext(builder_.trunc(a, Type::kI8), Type::kI64);
+          }
           r = width_truncate(builder_.ashr(widened, c64(count)), w);
           flag_store(state_.cf,
                      builder_.icmp(Pred::kNe,

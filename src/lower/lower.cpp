@@ -4,6 +4,7 @@
 #include <set>
 
 #include "bir/assemble.h"
+#include "isa/target.h"
 #include "obs/trace.h"
 #include "support/bits.h"
 #include "support/error.h"
@@ -72,7 +73,8 @@ constexpr Reg kScratch = Reg::r11;
 class FunctionLowerer {
  public:
   FunctionLowerer(const ir::Function& fn, bir::Module& out, const LowerOptions& options)
-      : fn_(fn), out_(out), options_(options) {}
+      : fn_(fn), out_(out), options_(options),
+        caps_(isa::target(options.arch).lower_caps()) {}
 
   void lower() {
     analyze_uses();
@@ -106,7 +108,13 @@ class FunctionLowerer {
     // Prologue block carries the function symbol; branches back to the
     // entry basic block use its internal label and skip the sub.
     std::vector<Instruction> prologue;
-    if (frame > 0) prologue.push_back(isa::sub(Reg::rsp, isa::imm(frame)));
+    if (frame > 0) {
+      check(frame <= caps_.max_alu_imm, ErrorKind::kLower,
+            "stack frame exceeds the target's immediate range");
+      prologue.push_back(caps_.sub_immediate
+                             ? isa::sub(Reg::rsp, isa::imm(frame), natural())
+                             : isa::add(Reg::rsp, isa::imm(-frame), natural()));
+    }
     if (prologue.empty()) prologue.push_back(isa::nop());
     out_.append_block(fn_.name(), std::move(prologue));
     for (auto& [label, instructions] : lowered) {
@@ -138,6 +146,46 @@ class FunctionLowerer {
 
  private:
   static constexpr const char* kEpilogueTag = ".r2r_frame";
+
+  // ---- target legalization helpers -------------------------------------------
+
+  [[nodiscard]] Width natural() const noexcept { return caps_.natural_width; }
+
+  /// Machine operation width for a value of IR type `type`: sub-word types
+  /// keep their size, full-word (i64) arithmetic runs at the register width.
+  [[nodiscard]] Width width_for(Type type) const noexcept {
+    if (type == Type::kI8 || type == Type::kI1) return Width::b8;
+    if (type == Type::kI32) return Width::b32;
+    return caps_.natural_width;
+  }
+
+  [[nodiscard]] bool fits_alu_imm(std::int64_t value) const noexcept {
+    return value >= caps_.min_alu_imm && value <= caps_.max_alu_imm;
+  }
+
+  /// Canonicalizes a constant for materialization: 32-bit machines hold the
+  /// low word only, so wide constants are pre-masked to their u32 image
+  /// (small immediates stay signed so they pick the short encoding).
+  [[nodiscard]] std::int64_t legal_constant(std::int64_t raw) const noexcept {
+    if (caps_.natural_width == Width::b32 && !fits_alu_imm(raw)) {
+      return static_cast<std::int64_t>(static_cast<std::uint32_t>(raw));
+    }
+    return raw;
+  }
+
+  /// Truncates `dst` (holding a full-width computation) to `type`. A no-op
+  /// when the type already fills the machine word.
+  void emit_mask(Reg dst, Type type) {
+    const unsigned bits = ir::type_bits(type);
+    if (bits >= isa::width_bits(natural())) return;
+    const auto mask = static_cast<std::int64_t>((std::uint64_t{1} << bits) - 1);
+    if (fits_alu_imm(mask)) {
+      code_.push_back(isa::and_(dst, isa::imm(mask), natural()));
+    } else {
+      code_.push_back(isa::mov(kScratch, isa::imm(legal_constant(mask)), natural()));
+      code_.push_back(isa::and_(dst, kScratch, natural()));
+    }
+  }
 
   // ---- use analysis -----------------------------------------------------------
 
@@ -232,7 +280,7 @@ class FunctionLowerer {
     const CacheEntry entry = it->second;
     const bool needed = entry.dirty && (remaining(entry.value) > 0);
     if (needed) {
-      code_.push_back(isa::mov(slot_operand(entry.value), reg));
+      code_.push_back(isa::mov(slot_operand(entry.value), reg, natural()));
     }
     where_.erase(entry.value);
     cache_.erase(reg);
@@ -267,7 +315,7 @@ class FunctionLowerer {
   void flush_and_clear() {
     for (auto& [reg, entry] : cache_) {
       if (entry.dirty && remaining(entry.value) > 0) {
-        code_.push_back(isa::mov(slot_operand(entry.value), reg));
+        code_.push_back(isa::mov(slot_operand(entry.value), reg, natural()));
       }
     }
     cache_reset();
@@ -281,7 +329,7 @@ class FunctionLowerer {
     if (it == where_.end()) return;  // already only in its slot
     CacheEntry& entry = cache_.at(it->second);
     if (entry.dirty) {
-      code_.push_back(isa::mov(slot_operand(value), it->second));
+      code_.push_back(isa::mov(slot_operand(value), it->second, natural()));
       entry.dirty = false;
     }
   }
@@ -296,18 +344,19 @@ class FunctionLowerer {
       case Value::Kind::kConstant: {
         const auto raw =
             static_cast<std::int64_t>(static_cast<const ir::Constant*>(value)->value());
-        code_.push_back(isa::mov(reg, isa::imm(raw)));
+        code_.push_back(isa::mov(reg, isa::imm(legal_constant(raw)), natural()));
         break;
       }
       case Value::Kind::kGlobal: {
         const auto* global = static_cast<const ir::GlobalVariable*>(value);
-        code_.push_back(isa::mov(reg, isa::imm(static_cast<std::int64_t>(global->address))));
+        code_.push_back(isa::mov(
+            reg, isa::imm(static_cast<std::int64_t>(global->address)), natural()));
         break;
       }
       case Value::Kind::kInstr:
         check(slots_.contains(value), ErrorKind::kLower,
               "use of a value that was never defined or spilled");
-        code_.push_back(isa::mov(reg, slot_operand(value)));
+        code_.push_back(isa::mov(reg, slot_operand(value), natural()));
         break;
     }
     bind(reg, value, /*dirty=*/false);
@@ -319,7 +368,7 @@ class FunctionLowerer {
     if (value->kind() == Value::Kind::kConstant) {
       const auto raw =
           static_cast<std::int64_t>(static_cast<const ir::Constant*>(value)->value());
-      if (fits_int32(raw)) return isa::imm(raw);
+      if (fits_alu_imm(raw)) return isa::imm(raw);
     }
     return value_to_reg(value, pinned);
   }
@@ -330,7 +379,7 @@ class FunctionLowerer {
   void define(const ir::Instr* instr, Reg reg) {
     const bool crosses = cross_block_.contains(instr);
     if (crosses) {
-      code_.push_back(isa::mov(slot_operand(instr), reg));
+      code_.push_back(isa::mov(slot_operand(instr), reg, natural()));
     }
     bind(reg, instr, /*dirty=*/!crosses);
   }
@@ -350,15 +399,19 @@ class FunctionLowerer {
   }
 
   isa::Operand address_operand(const Value* value, std::set<Reg>& pinned) {
-    if (value->kind() == Value::Kind::kGlobal) {
-      const auto* global = static_cast<const ir::GlobalVariable*>(value);
-      return isa::mem_abs(static_cast<std::int64_t>(global->address));
+    if (caps_.absolute_addressing) {
+      if (value->kind() == Value::Kind::kGlobal) {
+        const auto* global = static_cast<const ir::GlobalVariable*>(value);
+        return isa::mem_abs(static_cast<std::int64_t>(global->address));
+      }
+      if (value->kind() == Value::Kind::kConstant) {
+        const auto raw =
+            static_cast<std::int64_t>(static_cast<const ir::Constant*>(value)->value());
+        if (fits_int32(raw)) return isa::mem_abs(raw);
+      }
     }
-    if (value->kind() == Value::Kind::kConstant) {
-      const auto raw =
-          static_cast<std::int64_t>(static_cast<const ir::Constant*>(value)->value());
-      if (fits_int32(raw)) return isa::mem_abs(raw);
-    }
+    // No absolute forms: materialize the address into a pool register
+    // (globals cache well — flag slots are hit on almost every instruction).
     return isa::mem(value_to_reg(value, pinned), 0);
   }
 
@@ -410,7 +463,7 @@ class FunctionLowerer {
     std::set<Reg> pinned;
     const Value* a = icmp.operands[0];
     const Value* b = icmp.operands[1];
-    const Width width = a->type() == Type::kI64 ? Width::b64 : Width::b8;
+    const Width width = width_for(a->type());
     const Reg a_reg = value_to_reg(a, pinned);
     const isa::Operand b_op = value_operand(b, pinned);
     code_.push_back(isa::cmp(a_reg, b_op, width));
@@ -451,7 +504,7 @@ class FunctionLowerer {
         std::set<Reg> pinned;
         const Reg src = value_to_reg(instr.operands[0], pinned);
         const Reg dst = dest_for(instr, instr.operands[0], src, pinned);
-        if (dst != src) code_.push_back(isa::mov(dst, src));
+        if (dst != src) code_.push_back(isa::mov(dst, src, natural()));
         define(&instr, dst);
         return;
       }
@@ -459,20 +512,25 @@ class FunctionLowerer {
         std::set<Reg> pinned;
         const Reg src = value_to_reg(instr.operands[0], pinned);
         const Reg dst = dest_for(instr, instr.operands[0], src, pinned);
-        if (dst != src) code_.push_back(isa::mov(dst, src));
-        const std::uint64_t mask =
-            instr.type() == Type::kI1 ? 1 : (1ULL << ir::type_bits(instr.type())) - 1;
-        code_.push_back(isa::and_(dst, isa::imm(static_cast<std::int64_t>(mask))));
+        if (dst != src) code_.push_back(isa::mov(dst, src, natural()));
+        emit_mask(dst, instr.type());
         define(&instr, dst);
         return;
       }
       case Opcode::kSExt: {
         std::set<Reg> pinned;
+        const Type src_type = instr.operands[0]->type();
         const Reg src = value_to_reg(instr.operands[0], pinned);
-        check(instr.operands[0]->type() == Type::kI8, ErrorKind::kLower,
-              "sext source must be i8");
         const Reg dst = dest_for(instr, instr.operands[0], src, pinned);
-        code_.push_back(isa::make2(Mnemonic::kMovsx, dst, src, Width::b64));
+        if (src_type == Type::kI8) {
+          code_.push_back(isa::make2(Mnemonic::kMovsx, dst, src, natural()));
+        } else if (src_type == Type::kI32 && natural() == Width::b32) {
+          // The register already holds the 32-bit image; widening to the
+          // machine word is the identity.
+          if (dst != src) code_.push_back(isa::mov(dst, src, natural()));
+        } else {
+          support::fail(ErrorKind::kLower, "unsupported sext source type");
+        }
         define(&instr, dst);
         return;
       }
@@ -480,13 +538,27 @@ class FunctionLowerer {
         std::set<Reg> pinned;
         const Reg cond = value_to_reg(instr.operands[0], pinned);
         const Reg if_true = value_to_reg(instr.operands[1], pinned);
-        const isa::Operand if_false = value_operand(instr.operands[2], pinned);
+        if (caps_.has_cmov) {
+          const isa::Operand if_false = value_operand(instr.operands[2], pinned);
+          const Reg dst = alloc_reg(pinned);
+          code_.push_back(isa::mov(dst, if_false, natural()));
+          code_.push_back(isa::test(cond, cond, natural()));
+          Instruction cmov = isa::make2(Mnemonic::kCmovcc, dst, if_true, natural());
+          cmov.cond = Cond::ne;
+          code_.push_back(cmov);
+          define(&instr, dst);
+          return;
+        }
+        // Branch-free mask select: dst = ((t ^ f) & -cond) ^ f. cond is a
+        // canonical i1 (0/1), so its negation is the all-ones/all-zeros mask.
+        const Reg if_false = value_to_reg(instr.operands[2], pinned);
         const Reg dst = alloc_reg(pinned);
-        code_.push_back(isa::mov(dst, if_false));
-        code_.push_back(isa::test(cond, cond));
-        Instruction cmov = isa::make2(Mnemonic::kCmovcc, dst, if_true, Width::b64);
-        cmov.cond = Cond::ne;
-        code_.push_back(cmov);
+        code_.push_back(isa::mov(kScratch, if_true, natural()));
+        code_.push_back(isa::xor_(kScratch, if_false, natural()));
+        code_.push_back(isa::mov(dst, cond, natural()));
+        code_.push_back(isa::make1(Mnemonic::kNeg, dst, natural()));
+        code_.push_back(isa::and_(dst, kScratch, natural()));
+        code_.push_back(isa::xor_(dst, if_false, natural()));
         define(&instr, dst);
         return;
       }
@@ -495,9 +567,9 @@ class FunctionLowerer {
         const isa::Operand address = address_operand(instr.operands[0], pinned);
         const Reg dst = alloc_reg(pinned);
         if (instr.type() == Type::kI8) {
-          code_.push_back(isa::movzx(dst, address));
+          code_.push_back(isa::movzx(dst, address, natural()));
         } else {
-          code_.push_back(isa::mov(dst, address));
+          code_.push_back(isa::mov(dst, address, width_for(instr.type())));
         }
         define(&instr, dst);
         return;
@@ -506,8 +578,8 @@ class FunctionLowerer {
         std::set<Reg> pinned;
         const Value* value = instr.operands[0];
         const isa::Operand address = address_operand(instr.operands[1], pinned);
-        const Width width = value->type() == Type::kI64 ? Width::b64 : Width::b8;
-        if (value->kind() == Value::Kind::kConstant) {
+        const Width width = width_for(value->type());
+        if (value->kind() == Value::Kind::kConstant && caps_.store_immediate) {
           const auto raw =
               static_cast<std::int64_t>(static_cast<const ir::Constant*>(value)->value());
           if (width == Width::b8 || fits_int32(raw)) {
@@ -527,7 +599,7 @@ class FunctionLowerer {
       case Opcode::kCondBr: {
         std::set<Reg> pinned;
         const Reg cond = value_to_reg(instr.operands[0], pinned);
-        code_.push_back(isa::test(cond, cond));
+        code_.push_back(isa::test(cond, cond, natural()));
         code_.push_back(isa::jcc(Cond::ne, target_label(instr.targets[0])));
         code_.push_back(isa::jmp(target_label(instr.targets[1])));
         emit_fallthrough_guard();
@@ -537,12 +609,13 @@ class FunctionLowerer {
         std::set<Reg> pinned;
         const Reg value = value_to_reg(instr.operands[0], pinned);
         for (std::size_t c = 0; c < instr.case_values.size(); ++c) {
-          const auto case_value = static_cast<std::int64_t>(instr.case_values[c]);
-          if (fits_int32(case_value)) {
-            code_.push_back(isa::cmp(value, isa::imm(case_value)));
+          const auto case_value =
+              legal_constant(static_cast<std::int64_t>(instr.case_values[c]));
+          if (fits_alu_imm(case_value)) {
+            code_.push_back(isa::cmp(value, isa::imm(case_value), natural()));
           } else {
-            code_.push_back(isa::mov(kScratch, isa::imm(case_value)));
-            code_.push_back(isa::cmp(value, kScratch));
+            code_.push_back(isa::mov(kScratch, isa::imm(case_value), natural()));
+            code_.push_back(isa::cmp(value, kScratch, natural()));
           }
           code_.push_back(isa::jcc(Cond::e, target_label(instr.targets[c + 1])));
         }
@@ -551,7 +624,8 @@ class FunctionLowerer {
         return;
       }
       case Opcode::kRet: {
-        Instruction epilogue = isa::add(Reg::rsp, isa::ImmOperand{0, kEpilogueTag});
+        Instruction epilogue =
+            isa::add(Reg::rsp, isa::ImmOperand{0, kEpilogueTag}, natural());
         code_.push_back(std::move(epilogue));
         code_.push_back(isa::ret());
         return;
@@ -576,27 +650,49 @@ class FunctionLowerer {
       check(b->kind() == Value::Kind::kConstant, ErrorKind::kLower,
             "variable shift counts are not generated by the lifter/passes");
     }
+    if (instr.opcode() == Opcode::kMul) {
+      check(caps_.has_mul, ErrorKind::kLower,
+            "this target has no multiply (passes must not synthesize mul)");
+    }
 
     const Reg a_reg = value_to_reg(a, pinned);
     isa::Operand b_op;
+    bool negated_sub_imm = false;
     if (is_shift) {
-      b_op = isa::imm(static_cast<std::int64_t>(
-          static_cast<const ir::Constant*>(b)->value() & 63));
+      const auto count = static_cast<const ir::Constant*>(b)->value() & 63;
+      check(count < isa::width_bits(natural()), ErrorKind::kLower,
+            "shift count exceeds the target word size");
+      b_op = isa::imm(static_cast<std::int64_t>(count));
     } else if (instr.opcode() == Opcode::kMul) {
       // Two-operand imul has no immediate form; force a register.
       b_op = value_to_reg(b, pinned);
     } else {
       b_op = value_operand(b, pinned);
+      if (instr.opcode() == Opcode::kSub && !caps_.sub_immediate &&
+          isa::is_imm(b_op)) {
+        // No subtract-immediate on this target: add the negation, or fall
+        // back to a register when the negation leaves the immediate range.
+        const std::int64_t negated = -std::get<isa::ImmOperand>(b_op).value;
+        if (fits_alu_imm(negated)) {
+          b_op = isa::imm(negated);
+          negated_sub_imm = true;
+        } else {
+          b_op = value_to_reg(b, pinned);
+        }
+      }
     }
     const Reg dst = dest_for(instr, a, a_reg, pinned);
-    if (dst != a_reg) code_.push_back(isa::mov(dst, a_reg));
-    code_.push_back(isa::make2(mnemonic_for(instr.opcode()), dst, std::move(b_op)));
-
-    if (instr.type() != Type::kI64) {
-      const std::uint64_t mask =
-          instr.type() == Type::kI1 ? 1 : (1ULL << ir::type_bits(instr.type())) - 1;
-      code_.push_back(isa::and_(dst, isa::imm(static_cast<std::int64_t>(mask))));
+    if (dst != a_reg) code_.push_back(isa::mov(dst, a_reg, natural()));
+    if (instr.opcode() == Opcode::kXor && isa::is_imm(b_op) &&
+        std::get<isa::ImmOperand>(b_op).value == -1) {
+      // xor with all-ones is complement; rv32i only spells it as not.
+      code_.push_back(isa::make1(Mnemonic::kNot, dst, natural()));
+    } else {
+      code_.push_back(isa::make2(
+          negated_sub_imm ? Mnemonic::kAdd : mnemonic_for(instr.opcode()), dst,
+          std::move(b_op), natural()));
     }
+    emit_mask(dst, instr.type());
     define(&instr, dst);
   }
 
@@ -604,21 +700,21 @@ class FunctionLowerer {
     std::set<Reg> pinned;
     const Value* a = instr.operands[0];
     const Value* b = instr.operands[1];
-    const Width width = a->type() == Type::kI64 ? Width::b64 : Width::b8;
+    const Width width = width_for(a->type());
     const Reg a_reg = value_to_reg(a, pinned);
     const isa::Operand b_op = value_operand(b, pinned);
     code_.push_back(isa::cmp(a_reg, b_op, width));
     const Reg dst = alloc_reg(pinned);
     code_.push_back(isa::setcc(cond_for(instr.pred), dst));
-    code_.push_back(isa::movzx(dst, dst));
+    code_.push_back(isa::movzx(dst, dst, natural()));
     define(&instr, dst);
   }
 
   void lower_call(const ir::Instr& instr) {
     const ir::Function& callee = *instr.callee;
     if (callee.is_intrinsic() && callee.name() == ir::kTrapIntrinsic) {
-      code_.push_back(isa::mov(Reg::rax, isa::imm(60)));
-      code_.push_back(isa::mov(Reg::rdi, isa::imm(options_.trap_exit_code)));
+      code_.push_back(isa::mov(Reg::rax, isa::imm(60), natural()));
+      code_.push_back(isa::mov(Reg::rdi, isa::imm(options_.trap_exit_code), natural()));
       code_.push_back(isa::syscall_());
       cache_reset();  // never returns; nothing to preserve
       return;
@@ -633,18 +729,22 @@ class FunctionLowerer {
         switch (arg->kind()) {
           case Value::Kind::kConstant:
             code_.push_back(isa::mov(
-                abi[i], isa::imm(static_cast<std::int64_t>(
-                            static_cast<const ir::Constant*>(arg)->value()))));
+                abi[i],
+                isa::imm(legal_constant(static_cast<std::int64_t>(
+                    static_cast<const ir::Constant*>(arg)->value()))),
+                natural()));
             break;
           case Value::Kind::kGlobal:
             code_.push_back(isa::mov(
-                abi[i], isa::imm(static_cast<std::int64_t>(
-                            static_cast<const ir::GlobalVariable*>(arg)->address))));
+                abi[i],
+                isa::imm(static_cast<std::int64_t>(
+                    static_cast<const ir::GlobalVariable*>(arg)->address)),
+                natural()));
             break;
           case Value::Kind::kInstr:
             check(slots_.contains(arg), ErrorKind::kLower,
                   "syscall argument lost before the call");
-            code_.push_back(isa::mov(abi[i], slot_operand(arg)));
+            code_.push_back(isa::mov(abi[i], slot_operand(arg), natural()));
             break;
         }
       }
@@ -665,6 +765,7 @@ class FunctionLowerer {
   const ir::Function& fn_;
   bir::Module& out_;
   const LowerOptions& options_;
+  const isa::LowerCaps& caps_;
 
   std::map<const Value*, std::int64_t> slots_;
   std::uint64_t next_slot_ = 0;
@@ -681,6 +782,7 @@ class FunctionLowerer {
 bir::Module lower(const ir::Module& module, const std::vector<bir::DataSection>& guest_data,
                   const LowerOptions& options) {
   bir::Module out;
+  out.arch = options.arch;
   out.text_base = options.text_base;
   out.entry_symbol = module.entry_function;
   out.globals.push_back(module.entry_function);

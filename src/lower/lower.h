@@ -24,6 +24,7 @@
 namespace r2r::lower {
 
 struct LowerOptions {
+  isa::Arch arch = isa::Arch::kX64;  ///< code-generation target
   std::uint64_t text_base = 0x400000;
   std::uint64_t state_base = 0x90'0000;  ///< ".r2rstate" section base
   int trap_exit_code = patch::kDetectedExit;

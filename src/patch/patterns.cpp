@@ -3,6 +3,7 @@
 #include <set>
 
 #include "isa/semantics.h"
+#include "isa/target.h"
 #include "support/error.h"
 
 namespace r2r::patch {
@@ -14,6 +15,25 @@ using isa::Instruction;
 using isa::Mnemonic;
 using isa::Reg;
 using isa::Width;
+
+/// Per-module pattern instantiation context: how this target preserves
+/// flags across a verification compare and which registers the patterns
+/// may clobber (PatternTraits), plus the operand shapes compares accept
+/// (LowerCaps immediate range).
+struct Traits {
+  const isa::PatternTraits& t;
+  const isa::LowerCaps& caps;
+  bool stack;  ///< kStack flag-save model (x86-64 Tables I-III verbatim)
+  Width w;     ///< natural operation width
+};
+
+Traits traits_for(const bir::Module& module) {
+  const isa::Target& target = isa::target(module.arch);
+  const auto& t = target.pattern_traits();
+  return Traits{t, target.lower_caps(),
+                t.flag_save == isa::PatternTraits::FlagSave::kStack,
+                t.natural_width};
+}
 
 /// Registers an operand references (including memory base/index).
 void collect_regs(const isa::Operand& op, std::set<Reg>& regs) {
@@ -62,13 +82,27 @@ std::string continuation_label(bir::Module& module, std::size_t index) {
   return module.label_for_index(index + 1);
 }
 
-/// True if the mov's source immediate cannot appear in a cmp (no imm64
-/// compare form exists on x86; a symbol immediate resolves below 2^31 in
-/// our layout and is fine).
-bool needs_scratch_compare(const Instruction& mov_instr) {
+/// True if the mov's source immediate cannot appear in a cmp. On x86-64 no
+/// imm64 compare form exists (a symbol immediate resolves below 2^31 in our
+/// layout and is fine); register-save targets compare only against their
+/// small ALU immediate range and never against symbols.
+bool needs_scratch_compare(const Instruction& mov_instr, const Traits& tr) {
   if (mov_instr.arity() != 2 || !isa::is_imm(mov_instr.op(1))) return false;
   const auto& imm = std::get<isa::ImmOperand>(mov_instr.op(1));
-  return imm.label.empty() && !(imm.value >= INT32_MIN && imm.value <= INT32_MAX);
+  if (!imm.label.empty()) return !tr.stack;
+  return !(imm.value >= tr.caps.min_alu_imm && imm.value <= tr.caps.max_alu_imm);
+}
+
+/// On register-save targets the patterns clobber the reserved scratch
+/// registers without saving them; an instruction that already mentions one
+/// of them cannot be protected (our lowerer never emits them, so this only
+/// triggers on hand-written or adversarial recovered code).
+bool references_reserved(const Instruction& instr, const Traits& tr) {
+  if (tr.stack) return false;
+  std::set<Reg> regs;
+  for (const auto& op : instr.operands) collect_regs(op, regs);
+  return regs.contains(tr.t.flag_scratch) || regs.contains(tr.t.value_scratch_a) ||
+         regs.contains(tr.t.value_scratch_b);
 }
 
 /// The register (if any) that the mov destination clobbers inside its own
@@ -88,10 +122,40 @@ std::optional<Reg> aliased_address_reg(const Instruction& mov_instr) {
 /// to a scratch register *before* the load so the verification re-read uses
 /// the original address. Replaces the mov in place.
 PatternKind apply_mov_aliased(bir::Module& module, std::size_t index, Reg aliased,
-                              bool save_flags) {
+                              bool save_flags, const Traits& tr) {
   const Instruction original = *module.text[index].instr;
   if (references_rsp(original)) return PatternKind::kNone;  // rsp shifts below
   const auto& src = std::get<isa::MemOperand>(original.op(1));
+  if (!tr.stack) {
+    // Register-save variant: the address survives in value scratch B and the
+    // verification re-read lands in value scratch A — no stack traffic.
+    const Reg addr = tr.t.value_scratch_b;
+    const Reg reread_dst = tr.t.value_scratch_a;
+    isa::MemOperand reread = src;
+    if (reread.base && *reread.base == aliased) reread.base = addr;
+    if (reread.index && *reread.index == aliased) reread.index = addr;
+
+    const std::string handler = ensure_fault_handler(module);
+    std::string resume = continuation_label(module, index);
+    if (save_flags) resume = module.fresh_label("movok");
+
+    std::vector<Instruction> seq;
+    if (save_flags) seq.push_back(isa::read_flags(tr.t.flag_scratch, tr.w));
+    seq.push_back(isa::mov(addr, aliased, tr.w));
+    seq.push_back(original);
+    seq.push_back(isa::mov(reread_dst, reread, original.width));
+    seq.push_back(isa::cmp(original.op(0), reread_dst, original.width));
+    seq.push_back(isa::jcc(Cond::e, resume));
+    seq.push_back(isa::call(handler));
+    const std::size_t resume_index = seq.size();
+    if (save_flags) seq.push_back(isa::write_flags(tr.t.flag_scratch, tr.w));
+
+    const std::size_t count = seq.size();
+    module.replace(index, std::move(seq));
+    if (save_flags) module.add_label(index + resume_index, resume);
+    mark_synthesized(module, index, count);
+    return PatternKind::kMov;
+  }
   // One scratch handles one aliased register; a mov can only alias dst once
   // anyway (dst == base and dst == index still substitutes both uses).
   std::set<Reg> used{std::get<Reg>(original.op(0))};
@@ -138,13 +202,57 @@ PatternKind apply_mov_aliased(bir::Module& module, std::size_t index, Reg aliase
   return PatternKind::kMov;
 }
 
-PatternKind apply_mov(bir::Module& module, std::size_t index) {
+/// Table I on a register-save target: the flags image lives in the reserved
+/// flag scratch, re-materialized values in the reserved value scratch, and
+/// the sequence never touches the stack. Compares are register-register or
+/// small-immediate, so memory operands are re-read into the scratch first.
+PatternKind apply_mov_regsave(bir::Module& module, std::size_t index, const Traits& tr,
+                              bool save_flags, bool scratch_form) {
   const Instruction original = *module.text[index].instr;
+  const Reg scratch = tr.t.value_scratch_a;
+  const std::string handler = ensure_fault_handler(module);
+  const std::string happyflow = continuation_label(module, index);
+
+  std::vector<Instruction> seq;
+  if (save_flags) seq.push_back(isa::read_flags(tr.t.flag_scratch, tr.w));
+  if (scratch_form) {
+    seq.push_back(isa::mov(scratch, original.op(1), original.width));
+    seq.push_back(isa::cmp(original.op(0), scratch, original.width));
+  } else if (isa::is_mem(original.op(0))) {
+    // mov [mem], src: re-read the stored value, compare against the source.
+    seq.push_back(isa::mov(scratch, original.op(0), original.width));
+    seq.push_back(isa::cmp(scratch, original.op(1), original.width));
+  } else if (isa::is_mem(original.op(1))) {
+    // mov dst, [mem]: re-read the load, compare register-register.
+    seq.push_back(isa::mov(scratch, original.op(1), original.width));
+    seq.push_back(isa::cmp(original.op(0), scratch, original.width));
+  } else {
+    seq.push_back(isa::cmp(original.op(0), original.op(1), original.width));
+  }
+  std::string resume = happyflow;
+  if (save_flags) resume = module.fresh_label("movok");
+  seq.push_back(isa::jcc(Cond::e, resume));
+  seq.push_back(isa::call(handler));
+  const std::size_t resume_index = seq.size();
+  if (save_flags) seq.push_back(isa::write_flags(tr.t.flag_scratch, tr.w));
+
+  const std::size_t count = seq.size();
+  module.insert_after(index, std::move(seq));
+  if (resume != happyflow) module.add_label(index + 1 + resume_index, resume);
+  mark_synthesized(module, index + 1, count);
+  return PatternKind::kMov;
+}
+
+PatternKind apply_mov(bir::Module& module, std::size_t index) {
+  const Traits tr = traits_for(module);
+  const Instruction original = *module.text[index].instr;
+  if (references_reserved(original, tr)) return PatternKind::kNone;
   const bool save_flags = flags_live_after(module, index);
   if (const auto aliased = aliased_address_reg(original)) {
-    return apply_mov_aliased(module, index, *aliased, save_flags);
+    return apply_mov_aliased(module, index, *aliased, save_flags, tr);
   }
-  const bool scratch_form = needs_scratch_compare(original);
+  const bool scratch_form = needs_scratch_compare(original, tr);
+  if (!tr.stack) return apply_mov_regsave(module, index, tr, save_flags, scratch_form);
   // Variants that adjust rsp would shift an rsp-relative operand of the
   // re-executed access; such sites stay unprotected (reported upstream).
   if ((save_flags || scratch_form) && references_rsp(original)) return PatternKind::kNone;
@@ -199,14 +307,21 @@ PatternKind apply_movzx(bir::Module& module, std::size_t index) {
   // bits are architecturally zero after movzx.) Unlike the mov pattern this
   // one has no flags-preserving variant, so live flags disqualify it.
   if (flags_live_after(module, index)) return PatternKind::kNone;
+  const Traits tr = traits_for(module);
   const Instruction original = *module.text[index].instr;
-  const Instruction verify =
-      isa::cmp(original.op(0), original.op(1), Width::b8);
+  if (references_reserved(original, tr)) return PatternKind::kNone;
   const std::string handler = ensure_fault_handler(module);
   const std::string happyflow = continuation_label(module, index);
 
   std::vector<Instruction> seq;
-  seq.push_back(verify);
+  if (!tr.stack && isa::is_mem(original.op(1))) {
+    // Register-save targets compare register-register: re-read the byte
+    // into the reserved value scratch first.
+    seq.push_back(isa::mov(tr.t.value_scratch_a, original.op(1), Width::b8));
+    seq.push_back(isa::cmp(original.op(0), tr.t.value_scratch_a, Width::b8));
+  } else {
+    seq.push_back(isa::cmp(original.op(0), original.op(1), Width::b8));
+  }
   seq.push_back(isa::jcc(Cond::e, happyflow));
   seq.push_back(isa::call(handler));
   const std::size_t count = seq.size();
@@ -215,9 +330,42 @@ PatternKind apply_movzx(bir::Module& module, std::size_t index) {
   return PatternKind::kMovzx;
 }
 
+/// Table II on a register-save target: both executions' flag images land in
+/// the reserved scratches and are compared register-register, so the
+/// sequence needs no stack adjustment at all.
+PatternKind apply_cmp_regsave(bir::Module& module, std::size_t index, const Traits& tr) {
+  const Instruction original = *module.text[index].instr;
+  const std::string handler = ensure_fault_handler(module);
+  const std::string restore = module.fresh_label("restore");
+
+  std::vector<Instruction> seq;
+  seq.push_back(original);
+  seq.push_back(isa::read_flags(tr.t.flag_scratch, tr.w));
+  seq.push_back(original);
+  seq.push_back(isa::read_flags(tr.t.value_scratch_a, tr.w));
+  seq.push_back(isa::cmp(tr.t.flag_scratch, tr.t.value_scratch_a, tr.w));
+  seq.push_back(isa::jcc(Cond::e, restore));
+  seq.push_back(isa::call(handler));
+  const std::size_t restore_index = seq.size();
+  seq.push_back(isa::write_flags(tr.t.flag_scratch, tr.w));  // label restore
+  // Third, authoritative execution — same redundancy argument as the stack
+  // variant: skipping the wrflags falls back to this compare, skipping this
+  // compare falls back to the restored first-execution flags.
+  seq.push_back(original);
+
+  const std::size_t count = seq.size();
+  module.replace(index, std::move(seq));
+  module.add_label(index + restore_index, restore);
+  mark_synthesized(module, index, count);
+  return PatternKind::kCmp;
+}
+
 PatternKind apply_cmp(bir::Module& module, std::size_t index) {
   const Instruction original = *module.text[index].instr;
   if (references_rsp(original)) return PatternKind::kNone;  // rsp moves below
+  const Traits tr = traits_for(module);
+  if (references_reserved(original, tr)) return PatternKind::kNone;
+  if (!tr.stack) return apply_cmp_regsave(module, index, tr);
   const Reg scratch = pick_scratch(original);
   const std::string handler = ensure_fault_handler(module);
   const std::string restore = module.fresh_label("restore");
@@ -253,9 +401,59 @@ PatternKind apply_cmp(bir::Module& module, std::size_t index) {
   return PatternKind::kCmp;
 }
 
+/// Table III on a register-save target: the branch flags are held in the
+/// reserved flag scratch across the verification compare, and setcc lands
+/// in the reserved value scratch instead of a pushed register.
+PatternKind apply_jcc_regsave(bir::Module& module, std::size_t index, const Traits& tr) {
+  const Instruction original = *module.text[index].instr;
+  const Cond cond = original.cond;
+  const std::string target = std::get<isa::LabelOperand>(original.op(0)).name;
+  const std::string handler = ensure_fault_handler(module);
+  const std::string fallthrough = continuation_label(module, index);
+  const std::string new_target = module.fresh_label("newjumptarget");
+  const std::string nf_jmp = module.fresh_label("newfallthroughjmp");
+  const std::string nj_jmp = module.fresh_label("newjumptargetjmp");
+  const Reg flag = tr.t.flag_scratch;
+  const Reg setreg = tr.t.value_scratch_a;
+
+  std::vector<Instruction> seq;
+  seq.push_back(isa::jcc(cond, new_target));
+  // --- fall-through edge verification (expected set<cond> result: 0) ---
+  seq.push_back(isa::read_flags(flag, tr.w));
+  seq.push_back(isa::setcc(cond, setreg));
+  seq.push_back(isa::cmp(setreg, isa::imm(0), Width::b8));
+  seq.push_back(isa::jcc(Cond::e, nf_jmp));
+  seq.push_back(isa::call(handler));
+  const std::size_t nf_index = seq.size();
+  seq.push_back(isa::write_flags(flag, tr.w));  // label nf_jmp
+  seq.push_back(isa::jcc(isa::invert(cond), fallthrough));
+  seq.push_back(isa::call(handler));
+  // --- taken edge verification (expected set<cond> result: 1) ---
+  const std::size_t nj_head = seq.size();
+  seq.push_back(isa::read_flags(flag, tr.w));  // label new_target
+  seq.push_back(isa::setcc(cond, setreg));
+  seq.push_back(isa::cmp(setreg, isa::imm(1), Width::b8));
+  seq.push_back(isa::jcc(Cond::e, nj_jmp));
+  seq.push_back(isa::call(handler));
+  const std::size_t nj_index = seq.size();
+  seq.push_back(isa::write_flags(flag, tr.w));  // label nj_jmp
+  seq.push_back(isa::jcc(cond, target));
+  seq.push_back(isa::call(handler));
+
+  const std::size_t count = seq.size();
+  module.replace(index, std::move(seq));
+  module.add_label(index + nf_index, nf_jmp);
+  module.add_label(index + nj_head, new_target);
+  module.add_label(index + nj_index, nj_jmp);
+  mark_synthesized(module, index, count);
+  return PatternKind::kJcc;
+}
+
 PatternKind apply_jcc(bir::Module& module, std::size_t index) {
   const Instruction original = *module.text[index].instr;
   if (!isa::is_label(original.op(0))) return PatternKind::kNone;
+  const Traits tr = traits_for(module);
+  if (!tr.stack) return apply_jcc_regsave(module, index, tr);
   const Cond cond = original.cond;
   const std::string target = std::get<isa::LabelOperand>(original.op(0)).name;
   const std::string handler = ensure_fault_handler(module);
@@ -374,7 +572,8 @@ PatternKind apply_call_guard(bir::Module& module, std::size_t index) {
   if (!callee_clobbers_rax_first(module, callee)) return PatternKind::kNone;
   // Poison the return register: if the call is skipped, downstream
   // comparisons against the expected return value fail closed.
-  module.insert_before(index, {isa::mov(Reg::rax, isa::imm(0))}, /*take_labels=*/true);
+  module.insert_before(index, {isa::mov(Reg::rax, isa::imm(0), traits_for(module).w)},
+                       /*take_labels=*/true);
   module.text[index].synthesized = true;      // the poison mov
   module.text[index + 1].synthesized = true;  // the guarded call
   return PatternKind::kCallGuard;
@@ -387,14 +586,24 @@ PatternKind apply_ret_dup(bir::Module& module, std::size_t index) {
   return PatternKind::kRetDup;
 }
 
+PatternKind apply_alu_dup(bir::Module& module, std::size_t index) {
+  // and/or are idempotent: the duplicate recomputes the same value and
+  // flags, so skipping either copy leaves the other standing.
+  module.insert_after(index, {*module.text[index].instr});
+  module.text[index].synthesized = true;
+  module.text[index + 1].synthesized = true;
+  return PatternKind::kAluDup;
+}
+
 }  // namespace
 
 std::string ensure_fault_handler(bir::Module& module) {
   const std::string handler(kFaultHandlerSymbol);
   if (module.has_symbol(handler)) return handler;
+  const Width w = traits_for(module).w;
   std::vector<Instruction> body;
-  body.push_back(isa::mov(Reg::rax, isa::imm(60)));  // exit(kDetectedExit)
-  body.push_back(isa::mov(Reg::rdi, isa::imm(kDetectedExit)));
+  body.push_back(isa::mov(Reg::rax, isa::imm(60), w));  // exit(kDetectedExit)
+  body.push_back(isa::mov(Reg::rdi, isa::imm(kDetectedExit), w));
   body.push_back(isa::syscall_());
   const std::size_t first = module.text.size();
   module.append_block(handler, std::move(body));
@@ -458,6 +667,9 @@ PatternKind classify_pattern(const bir::Module& module, std::size_t index) {
                                               : PatternKind::kNone;
     case Mnemonic::kRet:
       return PatternKind::kRetDup;
+    case Mnemonic::kAnd:
+    case Mnemonic::kOr:
+      return PatternKind::kAluDup;
     default:
       return PatternKind::kNone;
   }
@@ -471,6 +683,7 @@ PatternKind protect_instruction(bir::Module& module, std::size_t index) {
     case PatternKind::kJcc: return apply_jcc(module, index);
     case PatternKind::kCallGuard: return apply_call_guard(module, index);
     case PatternKind::kRetDup: return apply_ret_dup(module, index);
+    case PatternKind::kAluDup: return apply_alu_dup(module, index);
     default: return PatternKind::kNone;
   }
 }

@@ -50,6 +50,9 @@ std::string ensure_fault_handler(bir::Module& module);
 ///                provably writes rax before reading it; a skipped call
 ///                then leaves an implausible return value.
 ///   kRetDup    — duplicate the ret; skipping one executes the other.
+///   kAluDup    — duplicate an idempotent ALU op (and/or): applying it
+///                twice computes the same value and flags as once, so a
+///                skip of either copy leaves the other standing.
 /// kRetTriple, kHandlerCallDup, kGuardMovDup and kCmpFar are the order-2
 /// *reinforcement* patterns (reinforce_instruction): deeper redundancy
 /// applied where an order-2 campaign proves a fault *pair* still defeats
@@ -77,6 +80,7 @@ enum class PatternKind : std::uint8_t {
   kJcc,
   kCallGuard,
   kRetDup,
+  kAluDup,
   kRetTriple,
   kHandlerCallDup,
   kGuardMovDup,

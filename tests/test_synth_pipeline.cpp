@@ -26,6 +26,8 @@
 //                            order-2 check (0 disables)            [25]
 //   R2R_SYNTH_TIME_BUDGET_S  stop starting *sweep* cases after this
 //                            many seconds (corpus always runs)     [off]
+//   R2R_SYNTH_TARGET         instruction-set target to generate
+//                            and harden for ("x64", "rv32i")       [x64]
 //   --seed=K[,L,...]         run exactly these seeds, with the
 //                            order-2 check, instead of the sweep
 #include <gtest/gtest.h>
@@ -46,6 +48,7 @@
 #include "guests/guests.h"
 #include "guests/synth.h"
 #include "harden/hybrid.h"
+#include "isa/target.h"
 #include "patch/pipeline.h"
 #include "synth_corpus.h"
 
@@ -82,6 +85,23 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return fallback;
   return std::strtoull(value, nullptr, 10);
+}
+
+/// Target the whole harness generates and hardens for (R2R_SYNTH_TARGET;
+/// the CI cross-target job sets it to "rv32i"). An unknown name aborts up
+/// front rather than silently sweeping the default target.
+isa::Arch synth_arch() {
+  static const isa::Arch arch = [] {
+    const char* name = std::getenv("R2R_SYNTH_TARGET");
+    if (name == nullptr || *name == '\0') return isa::Arch::kX64;
+    const isa::Target* target = isa::find_target(name);
+    if (target == nullptr) {
+      std::fprintf(stderr, "R2R_SYNTH_TARGET: unknown target '%s'\n", name);
+      std::exit(2);
+    }
+    return target->arch();
+  }();
+  return arch;
 }
 
 std::chrono::steady_clock::time_point& start_time() {
@@ -175,8 +195,8 @@ using SynthPipeline = SynthSeedTest;
 
 TEST_P(SynthPipeline, GeneratorIsDeterministic) {
   const std::uint64_t seed = GetParam().seed;
-  const Guest once = guests::synth::generate(seed);
-  const Guest twice = guests::synth::generate(seed);
+  const Guest once = guests::synth::generate(seed, synth_arch());
+  const Guest twice = guests::synth::generate(seed, synth_arch());
   EXPECT_EQ(once.assembly, twice.assembly) << "assembly differs across calls";
   EXPECT_EQ(once.good_input, twice.good_input);
   EXPECT_EQ(once.bad_input, twice.bad_input);
@@ -199,7 +219,7 @@ TEST_P(SynthPipeline, FullChainPreservesBehaviourAndNeverAddsVulnerabilities) {
                (param.why[0] != '\0' ? std::string(" (") + param.why + ")"
                                      : std::string()));
 
-  const Guest guest = guests::synth::generate(param.seed);
+  const Guest guest = guests::synth::generate(param.seed, synth_arch());
   const elf::Image input = guests::build_image(guest);
 
   // The raw binary shows exactly the generated contract.
@@ -248,7 +268,7 @@ TEST_P(SynthPipeline, CachedDispatchIsStepIdenticalToUncached) {
   }
   SCOPED_TRACE("seed " + std::to_string(param.seed));
 
-  const Guest guest = guests::synth::generate(param.seed);
+  const Guest guest = guests::synth::generate(param.seed, synth_arch());
   const elf::Image image = guests::build_image(guest);
 
   const auto run_both = [&](const std::string& input,
@@ -296,7 +316,7 @@ TEST_P(SynthOrder2, Order2FixpointAndThreadInvariantBinary) {
   }
   SCOPED_TRACE("seed " + std::to_string(param.seed));
 
-  const Guest guest = guests::synth::generate(param.seed);
+  const Guest guest = guests::synth::generate(param.seed, synth_arch());
   const elf::Image input = guests::build_image(guest);
 
   patch::PipelineConfig serial;
