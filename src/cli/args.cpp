@@ -106,6 +106,19 @@ std::uint64_t ArgParser::uint_or(std::string_view flag, std::uint64_t fallback) 
   return static_cast<std::uint64_t>(*parsed);
 }
 
+std::uint64_t ArgParser::count_or(std::string_view flag, std::uint64_t fallback,
+                                  std::uint64_t max) const {
+  const auto v = value(flag);
+  if (!v.has_value()) return fallback;
+  const auto parsed = support::parse_integer(*v);
+  if (!parsed.has_value() || *parsed < 0 || static_cast<std::uint64_t>(*parsed) > max) {
+    fail(ErrorKind::kInvalidArgument, "flag '" + std::string(flag) + "' of 'r2r " +
+                                          command_ + "' needs an integer in [0, " +
+                                          std::to_string(max) + "], got '" + *v + "'");
+  }
+  return static_cast<std::uint64_t>(*parsed);
+}
+
 std::string ArgParser::help() const {
   std::string out = "usage: r2r " + command_;
   if (!usage_suffix_.empty()) out += " " + usage_suffix_;

@@ -9,6 +9,7 @@
 #include "sim/engine.h"
 #include "support/error.h"
 #include "support/strings.h"
+#include "svc/job.h"
 
 namespace r2r::cli {
 
@@ -172,6 +173,14 @@ const std::vector<Command>& commands() {
        make_synth_parser, run_synth},
       {"batch", "run a subcommand across many guests with a sharded worker pool",
        make_batch_parser, run_batch},
+      {"serve", "run the r2rd campaign daemon (worker pool + result cache)",
+       make_serve_parser, run_serve},
+      {"submit", "run a subcommand on a running r2rd daemon (cached when repeated)",
+       make_submit_parser, run_submit},
+      {"status", "print a running r2rd daemon's queue/cache/worker statistics",
+       make_status_parser, run_status},
+      {"shutdown", "drain a running r2rd daemon and stop it",
+       make_shutdown_parser, run_shutdown},
   };
   return registry;
 }
@@ -253,8 +262,15 @@ int run(const std::vector<std::string>& args, std::ostream& out, std::ostream& e
   try {
     return command->run(parser, out, err);
   } catch (const support::Error& error) {
+    // With --progress a throttled '\r' line may still be pending on this
+    // stream; blank it first so the diagnostic doesn't overstrike it.
+    obs::clear_partial_progress_line();
     err << "r2r " << command->name << ": " << error.what() << "\n";
     return error.kind() == ErrorKind::kInvalidArgument ? 2 : 1;
+  } catch (const std::exception& error) {
+    obs::clear_partial_progress_line();
+    err << "r2r " << command->name << ": unexpected error: " << error.what() << "\n";
+    return svc::kInfraExitCode;
   }
 }
 
@@ -338,12 +354,13 @@ fault::CampaignConfig campaign_config_from(const ArgParser& parser) {
     }
     config.models = selected;
   }
-  config.models.order = static_cast<unsigned>(parser.uint_or("--order", 1));
+  config.models.order = static_cast<unsigned>(parser.count_or("--order", 1));
   if (config.models.order != 1 && config.models.order != 2) {
     fail(ErrorKind::kInvalidArgument, "--order must be 1 or 2");
   }
-  config.models.pair_window = parser.uint_or("--pair-window", config.models.pair_window);
-  config.threads = static_cast<unsigned>(parser.uint_or("--threads", 1));
+  config.models.pair_window =
+      parser.count_or("--pair-window", config.models.pair_window);
+  config.threads = static_cast<unsigned>(parser.count_or("--threads", 1));
   config.pair_outcome_reuse = !parser.has("--no-reuse");
   return config;
 }

@@ -1,6 +1,7 @@
 // r2r::cli — the unified driver behind the `r2r` binary.
 //
 //   r2r lift | harden | campaign | fixpoint | synth | batch
+//       | serve | submit | status | shutdown
 //
 // One subcommand per pipeline stage, every knob the examples used to
 // hard-code exposed as a parsed flag over the library's defaulted config
@@ -13,6 +14,10 @@
 //   1  the command ran but its check failed (fix-point not reached,
 //      hardened behaviour broken, a batch row failed), or a runtime error
 //   2  usage error (unknown command/flag, malformed value, bad guest spec)
+//   3  infrastructure error (svc::kInfraExitCode): the measurement never
+//      finished — a batch row threw, the r2rd daemon was unreachable or
+//      refused the job, a daemon worker crashed — as opposed to "the check
+//      ran and came back negative"
 #pragma once
 
 #include <iosfwd>
@@ -85,5 +90,13 @@ ArgParser make_synth_parser();
 int run_synth(const ArgParser& args, std::ostream& out, std::ostream& err);
 ArgParser make_batch_parser();
 int run_batch(const ArgParser& args, std::ostream& out, std::ostream& err);
+ArgParser make_serve_parser();
+int run_serve(const ArgParser& args, std::ostream& out, std::ostream& err);
+ArgParser make_submit_parser();
+int run_submit(const ArgParser& args, std::ostream& out, std::ostream& err);
+ArgParser make_status_parser();
+int run_status(const ArgParser& args, std::ostream& out, std::ostream& err);
+ArgParser make_shutdown_parser();
+int run_shutdown(const ArgParser& args, std::ostream& out, std::ostream& err);
 
 }  // namespace r2r::cli

@@ -8,7 +8,10 @@
 // value (the per-guest work is itself thread-invariant by the engine's
 // slot-per-fault guarantee). `-j` parallelises *across* guests; --threads
 // still controls the worker threads *inside* each campaign.
+#include <algorithm>
 #include <atomic>
+#include <climits>
+#include <cstdlib>
 #include <ostream>
 #include <thread>
 
@@ -22,6 +25,7 @@
 #include "sim/engine.h"
 #include "support/error.h"
 #include "support/strings.h"
+#include "svc/job.h"
 
 namespace r2r::cli {
 
@@ -34,8 +38,12 @@ ArgParser make_batch_parser() {
       "Run one subcommand across many guests — positional specs plus every\n"
       "*.s bundle under --dir — sharded across -j worker threads with\n"
       "deterministic aggregation: the summary is byte-identical for every\n"
-      "-j value. Exits 0 only when every guest succeeded (for fixpoint:\n"
-      "reached its fix-point; for harden: behaviour intact).");
+      "-j value. Duplicate specs (same guest resolved twice, e.g. a\n"
+      "positional repeated under --dir) are processed once, with a warning.\n"
+      "Exits 0 only when every guest succeeded (for fixpoint: reached its\n"
+      "fix-point; for harden: behaviour intact); 1 when a guest genuinely\n"
+      "failed its check; 3 when processing itself errored (bad spec,\n"
+      "pipeline exception) — an infrastructure failure, not a verdict.");
   parser.add_flag({"--cmd", "NAME", "subcommand to run: campaign, fixpoint, harden, or "
                                     "lift",
                    "campaign"});
@@ -84,6 +92,18 @@ std::vector<std::string> header_for(const std::string& cmd) {
     return {"guest", "status", "approach", "code bytes", "hardened bytes", "overhead"};
   }
   return {"guest", "status", "instructions", "code bytes"};  // lift
+}
+
+/// The identity a spec resolves to, for duplicate detection: file-backed
+/// specs canonicalize through realpath (so `./foo.s`, `foo.s`, and the
+/// --dir discovery of the same bundle all collide); builtin and synth:
+/// specs are their own identity.
+std::string spec_identity(const std::string& spec) {
+  if (spec.size() > 2 && spec.rfind(".s") == spec.size() - 2) {
+    char resolved[PATH_MAX];
+    if (::realpath(spec.c_str(), resolved) != nullptr) return resolved;
+  }
+  return spec;
 }
 
 BatchRow process_guest(const BatchPlan& plan, const std::string& spec) {
@@ -169,19 +189,41 @@ int run_batch(const ArgParser& args, std::ostream& out, std::ostream& err) {
   }
   const Format format = format_from(args);
   plan.campaign = campaign_config_from(args);
-  plan.max_iterations = static_cast<unsigned>(args.uint_or("--max-iterations", 12));
+  plan.max_iterations = static_cast<unsigned>(args.count_or("--max-iterations", 12));
   plan.patterns = args.has("--patterns");
 
-  std::vector<std::string> specs = args.positionals();
+  std::vector<std::string> raw_specs = args.positionals();
   if (const auto dir = args.value("--dir")) {
-    for (std::string& spec : discover_guest_specs(*dir)) specs.push_back(std::move(spec));
+    for (std::string& spec : discover_guest_specs(*dir)) {
+      raw_specs.push_back(std::move(spec));
+    }
+  }
+  // Dedupe by resolved identity (first occurrence wins, so ordering — and
+  // with it the -j1 == -j8 byte-identity of the summary — is preserved).
+  // Without this a spec repeated on the command line, or listed both
+  // positionally and via --dir, is silently simulated twice and counted
+  // twice in the summary.
+  std::vector<std::string> specs;
+  std::vector<std::pair<std::string, std::string>> seen;  // identity -> first spec
+  for (std::string& spec : raw_specs) {
+    const std::string identity = spec_identity(spec);
+    const auto it =
+        std::find_if(seen.begin(), seen.end(),
+                     [&](const auto& entry) { return entry.first == identity; });
+    if (it != seen.end()) {
+      err << "r2r batch: duplicate guest spec '" << spec << "' (same guest as '"
+          << it->second << "'); processing once\n";
+      continue;
+    }
+    seen.emplace_back(identity, spec);
+    specs.push_back(std::move(spec));
   }
   if (specs.empty()) {
     err << "r2r batch: no guests (pass specs and/or --dir; try 'r2r batch --help')\n";
     return 2;
   }
 
-  unsigned workers = static_cast<unsigned>(args.uint_or("-j", 1));
+  unsigned workers = static_cast<unsigned>(args.count_or("-j", 1));
   if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
   workers = static_cast<unsigned>(
       std::min<std::size_t>(workers, specs.size()));
@@ -213,10 +255,23 @@ int run_batch(const ArgParser& args, std::ostream& out, std::ostream& err) {
   worker();
   for (std::thread& thread : pool) thread.join();
 
+  // Two distinct kinds of "not ok": a guest whose check genuinely came
+  // back negative (row.ok false, no error) and a guest that never produced
+  // a verdict because processing threw (row.error set). Conflating them in
+  // one count — and one exit code — made a worker exception look like a
+  // hardening failure.
   std::size_t failed = 0;
-  for (const BatchRow& row : rows) failed += row.ok ? 0 : 1;
+  std::size_t errored = 0;
+  for (const BatchRow& row : rows) {
+    if (!row.error.empty()) {
+      ++errored;
+    } else if (!row.ok) {
+      ++failed;
+    }
+  }
   obs::Metrics::instance().counter("batch.guests").add(rows.size());
   obs::Metrics::instance().counter("batch.failed").add(failed);
+  obs::Metrics::instance().counter("batch.infra_errors").add(errored);
 
   std::string text;
   if (format == Format::kJson) {
@@ -225,7 +280,9 @@ int run_batch(const ArgParser& args, std::ostream& out, std::ostream& err) {
       const BatchRow& row = rows[i];
       text += "    {\"name\": " + support::json_quote(row.name) +
               ", \"ok\": " + (row.ok ? "true" : "false");
-      if (!row.error.empty()) text += ", \"error\": " + support::json_quote(row.error);
+      if (!row.error.empty()) {
+        text += ", \"errored\": true, \"error\": " + support::json_quote(row.error);
+      }
       if (!row.json.empty()) {
         // The nested document keeps its pretty-printed newlines; only the
         // trailing one is trimmed so the closing brace stays on the row.
@@ -236,12 +293,14 @@ int run_batch(const ArgParser& args, std::ostream& out, std::ostream& err) {
       text += "}";
       text += i + 1 < rows.size() ? ",\n" : "\n";
     }
-    text += "  ],\n  \"failed\": " + std::to_string(failed) + "\n}\n";
+    text += "  ],\n  \"failed\": " + std::to_string(failed) +
+            ",\n  \"errored\": " + std::to_string(errored) + "\n}\n";
   } else {
     harden::TextTable table;
     table.add_row(header_for(plan.cmd));
     for (const BatchRow& row : rows) {
-      std::vector<std::string> cells = {row.name, row.ok ? "ok" : "FAILED"};
+      std::vector<std::string> cells = {
+          row.name, !row.error.empty() ? "ERROR" : row.ok ? "ok" : "FAILED"};
       if (row.error.empty()) {
         cells.insert(cells.end(), row.cells.begin(), row.cells.end());
       } else {
@@ -257,8 +316,8 @@ int run_batch(const ArgParser& args, std::ostream& out, std::ostream& err) {
     }
     const std::string summary_line =
         "batch " + plan.cmd + ": " + std::to_string(rows.size()) + " guest(s), " +
-        std::to_string(rows.size() - failed) + " ok, " + std::to_string(failed) +
-        " failed\n";
+        std::to_string(rows.size() - failed - errored) + " ok, " +
+        std::to_string(failed) + " failed, " + std::to_string(errored) + " errored\n";
     if (format == Format::kMarkdown) {
       text = "## r2r batch " + plan.cmd + "\n\n" + table.render_markdown() + "\n" +
              summary_line;
@@ -267,6 +326,9 @@ int run_batch(const ArgParser& args, std::ostream& out, std::ostream& err) {
     }
   }
   emit_output(args, out, text);
+  // Infra errors dominate: a run that never finished its measurements must
+  // not masquerade as "a guest failed its check".
+  if (errored != 0) return svc::kInfraExitCode;
   return failed == 0 ? 0 : 1;
 }
 

@@ -27,33 +27,6 @@ ArgParser make_fixpoint_parser() {
   return parser;
 }
 
-namespace {
-
-std::string fixpoint_text_section(const std::string& name,
-                                  const patch::PipelineResult& result) {
-  // Order-2 runs get the full trajectory section; order-1 runs the same
-  // table without the pair columns.
-  if (result.order1_code_size != 0) return harden::order2_fixpoint_section(name, result);
-  std::string out = "fix-point trajectory: " + name + "\n";
-  harden::TextTable table;
-  table.add_row({"iteration", "faults", "points", "patched", "unpatchable", "code bytes"});
-  for (std::size_t i = 0; i < result.iterations.size(); ++i) {
-    const patch::IterationReport& it = result.iterations[i];
-    table.add_row({std::to_string(i), std::to_string(it.successful_faults),
-                   std::to_string(it.vulnerable_points),
-                   std::to_string(it.patches_applied),
-                   std::to_string(it.unpatchable_points), std::to_string(it.code_size)});
-  }
-  out += table.render();
-  out += "  fix-point: " + std::string(result.fixpoint ? "yes" : "NO (cap hit)") + "\n";
-  out += "  code size: " + std::to_string(result.original_code_size) + " -> " +
-         std::to_string(result.hardened_code_size) + " bytes (overhead " +
-         support::format_fixed(result.overhead_percent(), 1) + "%)\n";
-  return out;
-}
-
-}  // namespace
-
 int run_fixpoint(const ArgParser& args, std::ostream& out, std::ostream& err) {
   if (args.positionals().size() != 1) {
     err << "r2r fixpoint: expected exactly one guest spec (try 'r2r fixpoint --help')\n";
@@ -65,13 +38,13 @@ int run_fixpoint(const ArgParser& args, std::ostream& out, std::ostream& err) {
 
   patch::PipelineConfig config;
   config.campaign = campaign_config_from(args);
-  config.max_iterations = static_cast<unsigned>(args.uint_or("--max-iterations", 12));
+  config.max_iterations = static_cast<unsigned>(args.count_or("--max-iterations", 12));
   const patch::PipelineResult result =
       patch::faulter_patcher(image, guest.good_input, guest.bad_input, config);
 
   std::string text;
   switch (format) {
-    case Format::kText: text = fixpoint_text_section(guest.name, result); break;
+    case Format::kText: text = harden::fixpoint_section(guest.name, result); break;
     case Format::kJson: text = result.to_json(); break;
     case Format::kMarkdown:
       text = harden::fixpoint_markdown_section(guest.name, result);

@@ -57,7 +57,7 @@ int run_harden(const ArgParser& args, std::ostream& out, std::ostream& err) {
   if (args.has("--patterns")) {
     patch::PipelineConfig config;
     config.campaign = campaign_config_from(args);
-    config.max_iterations = static_cast<unsigned>(args.uint_or("--max-iterations", 12));
+    config.max_iterations = static_cast<unsigned>(args.count_or("--max-iterations", 12));
     const patch::PipelineResult result =
         patch::faulter_patcher(input, guest.good_input, guest.bad_input, config);
     out << "faulter+patcher: " << result.iterations.size() << " iteration(s), fix-point "

@@ -73,13 +73,13 @@ int run_synth(const ArgParser& args, std::ostream& out, std::ostream& err) {
     return 2;
   }
   guests::synth::SynthConfig config;
-  config.min_key_len = static_cast<unsigned>(args.uint_or("--min-key-len", 4));
-  config.max_key_len = static_cast<unsigned>(args.uint_or("--max-key-len", 8));
-  config.max_noise_helpers = static_cast<unsigned>(args.uint_or("--max-noise-helpers", 3));
+  config.min_key_len = static_cast<unsigned>(args.count_or("--min-key-len", 4));
+  config.max_key_len = static_cast<unsigned>(args.count_or("--max-key-len", 8));
+  config.max_noise_helpers = static_cast<unsigned>(args.count_or("--max-noise-helpers", 3));
   config.branch_density_percent =
-      static_cast<unsigned>(args.uint_or("--branch-density", 40));
-  config.loop_chance_percent = static_cast<unsigned>(args.uint_or("--loop-chance", 60));
-  config.max_cmp_jcc_gap = static_cast<unsigned>(args.uint_or("--max-cmp-jcc-gap", 4));
+      static_cast<unsigned>(args.count_or("--branch-density", 40));
+  config.loop_chance_percent = static_cast<unsigned>(args.count_or("--loop-chance", 60));
+  config.max_cmp_jcc_gap = static_cast<unsigned>(args.count_or("--max-cmp-jcc-gap", 4));
   if (const auto list = args.value("--decisions")) {
     config.allow_byte_compare = false;
     config.allow_digest = false;
@@ -99,8 +99,8 @@ int run_synth(const ArgParser& args, std::ostream& out, std::ostream& err) {
     }
   }
 
-  const std::uint64_t base = args.uint_or("--seed", 0);
-  const std::uint64_t count = args.uint_or("--count", 1);
+  const std::uint64_t base = args.count_or("--seed", 0);
+  const std::uint64_t count = args.count_or("--count", 1);
   const auto dir = args.value("--out");
   for (std::uint64_t seed = base; seed < base + count; ++seed) {
     config.seed = seed;

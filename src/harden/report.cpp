@@ -235,6 +235,29 @@ std::string residual_double_fault_section(const std::string& binary_name,
   return out;
 }
 
+std::string fixpoint_section(const std::string& binary_name,
+                             const patch::PipelineResult& result) {
+  // Order-2 runs get the full trajectory section; order-1 runs the same
+  // table without the pair columns.
+  if (result.order1_code_size != 0) return order2_fixpoint_section(binary_name, result);
+  std::string out = "fix-point trajectory: " + binary_name + "\n";
+  TextTable table;
+  table.add_row({"iteration", "faults", "points", "patched", "unpatchable", "code bytes"});
+  for (std::size_t i = 0; i < result.iterations.size(); ++i) {
+    const patch::IterationReport& it = result.iterations[i];
+    table.add_row({std::to_string(i), std::to_string(it.successful_faults),
+                   std::to_string(it.vulnerable_points),
+                   std::to_string(it.patches_applied),
+                   std::to_string(it.unpatchable_points), std::to_string(it.code_size)});
+  }
+  out += table.render();
+  out += "  fix-point: " + std::string(result.fixpoint ? "yes" : "NO (cap hit)") + "\n";
+  out += "  code size: " + std::to_string(result.original_code_size) + " -> " +
+         std::to_string(result.hardened_code_size) + " bytes (overhead " +
+         support::format_fixed(result.overhead_percent(), 1) + "%)\n";
+  return out;
+}
+
 std::string order2_fixpoint_section(const std::string& binary_name,
                                     const patch::PipelineResult& result) {
   std::string out = "order-2 fix-point trajectory: " + binary_name + "\n";

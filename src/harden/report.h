@@ -52,6 +52,15 @@ std::string fixpoint_markdown_section(const std::string& binary_name,
 std::string residual_double_fault_section(const std::string& binary_name,
                                           const sim::PairCampaignResult& order2);
 
+/// The fix-point trajectory section for a Faulter+Patcher run — the text
+/// rendering of patch::PipelineResult. Order-2 runs (order1_code_size set)
+/// delegate to order2_fixpoint_section; order-1 runs render the same
+/// per-iteration table without the pair columns. Shared by `r2r fixpoint`
+/// and the r2rd campaign service, so a daemon answer is byte-identical to
+/// the one-shot subcommand's.
+std::string fixpoint_section(const std::string& binary_name,
+                             const patch::PipelineResult& result);
+
 /// The order-2 fix-point section of a hardening report: the per-iteration
 /// trajectory of the pair-aware Faulter+Patcher loop (campaign order, faults
 /// and residual pairs found, implicated sites, patches applied, code size)

@@ -1,5 +1,7 @@
 #include "obs/progress.h"
 
+#include <exception>
+
 #include "obs/trace.h"
 #include "support/strings.h"
 
@@ -8,6 +10,9 @@ namespace r2r::obs {
 namespace {
 
 std::atomic<std::ostream*> g_progress_stream{nullptr};
+/// True while the last thing written to the stream is a '\r' partial line
+/// (no trailing newline). Process-wide, like the stream itself.
+std::atomic<bool> g_partial_line_pending{false};
 
 constexpr std::uint64_t kRenderPeriodNs = 100'000'000;  // ~10 Hz
 constexpr std::size_t kLineWidth = 78;  // pad to blank out the previous line
@@ -22,6 +27,14 @@ std::ostream* progress_stream() noexcept {
   return g_progress_stream.load(std::memory_order_relaxed);
 }
 
+void clear_partial_progress_line() {
+  std::ostream* stream = progress_stream();
+  if (stream == nullptr) return;
+  if (!g_partial_line_pending.exchange(false, std::memory_order_relaxed)) return;
+  *stream << '\r' << std::string(kLineWidth, ' ') << '\r';
+  stream->flush();
+}
+
 Progress::Progress(std::string label, std::uint64_t total)
     : stream_(progress_stream()),
       label_(std::move(label)),
@@ -32,6 +45,13 @@ Progress::Progress(std::string label, std::uint64_t total)
 
 Progress::~Progress() {
   if (stream_ == nullptr) return;
+  if (std::uncaught_exceptions() != 0) {
+    // Unwinding: the work did NOT finish, so a final "100% in Xs" line
+    // would be wrong — and leaving the throttled partial line in place
+    // would make the error message overstrike it. Blank it instead.
+    clear_partial_progress_line();
+    return;
+  }
   render(done_.load(std::memory_order_relaxed), /*final=*/true);
 }
 
@@ -74,6 +94,7 @@ void Progress::render(std::uint64_t done, bool final) {
   if (line.size() < kLineWidth) line.append(kLineWidth - line.size(), ' ');
   *stream_ << '\r' << line;
   if (final) *stream_ << '\n';
+  g_partial_line_pending.store(!final, std::memory_order_relaxed);
   stream_->flush();
 }
 

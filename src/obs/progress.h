@@ -20,6 +20,14 @@ namespace r2r::obs {
 void set_progress_stream(std::ostream* stream) noexcept;
 [[nodiscard]] std::ostream* progress_stream() noexcept;
 
+/// Blanks out a pending partial ('\r'-rendered, not yet newline-terminated)
+/// progress line on the installed stream, so diagnostics printed next start
+/// at column 0 instead of overstriking "campaign: 63.2% (…)". No-op when no
+/// partial line is pending or no stream is installed. Error paths (and the
+/// Progress destructor when it runs during exception unwind, where a "100%"
+/// line would be a lie) call this before writing anything else.
+void clear_partial_progress_line();
+
 /// One tracked unit of work with a known plan size. Captures the installed
 /// stream at construction; the destructor renders a final 100% line.
 class Progress {

@@ -1,0 +1,46 @@
+// r2r::support — SHA-256 (FIPS 180-4), dependency-free.
+//
+// The daemon's result cache is content-addressed: a job's identity is the
+// digest of its canonical serialization (docs/r2rd.md), so two submissions
+// with the same target, guest bytes and engine configuration map to the
+// same cache slot no matter how the request was spelled. A cryptographic
+// digest keeps accidental collisions out of the correctness argument;
+// FNV-style mixing (fine for hash maps) is not enough when a collision
+// would silently serve the wrong report.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace r2r::support {
+
+/// Incremental SHA-256. Typical use:
+///   Sha256 h; h.update(a); h.update(b); std::string key = h.hex_digest();
+class Sha256 {
+ public:
+  Sha256() noexcept;
+
+  void update(std::string_view bytes) noexcept;
+  void update(const void* data, std::size_t size) noexcept;
+
+  /// Finalizes and returns the 32-byte digest. The object is consumed;
+  /// construct a fresh one for the next message.
+  [[nodiscard]] std::array<std::uint8_t, 32> digest() noexcept;
+  /// digest() as 64 lowercase hex characters.
+  [[nodiscard]] std::string hex_digest() noexcept;
+
+ private:
+  void compress(const std::uint8_t block[64]) noexcept;
+
+  std::uint32_t state_[8];
+  std::uint64_t total_bytes_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+};
+
+/// One-shot convenience: hex SHA-256 of `bytes`.
+[[nodiscard]] std::string sha256_hex(std::string_view bytes);
+
+}  // namespace r2r::support

@@ -1,0 +1,29 @@
+#include "svc/cache.h"
+
+namespace r2r::svc {
+
+std::optional<JobResult> ResultCache::lookup(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ResultCache::insert(const std::string& key, const JobResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity_ == 0) return;
+  if (entries_.find(key) != entries_.end()) return;  // first write wins
+  while (entries_.size() >= capacity_) {
+    entries_.erase(order_.front());
+    order_.pop_front();
+  }
+  entries_.emplace(key, result);
+  order_.push_back(key);
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace r2r::svc

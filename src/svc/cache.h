@@ -1,0 +1,45 @@
+// r2r::svc — the r2rd content-addressed result cache.
+//
+// Keys are JobSpec::cache_key() digests (SHA-256 of the canonical job
+// serialization); values are complete JobResults stored verbatim, so a hit
+// returns byte-for-byte the report (and hardened ELF) the original
+// simulation produced — the determinism contract is "cached answer ==
+// fresh answer", and storing rendered bytes rather than re-rendering makes
+// that trivially true.
+//
+// Bounded FIFO: insertion order is eviction order. Campaign results are a
+// few KiB and hardened ELFs tens of KiB, so the default capacity (1024
+// entries) bounds the daemon at tens of MiB. Infra failures are never
+// inserted (a crashed worker must not poison the key).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "svc/job.h"
+
+namespace r2r::svc {
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] std::optional<JobResult> lookup(const std::string& key) const;
+  /// Inserts (first-write-wins: a racing duplicate keeps the original, so
+  /// repeat submissions can never observe two different cached answers).
+  void insert(const std::string& key, const JobResult& result);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::map<std::string, JobResult> entries_;
+  std::deque<std::string> order_;  ///< FIFO eviction order
+};
+
+}  // namespace r2r::svc

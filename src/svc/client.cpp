@@ -1,0 +1,86 @@
+#include "svc/client.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+#include "support/error.h"
+
+namespace r2r::svc {
+
+using support::ErrorKind;
+using support::fail;
+
+namespace {
+
+int try_connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    fail(ErrorKind::kInvalidArgument, "r2rd: socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    fail(ErrorKind::kExecution,
+         std::string("r2rd: socket() failed: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+Client Client::connect(const std::string& socket_path, unsigned timeout_ms) {
+  // A client that outlives the daemon must see a write error, not SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const int fd = try_connect(socket_path);
+    if (fd >= 0) return Client(fd);
+    if ((errno != ENOENT && errno != ECONNREFUSED) ||
+        std::chrono::steady_clock::now() >= deadline) {
+      fail(ErrorKind::kExecution, "r2rd: cannot connect to " + socket_path + ": " +
+                                      std::strerror(errno) +
+                                      " (is the daemon running? try 'r2r serve')");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Message Client::request(const Message& request) {
+  write_message(fd_, request);
+  std::optional<Message> response = read_message(fd_);
+  if (!response.has_value()) {
+    fail(ErrorKind::kExecution, "r2rd closed the connection without a response");
+  }
+  return *response;
+}
+
+}  // namespace r2r::svc

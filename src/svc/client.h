@@ -1,0 +1,36 @@
+// r2r::svc — the r2rd client side: connect to the daemon's Unix socket and
+// run framed request/response exchanges (the `r2r submit` / `status` /
+// `shutdown` subcommands are thin wrappers over this).
+#pragma once
+
+#include <string>
+
+#include "svc/wire.h"
+
+namespace r2r::svc {
+
+class Client {
+ public:
+  /// Connects to the daemon at `socket_path`. A daemon that is still
+  /// binding its socket (`r2r serve &` in the CI smoke job) shows up as
+  /// ENOENT/ECONNREFUSED — retried with a short sleep until `timeout_ms`
+  /// elapses, then Error{kExecution}.
+  [[nodiscard]] static Client connect(const std::string& socket_path,
+                                      unsigned timeout_ms = 0);
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One exchange: write `request`, read the response frame. Throws
+  /// Error{kExecution} when the daemon drops the connection.
+  [[nodiscard]] Message request(const Message& request);
+
+ private:
+  explicit Client(int fd) noexcept : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace r2r::svc

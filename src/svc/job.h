@@ -1,0 +1,82 @@
+// r2r::svc — job model of the r2rd campaign service.
+//
+// A JobSpec is a fully-resolved unit of work: the guest (assembly, inputs,
+// oracle — resolved once by the daemon, so the bytes that are hashed are
+// the bytes that are executed), the campaign/pipeline configuration, and
+// the requested report format. Its cache key is the SHA-256 of a canonical
+// serialization of every behaviour-relevant field (docs/r2rd.md pins the
+// exact field list); knobs that provably cannot change the answer —
+// `threads` (reports are bit-identical for every thread count, the
+// engine's core invariant) and queue `priority` — are deliberately
+// excluded, so a resubmission at a different parallelism or urgency still
+// hits the cache.
+//
+// run_job() executes a spec in the calling process — the worker side of
+// the daemon, shared with nothing else — through exactly the library entry
+// points and report renderers the one-shot CLI subcommands use, which is
+// what makes the cached-equals-fresh determinism contract testable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fault/campaign.h"
+#include "guests/guests.h"
+
+namespace r2r::svc {
+class Message;
+
+/// Process exit code for *infrastructure* failures — the daemon was
+/// unreachable, the queue refused the job, a worker crashed, the pipeline
+/// itself threw — as opposed to 1, "the check the job ran came back
+/// negative". Shared with `r2r batch`, which draws the same distinction
+/// for its rows. (0 = success, 1 = check failed, 2 = usage error.)
+inline constexpr int kInfraExitCode = 3;
+
+/// What a job runs. kSleep is a diagnostic no-op (occupies a worker for
+/// `sleep_ms`, never cached) used by the lifecycle tests and for ops smoke
+/// checks of queueing/backpressure.
+enum class JobKind { kCampaign, kFixpoint, kHarden, kSleep };
+
+[[nodiscard]] std::string_view to_string(JobKind kind) noexcept;
+/// Parses "campaign" / "fixpoint" / "harden" / "sleep"; throws
+/// Error{kInvalidArgument} on anything else.
+[[nodiscard]] JobKind job_kind_from(std::string_view name);
+
+struct JobSpec {
+  JobKind kind = JobKind::kCampaign;
+  guests::Guest guest;              ///< fully resolved; arch names the target
+  fault::CampaignConfig campaign;   ///< models + engine knobs
+  unsigned max_iterations = 12;     ///< fixpoint / harden-with-patterns cap
+  bool patterns = false;            ///< harden: Faulter+Patcher instead of Hybrid
+  std::string format = "text";      ///< text | json | markdown
+  std::uint64_t sleep_ms = 0;       ///< kSleep only
+
+  /// The content-addressed cache key: 64 hex chars of SHA-256 over the
+  /// canonical serialization. Deterministic across processes and runs.
+  [[nodiscard]] std::string cache_key() const;
+  /// kSleep jobs are transient diagnostics and bypass the cache.
+  [[nodiscard]] bool cacheable() const noexcept { return kind != JobKind::kSleep; }
+
+  /// Wire round-trip (daemon -> worker). to_message is total; from_message
+  /// throws Error{kParse} on missing/malformed fields.
+  [[nodiscard]] Message to_message() const;
+  [[nodiscard]] static JobSpec from_message(const Message& message);
+};
+
+struct JobResult {
+  int exit_code = 0;      ///< the subcommand exit-code contract (0/1)
+  bool infra = false;     ///< true: the pipeline failed, not the guest
+  std::string report;     ///< rendered report bytes (cached verbatim)
+  std::string elf;        ///< harden/fixpoint: the hardened ELF image bytes
+  std::string error;      ///< diagnostic when infra (or a usage error)
+
+  [[nodiscard]] Message to_message() const;
+  [[nodiscard]] static JobResult from_message(const Message& message);
+};
+
+/// Executes `spec` in-process and renders its report — the worker's whole
+/// job. Never throws: pipeline failures come back as infra results.
+[[nodiscard]] JobResult run_job(const JobSpec& spec);
+
+}  // namespace r2r::svc

@@ -1,0 +1,86 @@
+// r2r::svc — the r2rd job queue: bounded, priority-ordered, drainable.
+//
+// Semantics (all tested in tests/test_svc.cpp):
+//   - Bounded: try_push refuses once `capacity` items are queued — the
+//     daemon's backpressure. A refused submit becomes a "busy" response,
+//     never an unbounded backlog.
+//   - Priority: higher priority pops first; within one priority, strictly
+//     oldest-first (each priority level is a FIFO deque).
+//   - Drain: close() stops admission immediately but lets consumers keep
+//     popping until the queue is empty; pop() then returns nullopt once
+//     for every blocked/future consumer. That is the graceful-shutdown
+//     contract: queued jobs complete, new ones are refused.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace r2r::svc {
+
+template <typename T>
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Admits `item` unless the queue is full or closed. Never blocks.
+  [[nodiscard]] bool try_push(T item, int priority) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || depth_ >= capacity_) return false;
+      levels_[priority].push_back(std::move(item));
+      ++depth_;
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and empty;
+  /// nullopt means "drained — consumer should exit".
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return depth_ != 0 || closed_; });
+    if (depth_ == 0) return std::nullopt;
+    const auto level = levels_.begin();  // keyed descending: highest priority
+    T item = std::move(level->second.front());
+    level->second.pop_front();
+    if (level->second.empty()) levels_.erase(level);
+    --depth_;
+    return item;
+  }
+
+  /// Stops admission; wakes every blocked consumer so it can drain the
+  /// remainder and observe the nullopt.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return depth_;
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::map<int, std::deque<T>, std::greater<int>> levels_;
+  std::size_t depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace r2r::svc

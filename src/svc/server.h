@@ -1,0 +1,118 @@
+// r2r::svc — the r2rd daemon: a Unix-socket campaign service over a
+// pre-warmed worker pool and a content-addressed result cache.
+//
+// Lifecycle: construct -> start() -> [serve] -> wait(). start() forks the
+// worker pool FIRST (while the process is still single-threaded — the
+// fork-safety window), then binds the socket and spawns the accept, slot,
+// and per-connection client threads. A "shutdown" request (or
+// request_shutdown()) begins the drain: new submits are refused with
+// "draining", every already-admitted job runs to completion, and only then
+// does the shutdown response go out and the daemon stop accepting.
+//
+// Protocol (framed Messages, see wire.h; full field tables in
+// docs/r2rd.md): every request carries an "op" field — "submit" (a JobSpec
+// plus "priority"), "status", or "shutdown". Responses carry "ok" plus
+// either the JobResult fields and a "cached" marker, or a refusal
+// ("busy" / "draining") with an "error" diagnostic.
+//
+// Metrics (handles cached at construction, so no daemon thread ever takes
+// the registry mutex after start-up — a respawn fork must not inherit a
+// held lock): r2rd.cache.{hits,misses}, r2rd.queue.depth,
+// r2rd.jobs.{submitted,completed,rejected}, r2rd.workers.respawned.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/cache.h"
+#include "svc/job.h"
+#include "svc/queue.h"
+#include "svc/worker.h"
+
+namespace r2r::obs {
+class Counter;
+class Gauge;
+}  // namespace r2r::obs
+
+namespace r2r::svc {
+
+struct ServerConfig {
+  std::string socket_path;
+  unsigned workers = 2;           ///< pre-warmed worker processes
+  std::size_t queue_depth = 16;   ///< backpressure bound (refusals past this)
+  std::size_t cache_capacity = 1024;  ///< result-cache entries (FIFO eviction)
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Pre-warms the pool, binds the socket, starts serving. Throws
+  /// Error{kExecution} when the socket cannot be bound.
+  void start();
+  /// Blocks until a shutdown has fully drained and every thread is joined.
+  void wait();
+  /// Local equivalent of the "shutdown" op (idempotent): begin the drain.
+  /// wait() still completes the stop.
+  void request_shutdown();
+
+  [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
+  /// Live worker pid of a slot — the crash-isolation tests kill -9 it.
+  [[nodiscard]] pid_t worker_pid(unsigned slot) const noexcept {
+    return pool_->slot_pid(slot);
+  }
+
+ private:
+  struct PendingJob;
+  struct ClientConn;
+
+  void accept_loop();
+  void slot_loop(unsigned slot);
+  void handle_client(ClientConn* conn);
+  [[nodiscard]] Message handle_submit(const Message& request);
+  [[nodiscard]] Message handle_status();
+  /// Blocks until every admitted job has been answered.
+  void finish_drain();
+  /// Stops the accept loop (idempotent). Called only after the shutdown
+  /// response is on the wire — wait() tears down client connections, so
+  /// stopping earlier would race the response.
+  void stop_accepting();
+
+  ServerConfig config_;
+  ResultCache cache_;
+  JobQueue<std::shared_ptr<PendingJob>> queue_;
+  std::unique_ptr<WorkerPool> pool_;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+
+  std::atomic<std::size_t> jobs_pending_{0};  ///< admitted, not yet answered
+  std::mutex drain_mutex_;
+  std::condition_variable drained_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> slot_threads_;
+  std::mutex clients_mutex_;
+  std::vector<std::unique_ptr<ClientConn>> clients_;
+
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& submitted_;
+  obs::Counter& completed_;
+  obs::Counter& rejected_;
+  obs::Counter& respawned_;
+  obs::Gauge& depth_gauge_;
+};
+
+}  // namespace r2r::svc

@@ -1,0 +1,118 @@
+#include "svc/worker.h"
+
+#include <csignal>
+#include <cstdlib>
+#include <unistd.h>
+#include <sys/wait.h>
+
+#include "support/error.h"
+#include "svc/wire.h"
+
+namespace r2r::svc {
+
+void worker_main(int job_fd, int result_fd) {
+  for (;;) {
+    std::optional<Message> request;
+    try {
+      request = read_message(job_fd);
+    } catch (...) {
+      std::_Exit(1);  // torn frame: the parent is gone or corrupt
+    }
+    if (!request.has_value()) std::_Exit(0);  // job pipe closed: drain done
+    JobResult result;
+    try {
+      result = run_job(JobSpec::from_message(*request));
+    } catch (const std::exception& error) {
+      // from_message parse failures; run_job itself never throws.
+      result.infra = true;
+      result.exit_code = kInfraExitCode;
+      result.error = error.what();
+    }
+    try {
+      write_message(result_fd, result.to_message());
+    } catch (...) {
+      std::_Exit(1);
+    }
+  }
+}
+
+WorkerPool::WorkerPool(unsigned size) {
+  ::signal(SIGPIPE, SIG_IGN);
+  slots_.resize(size == 0 ? 1 : size);
+  for (unsigned slot = 0; slot < slots_.size(); ++slot) spawn(slot);
+}
+
+WorkerPool::~WorkerPool() {
+  for (unsigned slot = 0; slot < slots_.size(); ++slot) {
+    close_slot(slot);
+    if (slots_[slot].pid > 0) {
+      int status = 0;
+      ::waitpid(slots_[slot].pid, &status, 0);
+    }
+  }
+}
+
+void WorkerPool::close_slot(unsigned slot) noexcept {
+  Slot& s = slots_[slot];
+  if (s.job_fd >= 0) ::close(s.job_fd);
+  if (s.result_fd >= 0) ::close(s.result_fd);
+  s.job_fd = -1;
+  s.result_fd = -1;
+}
+
+void WorkerPool::spawn(unsigned slot) {
+  int job_pipe[2] = {-1, -1};     // parent writes [1], child reads [0]
+  int result_pipe[2] = {-1, -1};  // child writes [1], parent reads [0]
+  if (::pipe(job_pipe) != 0 || ::pipe(result_pipe) != 0) {
+    support::fail(support::ErrorKind::kExecution, "r2rd: pipe() failed for worker slot");
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    support::fail(support::ErrorKind::kExecution, "r2rd: fork() failed for worker slot");
+  }
+  if (pid == 0) {
+    // Drop every inherited parent-side pipe end — ours AND the other
+    // slots'. A leaked copy of another slot's job-pipe write end would
+    // keep that worker's read side open forever, so closing the pipe in
+    // the parent (the drain signal) would never reach it.
+    for (const Slot& other : slots_) {
+      if (other.job_fd >= 0) ::close(other.job_fd);
+      if (other.result_fd >= 0) ::close(other.result_fd);
+    }
+    ::close(job_pipe[1]);
+    ::close(result_pipe[0]);
+    worker_main(job_pipe[0], result_pipe[1]);
+  }
+  ::close(job_pipe[0]);
+  ::close(result_pipe[1]);
+  slots_[slot] = Slot{pid, job_pipe[1], result_pipe[0]};
+}
+
+JobResult WorkerPool::run_on(unsigned slot, const JobSpec& spec) {
+  try {
+    write_message(slots_[slot].job_fd, spec.to_message());
+    std::optional<Message> response = read_message(slots_[slot].result_fd);
+    if (response.has_value()) return JobResult::from_message(*response);
+    // EOF at a frame boundary: the worker exited without answering.
+  } catch (const std::exception&) {
+    // Write failure (EPIPE) or torn result frame: the worker died mid-job.
+  }
+  close_slot(slot);
+  int status = 0;
+  ::waitpid(slots_[slot].pid, &status, 0);
+  std::string how = "exited without a result";
+  if (WIFSIGNALED(status)) {
+    how = "killed by signal " + std::to_string(WTERMSIG(status));
+  } else if (WIFEXITED(status)) {
+    how = "exited with status " + std::to_string(WEXITSTATUS(status));
+  }
+  spawn(slot);
+  respawns_.fetch_add(1);
+  JobResult result;
+  result.infra = true;
+  result.exit_code = kInfraExitCode;
+  result.error = "r2rd worker crashed (" + how + "); the slot was respawned";
+  return result;
+}
+
+}  // namespace r2r::svc

@@ -1,0 +1,77 @@
+// r2r::svc — the r2rd pre-warmed worker pool (fork-server style).
+//
+// Each slot is a forked child process running jobs in a loop: read one
+// JobSpec frame from its job pipe, run_job() it, write one JobResult frame
+// back. Fork isolation is the crash boundary the daemon is built around: a
+// guest or pipeline that takes the worker down (assert, OOM kill, `kill
+// -9` in the lifecycle tests) costs exactly one job — the parent sees the
+// result pipe close, reaps the child, reports that job as an infra
+// failure, and respawns the slot.
+//
+// Fork-safety: the initial pool is spawned before the daemon starts any
+// thread, so the first children inherit a quiescent process. Respawns fork
+// from a slot thread while the daemon is multi-threaded; that is safe here
+// because the child only ever touches async-signal-unsafe state guarded by
+// locks the daemon pre-acquires nothing of at fork time — in particular
+// the Server caches every obs::Metrics handle it uses at construction, so
+// no daemon thread holds the metrics registration mutex after start-up.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "svc/job.h"
+
+namespace r2r::svc {
+
+/// The child side: serve job frames from `job_fd` until it closes, writing
+/// each result to `result_fd`. Never returns normally — exits the process.
+[[noreturn]] void worker_main(int job_fd, int result_fd);
+
+class WorkerPool {
+ public:
+  /// Forks `size` workers immediately (pre-warm). Ignores SIGPIPE for the
+  /// whole process — a dead worker must surface as a write error, not a
+  /// signal.
+  explicit WorkerPool(unsigned size);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(slots_.size());
+  }
+
+  /// Ships `spec` to slot `slot` and blocks for its result. If the worker
+  /// dies mid-job the slot is reaped and respawned and the job comes back
+  /// as an infra failure naming the crash — the caller never throws on a
+  /// worker death.
+  [[nodiscard]] JobResult run_on(unsigned slot, const JobSpec& spec);
+
+  /// The live child pid of a slot (the lifecycle tests kill -9 it).
+  [[nodiscard]] pid_t slot_pid(unsigned slot) const noexcept {
+    return slots_[slot].pid;
+  }
+
+  /// Total respawns across all slots since construction.
+  [[nodiscard]] unsigned respawns() const noexcept { return respawns_.load(); }
+
+ private:
+  struct Slot {
+    pid_t pid = -1;
+    int job_fd = -1;     ///< parent writes JobSpec frames
+    int result_fd = -1;  ///< parent reads JobResult frames
+  };
+
+  void spawn(unsigned slot);
+  void close_slot(unsigned slot) noexcept;
+
+  std::vector<Slot> slots_;
+  std::atomic<unsigned> respawns_{0};
+};
+
+}  // namespace r2r::svc

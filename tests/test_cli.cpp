@@ -81,6 +81,20 @@ TEST(Cli, MalformedCampaignFlagsAreUsageErrors) {
   EXPECT_EQ(run_cli({"campaign", "nosuchguest"}).exit_code, 2);
 }
 
+// Count-like flags must reject values beyond their range instead of
+// silently wrapping through the unsigned narrowing (4294967297 == 1).
+TEST(Cli, CountFlagsRejectOverflowInsteadOfWrapping) {
+  const CliResult threads = run_cli({"campaign", "toymov", "--threads", "4294967297"});
+  EXPECT_EQ(threads.exit_code, 2);
+  EXPECT_NE(threads.err.find("--threads"), std::string::npos);
+  EXPECT_NE(threads.err.find("4294967297"), std::string::npos);
+  EXPECT_EQ(run_cli({"campaign", "toymov", "--pair-window", "99999999999999999999"})
+                .exit_code,
+            2);
+  EXPECT_EQ(run_cli({"fixpoint", "toymov", "--max-iterations", "4294967296"}).exit_code,
+            2);
+}
+
 // ---- lift -------------------------------------------------------------------
 
 TEST(Cli, LiftPrintsTheBirListing) {
@@ -275,12 +289,33 @@ TEST(Cli, BatchDiscoversBundleDirectoriesAndLifts) {
   EXPECT_NE(result.out.find("2 guest(s), 2 ok, 0 failed"), std::string::npos);
 }
 
-TEST(Cli, BatchFailuresTurnIntoRowsAndExitCode) {
+// A guest spec that cannot even be resolved is an *infrastructure* error
+// (exit 3, its own row status and summary count), distinct from a guest
+// that ran and failed its check (exit 1, "FAILED").
+TEST(Cli, BatchInfraErrorsAreDistinctFromCheckFailures) {
   const CliResult result =
       run_cli({"batch", "--cmd", "campaign", "toymov", "nosuchguest", "--model", "skip"});
-  EXPECT_EQ(result.exit_code, 1);
-  EXPECT_NE(result.out.find("FAILED"), std::string::npos);
-  EXPECT_NE(result.out.find("1 failed"), std::string::npos);
+  EXPECT_EQ(result.exit_code, 3);
+  EXPECT_NE(result.out.find("ERROR"), std::string::npos);
+  EXPECT_NE(result.out.find("2 guest(s), 1 ok, 0 failed, 1 errored"),
+            std::string::npos);
+  // JSON marks the row and counts the class separately.
+  const CliResult json = run_cli({"batch", "--cmd", "campaign", "toymov",
+                                  "nosuchguest", "--model", "skip", "--format", "json"});
+  EXPECT_EQ(json.exit_code, 3);
+  EXPECT_NE(json.out.find("\"errored\": true"), std::string::npos);
+  EXPECT_NE(json.out.find("\"errored\": 1"), std::string::npos);
+}
+
+// Duplicate guest specs resolve to the same work; the batch warns and runs
+// the guest once instead of paying for (and double-counting) it twice.
+TEST(Cli, BatchDeduplicatesRepeatedGuestSpecs) {
+  const CliResult result = run_cli(
+      {"batch", "--cmd", "campaign", "pincheck", "pincheck", "--model", "skip"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.err.find("duplicate guest spec 'pincheck'"), std::string::npos);
+  EXPECT_NE(result.out.find("1 guest(s), 1 ok, 0 failed, 0 errored"),
+            std::string::npos);
 }
 
 // ---- docs drift -------------------------------------------------------------

@@ -4,7 +4,9 @@
 // progress sink's no-stream-means-no-output contract.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -226,6 +228,54 @@ TEST(Progress, RendersFinalLineToInstalledStream) {
   EXPECT_NE(text.find("100.0%"), std::string::npos) << text;
   EXPECT_NE(text.find("(4/4)"), std::string::npos) << text;
   EXPECT_EQ(text.back(), '\n');  // the final render closes the line
+}
+
+TEST(Progress, ClearBlanksAPendingPartialLine) {
+  std::ostringstream sink;
+  obs::set_progress_stream(&sink);
+  const std::string blank = "\r" + std::string(78, ' ') + "\r";
+  {
+    obs::Progress progress("partial work", 10);
+    // Outlast the ~10 Hz render throttle so this tick definitely renders.
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    progress.tick(3);  // a '\r' partial line is now pending
+    EXPECT_EQ(sink.str().find(blank), std::string::npos);
+    obs::clear_partial_progress_line();
+    EXPECT_NE(sink.str().find(blank), std::string::npos) << sink.str();
+    const std::size_t after_clear = sink.str().size();
+    obs::clear_partial_progress_line();  // idempotent: nothing pending now
+    EXPECT_EQ(sink.str().size(), after_clear);
+  }
+  obs::set_progress_stream(nullptr);
+}
+
+TEST(Progress, ClearIsANoOpWhenNothingWasRendered) {
+  std::ostringstream sink;
+  obs::set_progress_stream(&sink);
+  obs::clear_partial_progress_line();
+  obs::set_progress_stream(nullptr);
+  EXPECT_TRUE(sink.str().empty()) << sink.str();
+}
+
+TEST(Progress, AbnormalExitClearsInsteadOfClaimingCompletion) {
+  std::ostringstream sink;
+  obs::set_progress_stream(&sink);
+  try {
+    obs::Progress progress("doomed work", 10);
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    progress.tick(3);
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  obs::set_progress_stream(nullptr);
+  const std::string text = sink.str();
+  // Unwinding must not print a final "100% in Xs" line for work that did
+  // not finish — the stale partial line is blanked so the error message
+  // starts at column 0.
+  EXPECT_EQ(text.find("100.0%"), std::string::npos) << text;
+  EXPECT_EQ(text.find('\n'), std::string::npos) << text;
+  const std::string blank = "\r" + std::string(78, ' ') + "\r";
+  EXPECT_EQ(text.substr(text.size() - blank.size()), blank);
 }
 
 TEST(Progress, ZeroTotalIsInert) {

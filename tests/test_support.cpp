@@ -5,6 +5,7 @@
 #include "support/bytes.h"
 #include "support/error.h"
 #include "support/rng.h"
+#include "support/sha256.h"
 #include "support/strings.h"
 
 namespace r2r::support {
@@ -179,6 +180,38 @@ TEST(Rng, JumpAdvancesState) {
   jumped.jump();
   Rng plain(5);
   EXPECT_NE(jumped.next(), plain.next());
+}
+
+// FIPS 180-4 / RFC 6234 test vectors — the daemon's cache keys are these
+// digests, so the implementation must match the standard exactly.
+TEST(Sha256, KnownVectors) {
+  EXPECT_EQ(sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  EXPECT_EQ(sha256_hex(std::string(1'000'000, 'a')),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  Sha256 streamed;
+  streamed.update("The quick brown fox ");
+  streamed.update("jumps over ");
+  streamed.update("the lazy dog");
+  EXPECT_EQ(streamed.hex_digest(),
+            sha256_hex("The quick brown fox jumps over the lazy dog"));
+}
+
+TEST(Sha256, BlockBoundaryLengths) {
+  // 55/56/64 bytes straddle the padding boundary cases of the 64-byte block.
+  for (const std::size_t length : {55u, 56u, 63u, 64u, 65u}) {
+    const std::string message(length, 'x');
+    Sha256 bytewise;
+    for (const char c : message) bytewise.update(&c, 1);
+    EXPECT_EQ(bytewise.hex_digest(), sha256_hex(message)) << length;
+  }
 }
 
 TEST(ErrorType, CarriesKindAndMessage) {

@@ -1,0 +1,15 @@
+// The standalone r2rd daemon binary: exactly `r2r serve`, for deployments
+// that want the service without shipping the whole driver (init units, CI
+// smoke jobs). All behaviour lives in src/cli/ and src/svc/; this
+// translation unit only prepends the subcommand.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args = {"serve"};
+  args.insert(args.end(), argv + 1, argv + argc);
+  return r2r::cli::run(args, std::cout, std::cerr);
+}
