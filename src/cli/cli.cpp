@@ -165,7 +165,7 @@ const std::vector<Command>& commands() {
        make_lift_parser, run_lift},
       {"harden", "produce a hardened ELF (Faulter+Patcher patterns or the Hybrid pass)",
        make_harden_parser, run_harden},
-      {"campaign", "run an order-1 or order-2 fault-injection campaign",
+      {"campaign", "run an order-1, order-2, or order-k fault-injection campaign",
        make_campaign_parser, run_campaign_cmd},
       {"fixpoint", "iterate the Faulter+Patcher loop to its fix-point and report it",
        make_fixpoint_parser, run_fixpoint},
@@ -322,16 +322,25 @@ void add_campaign_flags(ArgParser& parser) {
   }
   parser.add_flag({"--model", "LIST",
                    "comma-separated fault models to sweep: " + models, "skip,bit_flip"});
-  parser.add_flag({"--order", "N", "campaign order: 1 (single faults) or 2 (pairs)", "1"});
+  parser.add_flag({"--order", "N",
+                   "campaign order: 1 (single faults), 2 (pairs), or 3.." +
+                       std::to_string(fault::kMaxCampaignOrder) + " (k-tuples)",
+                   "1"});
   parser.add_flag({"--pair-window", "W",
-                   "order 2: max trace distance t2-t1 between the two faults", "8"});
+                   "order 2+: max trace distance between consecutive faults", "8"});
+  parser.add_flag({"--max-tuples", "N",
+                   "order 3+: sample at most N top-level tuples per sweep\n(seeded, "
+                   "thread-count independent; 0 = exhaustive)",
+                   "0"});
+  parser.add_flag({"--sample-seed", "S",
+                   "order 3+: RNG seed for the --max-tuples sample", "24301"});
   parser.add_flag({"--threads", "N",
                    "worker threads per sweep (0 = hardware concurrency);\nresults are "
                    "bit-identical for every value",
                    "1"});
   parser.add_flag({"--no-reuse", "",
-                   "order 2: simulate every pair instead of reusing order-1\nprofiles "
-                   "(bit-identical, much slower; a pruning-soundness check)",
+                   "order 2+: simulate every fault set instead of reusing\nlower-order "
+                   "profiles (bit-identical, much slower; a\npruning-soundness check)",
                    ""});
 }
 
@@ -355,11 +364,15 @@ fault::CampaignConfig campaign_config_from(const ArgParser& parser) {
     config.models = selected;
   }
   config.models.order = static_cast<unsigned>(parser.count_or("--order", 1));
-  if (config.models.order != 1 && config.models.order != 2) {
-    fail(ErrorKind::kInvalidArgument, "--order must be 1 or 2");
+  if (config.models.order < 1 || config.models.order > fault::kMaxCampaignOrder) {
+    fail(ErrorKind::kInvalidArgument,
+         "--order must be 1.." + std::to_string(fault::kMaxCampaignOrder));
   }
   config.models.pair_window =
       parser.count_or("--pair-window", config.models.pair_window);
+  config.models.max_tuples = parser.count_or("--max-tuples", config.models.max_tuples);
+  config.models.sample_seed =
+      parser.count_or("--sample-seed", config.models.sample_seed);
   config.threads = static_cast<unsigned>(parser.count_or("--threads", 1));
   config.pair_outcome_reuse = !parser.has("--no-reuse");
   return config;

@@ -79,13 +79,18 @@ struct BatchPlan {
   bool patterns = false;
 };
 
-std::vector<std::string> header_for(const std::string& cmd) {
+std::vector<std::string> header_for(const std::string& cmd, unsigned order) {
   if (cmd == "campaign") {
+    if (order >= 3) {
+      return {"guest", "status", "trace", "faults", "successful", "tuples",
+              "successful tuples", "strictly order-" + std::to_string(order)};
+    }
     return {"guest", "status", "trace", "faults", "successful", "pairs",
             "successful pairs", "strictly order-2"};
   }
   if (cmd == "fixpoint") {
-    return {"guest", "status", "iterations", "residual faults", "residual pairs",
+    return {"guest", "status", "iterations", "residual faults",
+            order >= 3 ? "residual sets" : "residual pairs",
             "order-1 overhead", "total overhead"};
   }
   if (cmd == "harden") {
@@ -116,11 +121,21 @@ BatchRow process_guest(const BatchPlan& plan, const std::string& spec) {
     const fault::CampaignResult result =
         fault::run_campaign(image, guest.good_input, guest.bad_input, plan.campaign);
     row.ok = true;
-    row.cells = {std::to_string(result.trace_length), std::to_string(result.total_faults),
-                 std::to_string(result.count(fault::Outcome::kSuccess)),
-                 std::to_string(result.total_pairs),
-                 std::to_string(result.pair_count(fault::Outcome::kSuccess)),
-                 std::to_string(result.strictly_second_order_count())};
+    if (plan.campaign.models.order >= 3) {
+      row.cells = {std::to_string(result.trace_length),
+                   std::to_string(result.total_faults),
+                   std::to_string(result.count(fault::Outcome::kSuccess)),
+                   std::to_string(result.total_tuples),
+                   std::to_string(result.tuple_count(fault::Outcome::kSuccess)),
+                   std::to_string(result.strictly_order_k_count())};
+    } else {
+      row.cells = {std::to_string(result.trace_length),
+                   std::to_string(result.total_faults),
+                   std::to_string(result.count(fault::Outcome::kSuccess)),
+                   std::to_string(result.total_pairs),
+                   std::to_string(result.pair_count(fault::Outcome::kSuccess)),
+                   std::to_string(result.strictly_second_order_count())};
+    }
     row.json = "\"campaign\": " + result.to_json();
   } else if (plan.cmd == "fixpoint") {
     patch::PipelineConfig config;
@@ -128,10 +143,16 @@ BatchRow process_guest(const BatchPlan& plan, const std::string& spec) {
     config.max_iterations = plan.max_iterations;
     const patch::PipelineResult result =
         patch::faulter_patcher(image, guest.good_input, guest.bad_input, config);
-    row.ok = plan.campaign.models.order >= 2 ? result.order2_fixpoint : result.fixpoint;
+    row.ok = plan.campaign.models.order >= 2 ? result.orderk_fixpoint : result.fixpoint;
+    // Residual fault sets at the requested order: pairs for order-2 runs,
+    // top-level tuples for order-3+ runs (whichever the final campaign ran).
+    const std::uint64_t residual_sets =
+        plan.campaign.models.order >= 3
+            ? result.final_campaign.tuple_vulnerabilities.size()
+            : result.final_campaign.pair_vulnerabilities.size();
     row.cells = {std::to_string(result.iterations.size()),
                  std::to_string(result.final_campaign.vulnerabilities.size()),
-                 std::to_string(result.final_campaign.pair_vulnerabilities.size()),
+                 std::to_string(residual_sets),
                  support::format_fixed(result.order1_overhead_percent(), 1) + "%",
                  support::format_fixed(result.overhead_percent(), 1) + "%"};
     row.json = "\"fixpoint\": " + result.to_json();
@@ -297,7 +318,7 @@ int run_batch(const ArgParser& args, std::ostream& out, std::ostream& err) {
             ",\n  \"errored\": " + std::to_string(errored) + "\n}\n";
   } else {
     harden::TextTable table;
-    table.add_row(header_for(plan.cmd));
+    table.add_row(header_for(plan.cmd, plan.campaign.models.order));
     for (const BatchRow& row : rows) {
       std::vector<std::string> cells = {
           row.name, !row.error.empty() ? "ERROR" : row.ok ? "ok" : "FAILED"};

@@ -1,5 +1,6 @@
 // r2r campaign — drive the sim:: engine against one guest: order-1 fault
-// sweeps or order-2 pair sweeps, with text/JSON/markdown reports.
+// sweeps, order-2 pair sweeps, or order-k tuple sweeps, with
+// text/JSON/markdown reports.
 #include <ostream>
 
 #include "cli/cli.h"
@@ -13,9 +14,10 @@ ArgParser make_campaign_parser() {
   ArgParser parser(
       "campaign", "<guest>",
       "Run a differential fault-injection campaign against the guest: record\n"
-      "the golden good/bad-input runs, then classify every allowed fault (or,\n"
-      "at --order 2, every fault pair) of the bad-input trace. Exits 0 when\n"
-      "the sweep completes, whatever it finds — a campaign is a measurement.");
+      "the golden good/bad-input runs, then classify every allowed fault (at\n"
+      "--order 2, every fault pair; at --order 3+, every fault k-tuple) of\n"
+      "the bad-input trace. Exits 0 when the sweep completes, whatever it\n"
+      "finds — a campaign is a measurement.");
   add_campaign_flags(parser);
   add_guest_flags(parser);
   add_format_flags(parser);
@@ -44,7 +46,18 @@ int run_campaign_cmd(const ArgParser& args, std::ostream& out, std::ostream& err
   const sim::Engine engine(image, guest.good_input, guest.bad_input, engine_config);
 
   std::string text;
-  if (config.models.order >= 2) {
+  if (config.models.order >= 3) {
+    const sim::TupleCampaignResult result = engine.run_tuples(config.models);
+    switch (format) {
+      case Format::kText:
+        text = harden::residual_tuple_fault_section(guest.name, result);
+        break;
+      case Format::kJson: text = result.to_json(); break;
+      case Format::kMarkdown:
+        text = harden::tuple_campaign_markdown_section(guest.name, result);
+        break;
+    }
+  } else if (config.models.order >= 2) {
     const sim::PairCampaignResult result = engine.run_pairs(config.models);
     switch (format) {
       case Format::kText:

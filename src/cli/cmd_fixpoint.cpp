@@ -1,6 +1,6 @@
-// r2r fixpoint — the full Faulter+Patcher loop (Fig. 2; order 2 closes the
-// paper's higher-order gap), with per-iteration reporting and the Table-V
-// overhead split.
+// r2r fixpoint — the full Faulter+Patcher loop (Fig. 2; order 2+ climbs the
+// reinforcement ladder that closes the paper's higher-order gap), with
+// per-iteration reporting and the Table-V overhead split.
 #include <ostream>
 
 #include "cli/cli.h"
@@ -16,11 +16,12 @@ ArgParser make_fixpoint_parser() {
       "fixpoint", "<guest>",
       "Iterate the Faulter+Patcher loop — campaign, map vulnerabilities to\n"
       "patch sites, apply the protection patterns, re-campaign — until no\n"
-      "patchable vulnerability remains. --order 2 continues past the order-1\n"
-      "fix-point, reinforcing every residual fault pair's sites until the\n"
-      "pair sweep comes back clean. Exits 0 only at a genuine fix-point.");
+      "patchable vulnerability remains. --order 2+ continues past the\n"
+      "order-1 fix-point, climbing an order ladder that reinforces every\n"
+      "residual fault pair's (then k-tuple's) sites until the sweep at the\n"
+      "requested order comes back clean. Exits 0 only at a genuine fix-point.");
   add_campaign_flags(parser);
-  parser.add_flag({"--max-iterations", "N", "iteration cap across both phases", "12"});
+  parser.add_flag({"--max-iterations", "N", "iteration cap across all phases", "12"});
   parser.add_flag({"--elf", "FILE", "also write the hardened ELF to FILE", ""});
   add_guest_flags(parser);
   add_format_flags(parser);
@@ -60,10 +61,10 @@ int run_fixpoint(const ArgParser& args, std::ostream& out, std::ostream& err) {
   }
 
   // Order 1: the paper's fix-point (no *patchable* vulnerability remains —
-  // unpatchable residue is reported, not a failure). Order 2: zero residual
-  // faults and pairs.
+  // unpatchable residue is reported, not a failure). Order 2+: zero residual
+  // fault sets at every level up to the requested order.
   const bool clean =
-      config.campaign.models.order >= 2 ? result.order2_fixpoint : result.fixpoint;
+      config.campaign.models.order >= 2 ? result.orderk_fixpoint : result.fixpoint;
   return clean ? 0 : 1;
 }
 

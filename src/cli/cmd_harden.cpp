@@ -23,7 +23,7 @@ ArgParser make_harden_parser() {
       "Harden the guest and write a loadable ELF64 executable. --hybrid\n"
       "(default) runs lift -> cleanup passes -> countermeasure pass -> lower;\n"
       "--patterns runs the Faulter+Patcher loop with the paper's local\n"
-      "protection patterns (honours the campaign flags, including --order 2).\n"
+      "protection patterns (honours the campaign flags, including --order).\n"
       "The hardened binary is re-run on both inputs; a behaviour change\n"
       "fails the command before anything is written.");
   parser.add_flag({"--hybrid", "", "use the Hybrid compiler-binary approach (Fig. 3)",
@@ -63,7 +63,11 @@ int run_harden(const ArgParser& args, std::ostream& out, std::ostream& err) {
     out << "faulter+patcher: " << result.iterations.size() << " iteration(s), fix-point "
         << (result.fixpoint ? "reached" : "NOT reached (cap hit)") << ", residual "
         << result.final_campaign.vulnerabilities.size() << " fault(s) / "
-        << result.final_campaign.pair_vulnerabilities.size() << " pair(s)\n";
+        << result.final_campaign.pair_vulnerabilities.size() << " pair(s)";
+    if (config.campaign.models.order >= 3) {
+      out << " / " << result.final_campaign.tuple_vulnerabilities.size() << " tuple(s)";
+    }
+    out << "\n";
     hardened = result.hardened;
   } else {
     harden::HybridConfig config;

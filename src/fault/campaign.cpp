@@ -20,6 +20,18 @@ std::uint64_t CampaignResult::strictly_second_order_count() const {
   return sim::strictly_higher_order(vulnerabilities, pair_vulnerabilities).size();
 }
 
+std::uint64_t CampaignResult::successful_lower_tuples() const {
+  std::uint64_t successful = 0;
+  for (std::size_t i = 0; i + 1 < tuple_levels.size(); ++i) {
+    successful += tuple_levels[i].successful;
+  }
+  return successful;
+}
+
+std::uint64_t CampaignResult::strictly_order_k_count() const {
+  return strictly_order_k(vulnerabilities, tuple_vulnerabilities).size();
+}
+
 std::string CampaignResult::to_json() const {
   const auto outcome_map = [](const std::map<Outcome, std::uint64_t>& counts) {
     std::string json = "{";
@@ -63,6 +75,39 @@ std::string CampaignResult::to_json() const {
     }
     json += "]";
   }
+  if (tuple_order != 0) {
+    json += ",\n  \"tuple_order\": " + std::to_string(tuple_order) + ",\n";
+    json += "  \"total_tuples\": " + std::to_string(total_tuples) + ",\n";
+    json += "  \"enumerated_tuples\": " + std::to_string(enumerated_tuples) + ",\n";
+    json += "  \"successful_tuples\": " + std::to_string(tuple_count(Outcome::kSuccess)) +
+            ",\n";
+    json += "  \"reused_tuples\": " + std::to_string(reused_tuples) + ",\n";
+    json += std::string("  \"tuples_sampled\": ") + (tuples_sampled ? "true" : "false") +
+            ",\n";
+    json += "  \"strictly_order_k\": " + std::to_string(strictly_order_k_count()) + ",\n";
+    json += "  \"successful_lower_tuples\": " + std::to_string(successful_lower_tuples()) +
+            ",\n";
+    json += "  \"tuple_levels\": [";
+    first = true;
+    for (const TupleLevelSummary& level : tuple_levels) {
+      if (!first) json += ", ";
+      first = false;
+      json += "{\"order\": " + std::to_string(level.order) +
+              ", \"classified\": " + std::to_string(level.classified) +
+              ", \"successful\": " + std::to_string(level.successful) + "}";
+    }
+    json += "],\n";
+    json += "  \"tuple_outcomes\": " + outcome_map(tuple_outcome_counts) + ",\n";
+    json += "  \"tuple_patch_sites\": [";
+    first = true;
+    for (const std::uint64_t site :
+         tuple_patch_sites(strictly_order_k(vulnerabilities, tuple_vulnerabilities))) {
+      if (!first) json += ", ";
+      first = false;
+      json += support::json_quote(support::hex_string(site));
+    }
+    json += "]";
+  }
   json += "\n}\n";
   return json;
 }
@@ -83,9 +128,10 @@ Oracle make_oracle(const elf::Image& image, const std::string& good_input,
 
 CampaignResult run_campaign(const elf::Image& image, const std::string& good_input,
                             const std::string& bad_input, const CampaignConfig& config) {
-  support::check(config.models.order == 1 || config.models.order == 2,
+  support::check(config.models.order >= 1 && config.models.order <= kMaxCampaignOrder,
                  support::ErrorKind::kExecution,
-                 "campaign order must be 1 (single faults) or 2 (fault pairs)");
+                 "campaign order must be 1 (single faults), 2 (fault pairs), or 3.." +
+                     std::to_string(kMaxCampaignOrder) + " (fault k-tuples)");
   sim::EngineConfig engine_config;
   engine_config.threads = config.threads;
   engine_config.detected_exit_code = config.detected_exit_code;
@@ -97,6 +143,22 @@ CampaignResult run_campaign(const elf::Image& image, const std::string& good_inp
   // The models go to the engine verbatim — CampaignConfig embeds the
   // engine's own struct precisely so there is no per-field copy to drift.
   CampaignResult result;
+  if (config.models.order >= 3) {
+    sim::TupleCampaignResult swept = engine.run_tuples(config.models);
+    result.vulnerabilities = std::move(swept.order1.vulnerabilities);
+    result.outcome_counts = std::move(swept.order1.outcome_counts);
+    result.total_faults = swept.order1.total_faults;
+    result.trace_length = swept.trace_length;
+    result.tuple_order = swept.order;
+    result.tuple_vulnerabilities = std::move(swept.vulnerabilities);
+    result.tuple_outcome_counts = std::move(swept.outcome_counts);
+    result.total_tuples = swept.total_tuples;
+    result.enumerated_tuples = swept.enumerated_tuples;
+    result.reused_tuples = swept.reused_tuples();
+    result.tuples_sampled = swept.sampled;
+    result.tuple_levels = std::move(swept.levels);
+    return result;
+  }
   if (config.models.order >= 2) {
     sim::PairCampaignResult swept = engine.run_pairs(config.models);
     result.vulnerabilities = std::move(swept.order1.vulnerabilities);

@@ -30,8 +30,17 @@ namespace r2r::fault {
 using sim::Outcome;
 using sim::pair_patch_sites;
 using sim::PairVulnerability;
+using sim::strictly_order_k;
 using sim::to_string;
+using sim::tuple_patch_sites;
+using sim::TupleLevelSummary;
+using sim::TupleVulnerability;
 using sim::Vulnerability;
+
+/// Highest campaign order the surfaces accept (protection patterns, CLI
+/// flags and the service agree on this bound; the sim engine itself is
+/// order-agnostic).
+inline constexpr unsigned kMaxCampaignOrder = 4;
 
 struct CampaignConfig {
   /// The fault models the campaign sweeps, handed to the sim:: engine
@@ -70,6 +79,18 @@ struct CampaignResult {
   std::uint64_t total_pairs = 0;
   std::uint64_t reused_pairs = 0;  ///< pairs classified without simulation
 
+  /// Order-k (>= 3) extension: filled only when models.order >= 3. The
+  /// order-1 fields above are still populated; the pair fields stay empty —
+  /// `tuple_levels` carries the per-level (order 2..k) residue instead.
+  unsigned tuple_order = 0;
+  std::vector<TupleVulnerability> tuple_vulnerabilities;
+  std::map<Outcome, std::uint64_t> tuple_outcome_counts;
+  std::uint64_t total_tuples = 0;       ///< classified at the top level
+  std::uint64_t enumerated_tuples = 0;  ///< full top-level space
+  std::uint64_t reused_tuples = 0;      ///< top-level tuples classified without simulation
+  bool tuples_sampled = false;          ///< the top level ran under a max_tuples budget
+  std::vector<TupleLevelSummary> tuple_levels;
+
   [[nodiscard]] std::uint64_t count(Outcome outcome) const {
     const auto it = outcome_counts.find(outcome);
     return it == outcome_counts.end() ? 0 : it->second;
@@ -78,6 +99,15 @@ struct CampaignResult {
     const auto it = pair_outcome_counts.find(outcome);
     return it == pair_outcome_counts.end() ? 0 : it->second;
   }
+  [[nodiscard]] std::uint64_t tuple_count(Outcome outcome) const {
+    const auto it = tuple_outcome_counts.find(outcome);
+    return it == tuple_outcome_counts.end() ? 0 : it->second;
+  }
+  /// Successful tuples at the intermediate levels (orders 2..k-1) of an
+  /// order-k campaign — lower-order residue the recursion surfaced anyway.
+  [[nodiscard]] std::uint64_t successful_lower_tuples() const;
+  /// Successful top-level tuples none of whose faults succeeds alone.
+  [[nodiscard]] std::uint64_t strictly_order_k_count() const;
   /// Distinct static instruction addresses with at least one successful
   /// fault — the paper's "number of vulnerable points".
   [[nodiscard]] std::vector<std::uint64_t> vulnerable_addresses() const;
@@ -87,7 +117,8 @@ struct CampaignResult {
 
   /// JSON document for downstream tooling: the order-1 counters and
   /// vulnerable addresses, plus the pair counters / implicated patch sites
-  /// when the campaign ran at order 2 (schema in docs/formats.md).
+  /// when the campaign ran at order 2, plus the tuple counters / level
+  /// summaries when it ran at order >= 3 (schema in docs/formats.md).
   [[nodiscard]] std::string to_json() const;
 };
 

@@ -7,6 +7,7 @@
 namespace r2r::sim {
 struct CampaignResult;
 struct PairCampaignResult;
+struct TupleCampaignResult;
 }  // namespace r2r::sim
 
 namespace r2r::patch {
@@ -42,6 +43,8 @@ std::string campaign_markdown_section(const std::string& binary_name,
                                       const sim::CampaignResult& campaign);
 std::string pair_campaign_markdown_section(const std::string& binary_name,
                                            const sim::PairCampaignResult& order2);
+std::string tuple_campaign_markdown_section(const std::string& binary_name,
+                                            const sim::TupleCampaignResult& tuples);
 std::string fixpoint_markdown_section(const std::string& binary_name,
                                       const patch::PipelineResult& result);
 
@@ -52,6 +55,13 @@ std::string fixpoint_markdown_section(const std::string& binary_name,
 std::string residual_double_fault_section(const std::string& binary_name,
                                           const sim::PairCampaignResult& order2);
 
+/// The residual-k-tuple section: what an order-k (k >= 3) campaign still
+/// finds — the per-level reuse/sampling telemetry of the recursive sweep
+/// and the successful k-tuples no order-1 sweep can surface, merged by
+/// static address chain.
+std::string residual_tuple_fault_section(const std::string& binary_name,
+                                         const sim::TupleCampaignResult& tuples);
+
 /// The fix-point trajectory section for a Faulter+Patcher run — the text
 /// rendering of patch::PipelineResult. Order-2 runs (order1_code_size set)
 /// delegate to order2_fixpoint_section; order-1 runs render the same
@@ -61,11 +71,13 @@ std::string residual_double_fault_section(const std::string& binary_name,
 std::string fixpoint_section(const std::string& binary_name,
                              const patch::PipelineResult& result);
 
-/// The order-2 fix-point section of a hardening report: the per-iteration
-/// trajectory of the pair-aware Faulter+Patcher loop (campaign order, faults
-/// and residual pairs found, implicated sites, patches applied, code size)
-/// plus the Table-V-style overhead split — what order-1 hardening cost, and
-/// what closing the order-2 gap added on top.
+/// The order-2+ fix-point section of a hardening report: the per-iteration
+/// trajectory of the ladder-aware Faulter+Patcher loop (campaign order,
+/// faults and residual pairs/tuples found, implicated sites, patches
+/// applied, code size) plus the Table-V-style overhead split — what order-1
+/// hardening cost, and what closing each higher-order gap added on top.
+/// Runs that climbed past order 2 get an extra order-k clean flag and the
+/// overhead-vs-k milestone trajectory.
 std::string order2_fixpoint_section(const std::string& binary_name,
                                     const patch::PipelineResult& result);
 

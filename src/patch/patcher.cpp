@@ -50,9 +50,9 @@ PatchStats apply_patches(bir::Module& module,
 }
 
 PatchStats reinforce_sites(bir::Module& module, std::vector<std::uint64_t> sites,
-                           std::uint64_t pair_window) {
+                           std::uint64_t pair_window, unsigned order) {
   return patch_addresses(module, std::move(sites), [&](std::size_t index) {
-    return reinforce_instruction(module, index, pair_window);
+    return reinforce_instruction(module, index, pair_window, order);
   });
 }
 
@@ -60,6 +60,12 @@ PatchStats apply_pair_patches(bir::Module& module,
                               const std::vector<fault::PairVulnerability>& pairs,
                               std::uint64_t pair_window) {
   return reinforce_sites(module, fault::pair_patch_sites(pairs), pair_window);
+}
+
+PatchStats apply_tuple_patches(bir::Module& module,
+                               const std::vector<fault::TupleVulnerability>& tuples,
+                               std::uint64_t pair_window, unsigned order) {
+  return reinforce_sites(module, fault::tuple_patch_sites(tuples), pair_window, order);
 }
 
 }  // namespace r2r::patch

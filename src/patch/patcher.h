@@ -31,16 +31,17 @@ struct PatchStats {
 PatchStats apply_patches(bir::Module& module,
                          const std::vector<fault::Vulnerability>& vulnerabilities);
 
-/// Order-2 analogue: reinforces each given static site once per call —
+/// Order-k analogue: reinforces each given static site once per call —
 /// original instructions get the ordinary order-1 pattern, synthesized
 /// countermeasure code gets the deeper redundancy patterns
-/// (reinforce_instruction). Sites with no applicable reinforcement are
-/// reported in `unpatchable`; a pair is only truly unpatchable when both
-/// of its sites are. Sites come from fault::pair_patch_sites (callers may
+/// (reinforce_instruction) at degree `order`. Sites with no applicable
+/// reinforcement are reported in `unpatchable`; a fault set is only truly
+/// unpatchable when all of its sites are. Sites come from
+/// fault::pair_patch_sites / fault::tuple_patch_sites (callers may
 /// pre-filter, e.g. addresses the order-1 patcher already protected in the
 /// same round).
 PatchStats reinforce_sites(bir::Module& module, std::vector<std::uint64_t> sites,
-                           std::uint64_t pair_window);
+                           std::uint64_t pair_window, unsigned order = 2);
 
 /// pair → site attribution + reinforcement in one step: reinforce_sites
 /// over fault::pair_patch_sites(pairs) — the first fault's address plus
@@ -48,5 +49,12 @@ PatchStats reinforce_sites(bir::Module& module, std::vector<std::uint64_t> sites
 PatchStats apply_pair_patches(bir::Module& module,
                               const std::vector<fault::PairVulnerability>& pairs,
                               std::uint64_t pair_window);
+
+/// tuple → site attribution + reinforcement in one step: reinforce_sites
+/// over fault::tuple_patch_sites(tuples) — every address a tuple's faults
+/// actually struck — at redundancy degree `order`.
+PatchStats apply_tuple_patches(bir::Module& module,
+                               const std::vector<fault::TupleVulnerability>& tuples,
+                               std::uint64_t pair_window, unsigned order);
 
 }  // namespace r2r::patch

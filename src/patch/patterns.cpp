@@ -689,58 +689,69 @@ PatternKind protect_instruction(bir::Module& module, std::size_t index) {
 }
 
 PatternKind reinforce_instruction(bir::Module& module, std::size_t index,
-                                  std::uint64_t pair_window) {
+                                  std::uint64_t pair_window, unsigned order) {
   if (index >= module.text.size()) return PatternKind::kNone;
   if (!module.text[index].is_instruction()) return PatternKind::kNone;
 
-  // Original instructions get the ordinary local pattern: an order-2
+  // Original instructions get the ordinary local pattern: a higher-order
   // campaign often implicates a check no single fault could defeat (a loop
   // back-edge branch, an accumulate) that order-1 patching left bare.
   if (!module.text[index].synthesized) return protect_instruction(module, index);
 
+  // Redundancy degree: an order-k attacker removes up to k dynamic
+  // instructions, so each application of a duplication pattern adds k-1
+  // copies (the fixpoint loop re-campaigns and reinforces again if that is
+  // still not deep enough).
+  const std::size_t copies = std::max<unsigned>(order, 2) - 1;
   const Instruction original = *module.text[index].instr;
   switch (original.mnemonic) {
-    case Mnemonic::kRet:
+    case Mnemonic::kRet: {
       // Skipping two adjacent rets falls through into the next function; a
-      // pair cannot skip three.
-      module.insert_after(index, {isa::ret()});
-      module.text[index + 1].synthesized = true;
+      // pair cannot skip three, and k more copies outlast any k-tuple.
+      module.insert_after(index, std::vector<Instruction>(copies, isa::ret()));
+      mark_synthesized(module, index + 1, copies);
       return PatternKind::kRetTriple;
+    }
     case Mnemonic::kCall: {
       // The pattern tails end in `re-branch; call handler`: one skip takes
-      // the wrong edge, a second swallows the lone detection call. With the
-      // call duplicated, the pair lands on the duplicate instead.
+      // the wrong edge, further skips swallow the detection calls. With the
+      // call duplicated deeper than the attacker's order, a copy survives.
       if (!isa::is_label(original.op(0)) ||
           std::get<isa::LabelOperand>(original.op(0)).name != kFaultHandlerSymbol) {
         return PatternKind::kNone;
       }
-      module.insert_after(index, {isa::call(std::string(kFaultHandlerSymbol))});
-      module.text[index + 1].synthesized = true;
+      module.insert_after(
+          index, std::vector<Instruction>(copies,
+                                          isa::call(std::string(kFaultHandlerSymbol))));
+      mark_synthesized(module, index + 1, copies);
       return PatternKind::kHandlerCallDup;
     }
     case Mnemonic::kMov: {
       // Idempotent synthesized movs (the call-guard poison, scratch
-      // re-materializations) are duplicated in place: the pair that skipped
-      // the mov plus its consumer now leaves the duplicate standing. A load
+      // re-materializations) are duplicated in place: the set that skipped
+      // the mov plus its consumer now leaves a duplicate standing. A load
       // whose destination feeds its own address computation is the one
       // non-idempotent shape.
       if (original.arity() != 2 || !isa::is_reg(original.op(0)) ||
           isa::is_label(original.op(1)) || aliased_address_reg(original)) {
         return PatternKind::kNone;
       }
-      module.insert_after(index, {original});
-      module.text[index + 1].synthesized = true;
+      module.insert_after(index, std::vector<Instruction>(copies, original));
+      mark_synthesized(module, index + 1, copies);
       return PatternKind::kGuardMovDup;
     }
     case Mnemonic::kCmp: {
-      // Pair-separated re-verification: re-execute the compare behind more
-      // than pair_window flag-neutral nops. Skipping the popfq that should
-      // restore real flags *and* the authoritative compare forged an
-      // "equal" for the consumer branch; no single pair spans the original
-      // compare and its far duplicate, and the nops between them are
-      // skip-transparent.
+      // Span-separated re-verification: re-execute the compare behind more
+      // than (order-1)·pair_window flag-neutral nops. Skipping the popfq
+      // that should restore real flags *and* the authoritative compare
+      // forged an "equal" for the consumer branch. An order-k tuple's
+      // consecutive gaps are bounded by the window, so its total span is at
+      // most (k-1)·window — even laddering faults through the nops cannot
+      // reach both the original compare and its far duplicate.
       std::vector<Instruction> seq;
-      for (std::uint64_t i = 0; i <= pair_window; ++i) seq.push_back(isa::nop());
+      const std::uint64_t span =
+          (std::max<unsigned>(order, 2) - 1) * pair_window;
+      for (std::uint64_t i = 0; i <= span; ++i) seq.push_back(isa::nop());
       seq.push_back(original);
       const std::size_t count = seq.size();
       module.insert_after(index, std::move(seq));
@@ -749,7 +760,7 @@ PatternKind reinforce_instruction(bir::Module& module, std::size_t index,
     }
     default:
       // No local reinforcement for this shape (popfq, pushes, the pattern
-      // branches themselves): the pair's other site carries the fix.
+      // branches themselves): another site of the set carries the fix.
       return PatternKind::kNone;
   }
 }

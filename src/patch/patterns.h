@@ -95,16 +95,23 @@ PatternKind classify_pattern(const bir::Module& module, std::size_t index);
 /// cmp operands, ...).
 PatternKind protect_instruction(bir::Module& module, std::size_t index);
 
-/// Order-2 reinforcement of the instruction at `index`, a site implicated
-/// in a residual fault pair (sim::PairCampaignResult::patch_sites).
-/// Original instructions get the ordinary order-1 pattern (a pair often
-/// defeats a *check* that no single fault could, e.g. a loop back-edge);
-/// synthesized countermeasure code — which protect_instruction refuses to
-/// touch — gets the deeper redundancy patterns above. Returns kNone when
-/// the site has no reinforcement (the pair's other site must carry the
-/// fix). `pair_window` sizes the kCmpFar separation.
+/// Order-k reinforcement of the instruction at `index`, a site implicated
+/// in a residual fault pair or tuple (sim::PairCampaignResult /
+/// sim::TupleCampaignResult patch_sites). Original instructions get the
+/// ordinary order-1 pattern (a fault set often defeats a *check* that no
+/// single fault could, e.g. a loop back-edge); synthesized countermeasure
+/// code — which protect_instruction refuses to touch — gets the deeper
+/// redundancy patterns above, at a redundancy degree scaled to `order`:
+/// the duplication patterns insert order-1 extra copies per application
+/// (an order-k attacker can skip k dynamic instructions), and kCmpFar
+/// places the far copy behind more than (order-1)·pair_window fillers — an
+/// order-k tuple's consecutive-gap windowing bounds its total span by
+/// (k-1)·window, so no swept tuple reaches both the original and the copy
+/// (k-tuples *can* ladder through the fillers, which a single window of
+/// separation would not survive). Returns kNone when the site has no
+/// reinforcement (another site of the set must carry the fix).
 PatternKind reinforce_instruction(bir::Module& module, std::size_t index,
-                                  std::uint64_t pair_window);
+                                  std::uint64_t pair_window, unsigned order = 2);
 
 /// True if arithmetic flags may be observed after item `index` before being
 /// rewritten (conservative forward scan; used to decide whether the mov

@@ -23,15 +23,48 @@ IterationReport make_report(const fault::CampaignResult& campaign, unsigned orde
   return report;
 }
 
+/// Lowest campaign order with a successful fault set, or 0 when the
+/// campaign is clean at every level it swept. Order-2 campaigns carry their
+/// level-2 residue in pair_vulnerabilities; order-3+ campaigns carry every
+/// level 2..k in tuple_levels (the top level's successes are both the last
+/// level summary and tuple_vulnerabilities).
+unsigned lowest_dirty_order(const fault::CampaignResult& campaign) {
+  if (!campaign.vulnerabilities.empty()) return 1;
+  if (!campaign.pair_vulnerabilities.empty()) return 2;
+  for (const fault::TupleLevelSummary& level : campaign.tuple_levels) {
+    if (level.successful != 0) return level.order;
+  }
+  return 0;
+}
+
+/// Latest-wins milestone bookkeeping: the ladder can drop back and re-prove
+/// an order clean at a larger code size; the trajectory reports the size
+/// that finally stuck.
+void record_milestone(std::vector<OrderMilestone>& milestones, unsigned order,
+                      std::uint64_t code_size) {
+  for (OrderMilestone& milestone : milestones) {
+    if (milestone.order == order) {
+      milestone.code_size = code_size;
+      return;
+    }
+  }
+  milestones.push_back({order, code_size});
+  std::sort(milestones.begin(), milestones.end(),
+            [](const OrderMilestone& a, const OrderMilestone& b) {
+              return a.order < b.order;
+            });
+}
+
 }  // namespace
 
 PipelineResult faulter_patcher(const elf::Image& input, const std::string& good_input,
                                const std::string& bad_input,
                                const PipelineConfig& config) {
   const unsigned requested_order = config.campaign.models.order;
-  support::check(requested_order == 1 || requested_order == 2,
+  support::check(requested_order >= 1 && requested_order <= fault::kMaxCampaignOrder,
                  support::ErrorKind::kExecution,
-                 "faulter_patcher: campaign.models.order must be 1 or 2");
+                 "faulter_patcher: campaign.models.order must be 1.." +
+                     std::to_string(fault::kMaxCampaignOrder));
 
   obs::Span run_span("fixpoint.run");
   static obs::Counter& iterations_total =
@@ -108,61 +141,89 @@ PipelineResult faulter_patcher(const elf::Image& input, const std::string& good_
     return result;
   }
 
-  // ---- phase 2: the order-2 reinforcement loop. Each pass sweeps fault
-  // pairs against the current image, maps every residual pair back to its
-  // static sites (first fault address + the address the second fault
-  // actually struck) and reinforces them; iterations count against the same
-  // cap as phase 1. The order-1 sweep is phase A of every pair sweep, so
-  // single-fault regressions introduced by reinforcement are caught — and
-  // patched — in the same pass.
+  // ---- phase 2: the order ladder. Each pass sweeps fault sets at the
+  // current rung (starting at pairs), maps every residual strictly-order-m
+  // set back to its static sites (every address its faults actually struck)
+  // and reinforces them at redundancy degree m; iterations count against
+  // the same cap as phase 1. The order-1 sweep is phase A of every
+  // higher-order sweep — and at order >= 3 every level 2..m-1 is swept on
+  // the way up — so regressions reinforcement introduces at a cheaper order
+  // are caught in the same pass and send the ladder back down to the lowest
+  // dirty rung. A rung proven clean advances the ladder and records its
+  // code size as that order's milestone (the overhead-vs-k trajectory).
   result.order1_code_size = result.hardened.code_size();
+  record_milestone(result.order_milestones, 1, result.order1_code_size);
   const std::uint64_t pair_window = config.campaign.models.pair_window;
   result.fixpoint = false;
-  result.hardened = elf::Image{};  // re-established by the order-2 loop
+  result.hardened = elf::Image{};  // re-established by the ladder
+
+  unsigned current_order = 2;
+  fault::CampaignConfig ladder_campaign = config.campaign;
 
   // The shared cap counts campaigns actually run: phase 1's fix-point pass
   // broke out before its ++, so resume from the report count.
   iteration = static_cast<unsigned>(result.iterations.size());
   for (; iteration < config.max_iterations; ++iteration) {
+    ladder_campaign.models.order = current_order;
     obs::Span iter_span("fixpoint.iteration",
-                        obs::args_u64({{"iteration", iteration}, {"order", 2}}));
+                        obs::args_u64({{"iteration", iteration},
+                                       {"order", current_order}}));
     iterations_total.add(1);
     elf::Image image = bir::assemble(result.module);
     fault::CampaignResult campaign = [&] {
       obs::Span span("fixpoint.campaign");
-      return fault::run_campaign(image, good_input, bad_input, config.campaign);
+      return fault::run_campaign(image, good_input, bad_input, ladder_campaign);
     }();
 
-    IterationReport report = make_report(campaign, 2, image.code_size());
+    IterationReport report = make_report(campaign, current_order, image.code_size());
     report.total_pairs = campaign.total_pairs;
     report.successful_pairs = campaign.pair_vulnerabilities.size();
-    iter_span.set_args(obs::args_u64({{"iteration", iteration},
-                                      {"order", 2},
-                                      {"total_pairs", report.total_pairs},
-                                      {"successful_pairs",
-                                       report.successful_pairs}}));
-    // Reinforce only the strictly-second-order pairs: a pair one of whose
-    // faults succeeds alone is just that order-1 vulnerability republished
-    // (reuse-from-first pads it with window-following golden addresses the
-    // second fault never strikes) — the order-1 patcher owns those sites.
-    const std::vector<fault::PairVulnerability> strict = sim::strictly_higher_order(
-        campaign.vulnerabilities, campaign.pair_vulnerabilities);
-    report.strictly_second_order = strict.size();
-    std::vector<std::uint64_t> sites = fault::pair_patch_sites(strict);
-    report.pair_patch_sites = sites.size();
+    report.total_tuples = campaign.total_tuples;
+    report.successful_tuples = campaign.tuple_vulnerabilities.size();
+    iter_span.set_args(obs::args_u64(
+        {{"iteration", iteration},
+         {"order", current_order},
+         {"successful_faults", report.successful_faults},
+         {"successful_pairs", report.successful_pairs},
+         {"successful_tuples", report.successful_tuples}}));
+    // Reinforce only the strictly-order-m sets: a set one of whose faults
+    // succeeds alone is just that order-1 vulnerability republished
+    // (reuse-from-first pads it with golden addresses the later faults
+    // never strike) — the order-1 patcher owns those sites.
+    std::vector<std::uint64_t> sites;
+    if (current_order == 2) {
+      const std::vector<fault::PairVulnerability> strict = sim::strictly_higher_order(
+          campaign.vulnerabilities, campaign.pair_vulnerabilities);
+      report.strictly_second_order = strict.size();
+      sites = fault::pair_patch_sites(strict);
+      report.pair_patch_sites = sites.size();
+    } else {
+      const std::vector<fault::TupleVulnerability> strict = fault::strictly_order_k(
+          campaign.vulnerabilities, campaign.tuple_vulnerabilities);
+      report.strictly_order_k = strict.size();
+      sites = fault::tuple_patch_sites(strict);
+      report.tuple_patch_sites = sites.size();
+    }
 
-    if (campaign.vulnerabilities.empty() && campaign.pair_vulnerabilities.empty()) {
-      result.hardened = std::move(image);
-      result.final_campaign = std::move(campaign);
-      result.fixpoint = true;
-      result.order2_fixpoint = true;
+    const unsigned dirty_order = lowest_dirty_order(campaign);
+    if (dirty_order == 0) {
+      record_milestone(result.order_milestones, current_order, image.code_size());
       result.iterations.push_back(report);
-      break;
+      if (current_order >= requested_order) {
+        result.hardened = std::move(image);
+        result.final_campaign = std::move(campaign);
+        result.fixpoint = true;
+        result.order2_fixpoint = true;
+        result.orderk_fixpoint = true;
+        break;
+      }
+      ++current_order;  // rung clean — climb (re-sweeping the same image)
+      continue;
     }
 
     obs::Span patch_span("fixpoint.patch");
     PatchStats stats = apply_patches(result.module, campaign.vulnerabilities);
-    // A site can be order-1 vulnerable *and* pair-implicated (a different
+    // A site can be order-1 vulnerable *and* set-implicated (a different
     // fault kind at the same address); the order-1 patcher just protected
     // those, so reinforcing them again would stack the identical pattern
     // twice in one pass. Sites apply_patches could not handle stay:
@@ -178,16 +239,18 @@ PipelineResult faulter_patcher(const elf::Image& input, const std::string& good_
                                                            patched.end(), site);
                                }),
                 sites.end());
-    const PatchStats pair_stats = reinforce_sites(result.module, std::move(sites),
-                                                  pair_window);
+    const PatchStats reinforce_stats = reinforce_sites(
+        result.module, std::move(sites), pair_window, current_order);
     patch_span.end();
-    for (const auto& [kind, count] : pair_stats.applied) stats.applied[kind] += count;
+    for (const auto& [kind, count] : reinforce_stats.applied) {
+      stats.applied[kind] += count;
+    }
     report.patches_applied = stats.total_applied();
     patches_total.add(stats.total_applied());
     // An address can be unpatchable to both passes; count it once.
     std::vector<std::uint64_t> unpatchable = stats.unpatchable;
-    unpatchable.insert(unpatchable.end(), pair_stats.unpatchable.begin(),
-                       pair_stats.unpatchable.end());
+    unpatchable.insert(unpatchable.end(), reinforce_stats.unpatchable.begin(),
+                       reinforce_stats.unpatchable.end());
     std::sort(unpatchable.begin(), unpatchable.end());
     unpatchable.erase(std::unique(unpatchable.begin(), unpatchable.end()),
                       unpatchable.end());
@@ -195,9 +258,17 @@ PipelineResult faulter_patcher(const elf::Image& input, const std::string& good_
     result.iterations.push_back(report);
 
     if (stats.total_applied() == 0) {
-      // No patch or reinforcement left anywhere — the phase-2 analogue of
+      if (dirty_order >= 2 && dirty_order < current_order) {
+        // This sweep's top level is clean but an intermediate level still
+        // succeeds, so there was no fault set to map to sites. Drop back to
+        // the dirty rung: its own sweep exposes that level's fault sets as
+        // top-level vulnerabilities the patcher can reach.
+        current_order = dirty_order;
+        continue;
+      }
+      // No patch or reinforcement left anywhere — the ladder analogue of
       // phase 1's fix-point with residual risk (e.g. an unpatchable order-1
-      // bit-flip residue, whose republished pairs are filtered above, so
+      // bit-flip residue, whose republished sets are filtered above, so
       // the loop does not burn the cap re-sweeping a binary it cannot
       // improve).
       result.hardened = std::move(image);
@@ -205,19 +276,29 @@ PipelineResult faulter_patcher(const elf::Image& input, const std::string& good_
       result.fixpoint = true;
       break;
     }
+    // Something was patched. Resume at the lowest dirty rung (never below
+    // 2 — singles ride along in every sweep) so cheap sweeps clear cheap
+    // regressions before the next expensive order-m sweep.
+    if (dirty_order >= 2 && dirty_order < current_order) current_order = dirty_order;
   }
 
   if (result.hardened.segments.empty()) {
-    // Iteration cap hit: report the state of the last reinforced module.
-    // (When phase 1 consumed the whole cap, this is the first — and only —
-    // order-2 campaign, so the caller still gets pair data.) A clean final
-    // campaign is a genuine fix point even at the cap.
+    // Iteration cap hit: report the state of the last reinforced module
+    // against the *requested* order. (When phase 1 consumed the whole cap,
+    // this is the first — and only — higher-order campaign, so the caller
+    // still gets pair/tuple data.) A clean final campaign is a genuine fix
+    // point even at the cap.
     result.hardened = bir::assemble(result.module);
     result.final_campaign =
         fault::run_campaign(result.hardened, good_input, bad_input, config.campaign);
-    result.order2_fixpoint = result.final_campaign.vulnerabilities.empty() &&
-                             result.final_campaign.pair_vulnerabilities.empty();
-    result.fixpoint = result.order2_fixpoint;
+    const bool clean = lowest_dirty_order(result.final_campaign) == 0;
+    result.orderk_fixpoint = clean;
+    result.order2_fixpoint = clean;
+    result.fixpoint = clean;
+    if (clean) {
+      record_milestone(result.order_milestones, requested_order,
+                       result.hardened.code_size());
+    }
   }
   result.hardened_code_size = result.hardened.code_size();
   return result;
@@ -228,6 +309,8 @@ std::string PipelineResult::to_json() const {
   json += "  \"fixpoint\": " + std::string(fixpoint ? "true" : "false") + ",\n";
   json += "  \"order2_fixpoint\": " + std::string(order2_fixpoint ? "true" : "false") +
           ",\n";
+  json += "  \"orderk_fixpoint\": " + std::string(orderk_fixpoint ? "true" : "false") +
+          ",\n";
   json += "  \"original_code_size\": " + std::to_string(original_code_size) + ",\n";
   json += "  \"order1_code_size\": " + std::to_string(order1_code_size) + ",\n";
   json += "  \"hardened_code_size\": " + std::to_string(hardened_code_size) + ",\n";
@@ -237,6 +320,22 @@ std::string PipelineResult::to_json() const {
           support::format_fixed(order1_overhead_percent(), 1) + ",\n";
   json += "  \"order2_overhead_delta_percent\": " +
           support::format_fixed(order2_overhead_delta_percent(), 1) + ",\n";
+  json += "  \"order_milestones\": [";
+  for (std::size_t i = 0; i < order_milestones.size(); ++i) {
+    const OrderMilestone& milestone = order_milestones[i];
+    const double overhead =
+        original_code_size == 0
+            ? 0.0
+            : 100.0 *
+                  (static_cast<double>(milestone.code_size) -
+                   static_cast<double>(original_code_size)) /
+                  static_cast<double>(original_code_size);
+    if (i != 0) json += ", ";
+    json += "{\"order\": " + std::to_string(milestone.order) +
+            ", \"code_size\": " + std::to_string(milestone.code_size) +
+            ", \"overhead_percent\": " + support::format_fixed(overhead, 1) + "}";
+  }
+  json += "],\n";
   json += "  \"iterations\": [\n";
   for (std::size_t i = 0; i < iterations.size(); ++i) {
     const IterationReport& it = iterations[i];
@@ -249,7 +348,11 @@ std::string PipelineResult::to_json() const {
             ", \"total_pairs\": " + std::to_string(it.total_pairs) +
             ", \"successful_pairs\": " + std::to_string(it.successful_pairs) +
             ", \"strictly_second_order\": " + std::to_string(it.strictly_second_order) +
-            ", \"pair_patch_sites\": " + std::to_string(it.pair_patch_sites) + "}";
+            ", \"pair_patch_sites\": " + std::to_string(it.pair_patch_sites) +
+            ", \"total_tuples\": " + std::to_string(it.total_tuples) +
+            ", \"successful_tuples\": " + std::to_string(it.successful_tuples) +
+            ", \"strictly_order_k\": " + std::to_string(it.strictly_order_k) +
+            ", \"tuple_patch_sites\": " + std::to_string(it.tuple_patch_sites) + "}";
     json += i + 1 < iterations.size() ? ",\n" : "\n";
   }
   json += "  ],\n";

@@ -8,13 +8,15 @@
 // iteration cap is hit. Patching changes distances between instructions and
 // can surface new vulnerabilities, exactly as Section IV-B.3 describes.
 //
-// Order-2 mode (campaign.models.order == 2): once the order-1 fix-point is
-// reached, the loop continues with order-2 campaigns — every residual fault
-// *pair* is mapped back to its static patch sites and the sites are
-// reinforced with the deeper redundancy patterns (reinforce_instruction),
-// iterating until no successful pair remains. This closes the gap the
-// paper's Fig. 2 leaves open: its loop only ever re-runs order-1 campaigns,
-// so it declares victory on binaries a two-glitch attacker still breaks.
+// Order-k mode (campaign.models.order == k >= 2): once the order-1
+// fix-point is reached, the loop climbs an order ladder — campaigns at
+// order m map every residual strictly-order-m fault set back to its static
+// patch sites and reinforce them at redundancy degree m
+// (reinforce_instruction), advancing to order m+1 only when order m is
+// clean and dropping back to the lowest dirty level whenever reinforcement
+// regresses a cheaper order. This closes the gap the paper's Fig. 2 leaves
+// open: its loop only ever re-runs order-1 campaigns, so it declares
+// victory on binaries a k-glitch attacker still breaks.
 #pragma once
 
 #include <cstdint>
@@ -29,8 +31,9 @@ namespace r2r::patch {
 
 struct PipelineConfig {
   /// campaign.models.order selects the fix-point target: 1 = the paper's
-  /// loop, 2 = order-1 fix-point followed by the order-2 reinforcement
-  /// loop. The iteration cap is shared across both phases.
+  /// loop, k >= 2 = order-1 fix-point followed by the order ladder up to
+  /// order-k reinforcement (campaign.models.max_tuples / sample_seed bound
+  /// the order-3+ sweeps). The iteration cap is shared across all phases.
   fault::CampaignConfig campaign;
   unsigned max_iterations = 12;
 };
@@ -47,6 +50,18 @@ struct IterationReport {
   std::uint64_t successful_pairs = 0;        ///< residual pairs found
   std::uint64_t strictly_second_order = 0;   ///< invisible to any order-1 sweep
   std::uint64_t pair_patch_sites = 0;        ///< distinct static sites implicated
+  // Order-3+ iterations only:
+  std::uint64_t total_tuples = 0;        ///< k-tuples in the swept space
+  std::uint64_t successful_tuples = 0;   ///< residual top-level tuples found
+  std::uint64_t strictly_order_k = 0;    ///< sharing no fault with an order-1 vuln
+  std::uint64_t tuple_patch_sites = 0;   ///< distinct static sites implicated
+};
+
+/// One point of the overhead-vs-k trajectory: the code size at which a
+/// campaign order was last proven clean by the ladder.
+struct OrderMilestone {
+  unsigned order = 0;            ///< campaign order proven clean
+  std::uint64_t code_size = 0;   ///< bytes of .text at that order's fix-point
 };
 
 struct PipelineResult {
@@ -55,14 +70,26 @@ struct PipelineResult {
   std::vector<IterationReport> iterations;
   fault::CampaignResult final_campaign;  ///< campaign against the final image
   bool fixpoint = false;         ///< no patchable vulnerabilities remain
-  /// Order-2 mode: the final campaign found zero successful pairs (and zero
-  /// successful single faults). Always false when order 1 was requested.
+  /// Order-2+ mode: the final campaign found zero successful pairs (and zero
+  /// successful single faults). Always false when order 1 was requested; at
+  /// order >= 3 this follows from orderk_fixpoint (a clean order-k sweep
+  /// includes a clean level-2 pass).
   bool order2_fixpoint = false;
+  /// Order-2+ mode: the final campaign at the *requested* order found zero
+  /// successful fault sets at every level (singles and every tuple level
+  /// 2..k). Equals order2_fixpoint when order 2 was requested; always false
+  /// when order 1 was requested.
+  bool orderk_fixpoint = false;
   std::uint64_t original_code_size = 0;
   std::uint64_t hardened_code_size = 0;
   /// Order-2 mode: bytes of .text at the order-1 fix-point — the baseline
   /// of the order-2 overhead delta. Zero when order 1 was requested.
   std::uint64_t order1_code_size = 0;
+  /// Overhead-vs-k trajectory, ascending by order: code size at each order's
+  /// latest clean sweep (order 1 mirrors order1_code_size; the requested
+  /// order appears only if the ladder proved it clean). Empty when order 1
+  /// was requested.
+  std::vector<OrderMilestone> order_milestones;
 
   /// Code-size overhead percentage — the paper's Table V metric.
   [[nodiscard]] double overhead_percent() const noexcept {

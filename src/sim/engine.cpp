@@ -12,8 +12,11 @@
 #include <unordered_set>
 #include <utility>
 
+#include <unordered_map>
+
 #include "obs/obs.h"
 #include "support/error.h"
+#include "support/rng.h"
 #include "support/strings.h"
 
 namespace r2r::sim {
@@ -139,6 +142,218 @@ void for_each_pair(const std::vector<PlannedFault>& plan,
       for (std::size_t j = ranges[t2].first; j < ranges[t2].second; ++j) fn(i, j);
     }
   }
+}
+
+/// Order-k enumeration geometry. A level-s tuple is s faults at strictly
+/// ascending trace indices with every consecutive gap in (0, window]; the
+/// canonical order is lexicographic over (plan index of fault 1, plan index
+/// of fault 2, ...), which for s == 2 is exactly for_each_pair's order.
+/// Because every fault at trace index t roots an identical subtree, the
+/// subtree sizes form a per-trace-index DP:
+///
+///   subtree[1][t] = 1
+///   subtree[s][t] = Σ_{u in (t, t+window]} faults(u) · subtree[s-1][u]
+///
+/// which gives exact O(window)-per-step ranking and unranking of tuples
+/// within the canonical order — the basis of both the recursive outcome
+/// lookup (suffix tuple → its rank in the previous level) and the budgeted
+/// sampling (rank → tuple). Counts saturate at kTupleCountCap; a saturated
+/// space is refused before anything depends on exact arithmetic.
+constexpr std::uint64_t kTupleCountCap = 1ULL << 63;
+
+struct TupleSpace {
+  std::uint64_t window = 0;
+  /// subtree[s][t] for s in 1..order (subtree[0] unused).
+  std::vector<std::vector<std::uint64_t>> subtree;
+  /// group_prefix[s][i] = Σ_{i' < i} subtree[s][trace(plan[i'])] — the rank
+  /// of the first level-s tuple whose first fault is plan index i; the last
+  /// entry is the full level-s count.
+  std::vector<std::vector<std::uint64_t>> group_prefix;
+  bool saturated = false;
+
+  [[nodiscard]] std::uint64_t level_count(unsigned s) const {
+    return group_prefix[s].back();
+  }
+};
+
+TupleSpace make_tuple_space(const std::vector<PlannedFault>& plan,
+                            const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+                            std::uint64_t pair_window, unsigned order) {
+  using u128 = unsigned __int128;
+  const std::uint64_t trace_length = ranges.size();
+  TupleSpace space;
+  space.window = std::min(pair_window, trace_length);
+  space.subtree.assign(order + 1, {});
+  space.group_prefix.assign(order + 1, {});
+  space.subtree[1].assign(trace_length, 1);
+  for (unsigned s = 2; s <= order; ++s) {
+    // 128-bit prefix sums keep the windowed sums exact (each term is below
+    // the cap and the trace is far below 2^32, so the running sum fits);
+    // only the clamp back to 64 bits can mark saturation.
+    std::vector<u128> prefix(trace_length + 1, 0);
+    for (std::uint64_t u = 0; u < trace_length; ++u) {
+      const std::uint64_t faults = ranges[u].second - ranges[u].first;
+      prefix[u + 1] = prefix[u] + static_cast<u128>(faults) * space.subtree[s - 1][u];
+    }
+    space.subtree[s].assign(trace_length, 0);
+    for (std::uint64_t t = 0; t + 1 < trace_length; ++t) {
+      const std::uint64_t last = std::min(t + space.window, trace_length - 1);
+      u128 sum = prefix[last + 1] - prefix[t + 1];
+      if (sum >= kTupleCountCap) {
+        sum = kTupleCountCap;
+        space.saturated = true;
+      }
+      space.subtree[s][t] = static_cast<std::uint64_t>(sum);
+    }
+  }
+  for (unsigned s = 1; s <= order; ++s) {
+    std::vector<std::uint64_t>& prefix = space.group_prefix[s];
+    prefix.assign(plan.size() + 1, 0);
+    u128 total = 0;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      total += space.subtree[s][plan[i].spec.trace_index];
+      if (total >= kTupleCountCap) {
+        total = kTupleCountCap;
+        space.saturated = true;
+      }
+      prefix[i + 1] = static_cast<std::uint64_t>(total);
+    }
+  }
+  return space;
+}
+
+/// Rank of `tuple` (arity order-1 plan indices) within the canonical
+/// level-`arity` enumeration. Exact for non-saturated spaces.
+std::uint64_t tuple_rank(const TupleSpace& space, const std::vector<PlannedFault>& plan,
+                         const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+                         const std::uint32_t* tuple, std::size_t arity) {
+  std::uint64_t rank = space.group_prefix[arity][tuple[0]];
+  std::uint64_t cur = plan[tuple[0]].spec.trace_index;
+  for (std::size_t j = 1; j < arity; ++j) {
+    const auto s = static_cast<unsigned>(arity - j);
+    const std::uint32_t g = tuple[j];
+    const std::uint64_t t = plan[g].spec.trace_index;
+    for (std::uint64_t u = cur + 1; u < t; ++u) {
+      rank += (ranges[u].second - ranges[u].first) * space.subtree[s][u];
+    }
+    rank += (g - ranges[t].first) * space.subtree[s][t];
+    cur = t;
+  }
+  return rank;
+}
+
+/// Inverse of tuple_rank restricted to one first-fault group: materialises
+/// the tuple with first fault `first` and rank `rank` within its subtree.
+void tuple_unrank(const TupleSpace& space, const std::vector<PlannedFault>& plan,
+                  const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+                  std::uint32_t first, std::uint64_t rank, std::size_t arity,
+                  std::uint32_t* out) {
+  out[0] = first;
+  std::uint64_t cur = plan[first].spec.trace_index;
+  for (std::size_t j = 1; j < arity; ++j) {
+    const auto s = static_cast<unsigned>(arity - j);
+    for (std::uint64_t t = cur + 1;; ++t) {
+      const std::uint64_t per_fault = space.subtree[s][t];
+      const std::uint64_t block = (ranges[t].second - ranges[t].first) * per_fault;
+      if (rank < block) {
+        out[j] = static_cast<std::uint32_t>(ranges[t].first + rank / per_fault);
+        rank %= per_fault;
+        cur = t;
+        break;
+      }
+      rank -= block;
+    }
+  }
+}
+
+/// Materialises the full level-`arity` enumeration (canonical order) into
+/// `flat`, arity plan indices per tuple.
+void emit_level(const TupleSpace& space, const std::vector<PlannedFault>& plan,
+                const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+                std::size_t arity, std::vector<std::uint32_t>& flat) {
+  const std::uint64_t trace_length = ranges.size();
+  std::vector<std::uint32_t> stack(arity);
+  const auto rec = [&](const auto& self, std::size_t depth, std::uint64_t cur) -> void {
+    if (depth == arity) {
+      flat.insert(flat.end(), stack.begin(), stack.end());
+      return;
+    }
+    const auto s = static_cast<unsigned>(arity - depth);
+    const std::uint64_t last = std::min(cur + space.window, trace_length - 1);
+    for (std::uint64_t t = cur + 1; t <= last; ++t) {
+      if (space.subtree[s][t] == 0) continue;  // no completions from here
+      for (std::size_t j = ranges[t].first; j < ranges[t].second; ++j) {
+        stack[depth] = static_cast<std::uint32_t>(j);
+        self(self, depth + 1, t);
+      }
+    }
+  };
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    if (space.subtree[arity][plan[i].spec.trace_index] == 0) continue;
+    stack[0] = static_cast<std::uint32_t>(i);
+    rec(rec, 1, plan[i].spec.trace_index);
+  }
+}
+
+/// Draws exactly `budget` distinct level-`arity` tuples, rank-uniform over
+/// the whole space, into canonical-order `flat`. Deterministic in
+/// (seed, plan) only: the budget is split across first-fault groups by the
+/// cumulative-floor rule (group g gets floor(B·cum[g+1]/N) −
+/// floor(B·cum[g]/N) tuples, which sums to exactly B and lands each group's
+/// output at offset floor(B·cum[g]/N)), and within a group the ranks are
+/// drawn by Floyd's distinct-sampling with an Rng::for_stream substream
+/// keyed on the group's shard — never on worker threads — so the sampled
+/// set is identical at every thread count.
+std::vector<std::uint32_t> sample_level(
+    const TupleSpace& space, const std::vector<PlannedFault>& plan,
+    const std::vector<std::pair<std::size_t, std::size_t>>& ranges, std::size_t arity,
+    std::uint64_t budget, std::uint64_t seed, unsigned threads) {
+  using u128 = unsigned __int128;
+  const std::vector<std::uint64_t>& cum = space.group_prefix[arity];
+  const std::uint64_t total = cum.back();
+  // Output offset of group g under the cumulative-floor split.
+  const auto offset_of = [&](std::size_t g) {
+    return static_cast<std::uint64_t>(static_cast<u128>(budget) * cum[g] / total);
+  };
+
+  std::vector<std::uint32_t> flat(budget * arity);
+  const std::size_t shards =
+      std::max<std::size_t>(1, std::min<std::size_t>(256, plan.size()));
+  run_sharded_state(
+      threads, shards, /*chunk=*/1, "sim.tuple_sampler", nullptr, []() { return 0; },
+      [&](int&, std::size_t shard) {
+        support::Rng rng = support::Rng::for_stream(seed, static_cast<unsigned>(shard));
+        const std::size_t lo = shard * plan.size() / shards;
+        const std::size_t hi = (shard + 1) * plan.size() / shards;
+        std::vector<std::uint64_t> picks;
+        std::unordered_set<std::uint64_t> seen;
+        for (std::size_t g = lo; g < hi; ++g) {
+          const std::uint64_t quota = offset_of(g + 1) - offset_of(g);
+          if (quota == 0) continue;
+          const std::uint64_t group_size = space.subtree[arity][plan[g].spec.trace_index];
+          picks.clear();
+          seen.clear();
+          if (quota >= group_size) {
+            for (std::uint64_t r = 0; r < group_size; ++r) picks.push_back(r);
+          } else {
+            // Floyd: for r in [size-quota, size), pick uniform v in [0, r];
+            // on collision take r itself (guaranteed fresh).
+            for (std::uint64_t r = group_size - quota; r < group_size; ++r) {
+              const std::uint64_t v = rng.next_below(r + 1);
+              picks.push_back(seen.insert(v).second ? v : r);
+              if (picks.back() == r && v != r) seen.insert(r);
+            }
+            std::sort(picks.begin(), picks.end());
+          }
+          std::uint64_t slot = offset_of(g);
+          for (const std::uint64_t rank : picks) {
+            tuple_unrank(space, plan, ranges, static_cast<std::uint32_t>(g), rank, arity,
+                         &flat[slot * arity]);
+            ++slot;
+          }
+        }
+      });
+  return flat;
 }
 
 /// make_references wrapped in a span so golden-run recording shows up in
@@ -625,7 +840,7 @@ CampaignResult Engine::aggregate_order1(const std::vector<PlannedFault>& plan,
 CampaignResult Engine::run(const FaultModels& models) const {
   check(models.order == 1, ErrorKind::kExecution,
         "the order-1 sweep requires FaultModels::order == 1; order-2 models "
-        "go to run_pairs()");
+        "go to run_pairs(), order-k models to run_tuples()");
   const std::vector<PlannedFault> plan = enumerate_faults(models, refs_.bad_trace);
   std::vector<FaultProfile> profiles;
   std::atomic<std::uint64_t> pruned_total{0};
@@ -833,6 +1048,270 @@ PairCampaignResult Engine::run_pairs(const FaultModels& models) const {
   return result;
 }
 
+Outcome Engine::simulate_tuple(emu::Machine& machine, const std::uint32_t* tuple,
+                               std::size_t arity, const std::vector<PlannedFault>& plan,
+                               std::uint64_t* hits,
+                               std::atomic<std::uint64_t>& converged) const {
+  const std::uint64_t t1 = plan[tuple[0]].spec.trace_index;
+  const std::size_t nearest = std::min<std::size_t>(t1 / interval_, chain_.size() - 1);
+  timed_restore(chain_[nearest], machine);
+
+  // Legs 1..arity-1: run with fault i armed, pausing just before fault
+  // i+1's injection point. A leg that terminates classifies the whole tuple
+  // (the remaining faults never fire; their hit slots keep the caller's
+  // golden pre-fill, matching what the reuse rules report for the tuple).
+  RunConfig config;
+  for (std::size_t leg = 1; leg < arity; ++leg) {
+    config.fault = plan[tuple[leg - 1]].spec;
+    config.fuel = std::min(plan[tuple[leg]].spec.trace_index, fuel_);
+    const RunResult run = machine.run(config);
+    if (run.reason != StopReason::kFuelExhausted || config.fuel >= fuel_) {
+      return classify(refs_, run, config_.detected_exit_code);
+    }
+    // Paused exactly before dynamic step t(leg): rip is the instruction the
+    // next fault actually strikes.
+    hits[leg - 1] = machine.cpu().rip;
+  }
+
+  // Final leg: the last fault armed, with the same convergence pruning as
+  // the order-1 sweep past its injection point.
+  const std::uint64_t t_last = plan[tuple[arity - 1]].spec.trace_index;
+  return finish_with_pruning(machine, plan[tuple[arity - 1]].spec,
+                             (t_last / interval_ + 1) * interval_, converged)
+      .outcome;
+}
+
+TupleCampaignResult Engine::run_tuples(const FaultModels& models) const {
+  check(models.order >= 2, ErrorKind::kExecution,
+        "run_tuples() requires FaultModels::order >= 2");
+  const unsigned order = models.order;
+  const std::vector<PlannedFault> plan = enumerate_faults(models, refs_.bad_trace);
+  check(plan.size() <= std::numeric_limits<std::uint32_t>::max(), ErrorKind::kExecution,
+        "order-k sweep: order-1 plan exceeds 2^32 faults");
+  const auto ranges = index_ranges(plan, refs_.bad_trace.size());
+  const TupleSpace space = make_tuple_space(plan, ranges, models.pair_window, order);
+
+  TupleCampaignResult result;
+  result.order = order;
+  result.trace_length = refs_.bad_trace.size();
+  result.pair_window = models.pair_window;
+  result.max_tuples = models.max_tuples;
+  result.sample_seed = models.sample_seed;
+
+  obs::Span run_span("sim.run_tuples", obs::args_u64({{"order", order}}));
+  obs::Metrics::instance().gauge("sim.tuples_per_second").set(0);
+  const std::uint64_t tuples_begin = obs::now_ns();
+
+  // ---- phase A: profile every single fault (the order-1 sweep plus the
+  // reconvergence/termination metadata every level prunes with).
+  std::vector<FaultProfile> profiles;
+  std::atomic<std::uint64_t> pruned_total{0};
+  unsigned threads_used = 0;
+  {
+    obs::Span span("sim.tuples_profile", obs::args_u64({{"faults", plan.size()}}));
+    obs::Progress progress("order-" + std::to_string(order) + " profile", plan.size());
+    threads_used = profile_all(plan, profiles, pruned_total, progress);
+  }
+  std::vector<Outcome> order1_outcomes(profiles.size());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    order1_outcomes[i] = profiles[i].outcome;
+  }
+  result.order1 =
+      aggregate_order1(plan, order1_outcomes, pruned_total.load(), threads_used);
+  record_order1_metrics(result.order1);
+
+  const bool reuse = config_.pair_outcome_reuse && config_.convergence_pruning;
+  enum : std::uint8_t { kSimulate = 0, kFromSuffix = 1, kFromPrefix = 2 };
+
+  // ---- levels m = 2..k, bottom-up. Each level is classified against the
+  // previous one: a first fault that reconverged with golden before the
+  // second strikes reduces the m-tuple to its (m-1)-tail on the golden run
+  // (outcome looked up by the tail's rank in level m-1), and one that
+  // terminated reduces it to the first fault alone. Both rules are exact,
+  // so the pruning compounds across levels without losing bit-identity.
+  std::vector<Outcome> prev_outcomes;                               // level m-1, by rank
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> prev_hits;
+  for (unsigned m = 2; m <= order; ++m) {
+    TupleLevelSummary level;
+    level.order = m;
+    level.enumerated = space.level_count(m);
+    const bool top = m == order;
+
+    std::vector<std::uint32_t> flat;
+    if (top && models.max_tuples != 0 && level.enumerated > models.max_tuples) {
+      check(!space.saturated && level.enumerated < kTupleCountCap, ErrorKind::kExecution,
+            "order-k sweep: tuple space exceeds 2^63; narrow the fault models "
+            "or pair_window");
+      level.sampled = true;
+      level.classified = models.max_tuples;
+      obs::Span span("sim.tuples_sample",
+                     obs::args_u64({{"order", m}, {"budget", models.max_tuples}}));
+      flat = sample_level(space, plan, ranges, m, models.max_tuples, models.sample_seed,
+                          config_.threads);
+    } else {
+      check(level.enumerated <= config_.max_planned_tuples, ErrorKind::kExecution,
+            "order-k sweep: level " + std::to_string(m) + " materialises " +
+                std::to_string(level.enumerated) +
+                " tuples, over EngineConfig::max_planned_tuples (" +
+                std::to_string(config_.max_planned_tuples) + "); " +
+                (top ? "set FaultModels::max_tuples to sample the top level"
+                     : "narrow the fault models or pair_window"));
+      level.classified = level.enumerated;
+      flat.reserve(static_cast<std::size_t>(level.enumerated) * m);
+      emit_level(space, plan, ranges, m, flat);
+    }
+    const std::size_t count = flat.size() / m;
+
+    // Classification by recursive outcome reuse.
+    std::vector<Outcome> outcomes(count, Outcome::kNoEffect);
+    std::vector<std::uint8_t> tags(count, kSimulate);
+    {
+      obs::Span span("sim.tuples_reuse",
+                     obs::args_u64({{"order", m}, {"tuples", count}}));
+      if (reuse) {
+        for (std::size_t n = 0; n < count; ++n) {
+          const std::uint32_t* tuple = &flat[n * m];
+          const FaultProfile& first = profiles[tuple[0]];
+          const std::uint64_t t2 = plan[tuple[1]].spec.trace_index;
+          if (t2 >= first.reconverge_step) {
+            outcomes[n] =
+                m == 2 ? profiles[tuple[1]].outcome
+                       : prev_outcomes[tuple_rank(space, plan, ranges, tuple + 1, m - 1)];
+            tags[n] = kFromSuffix;
+            ++level.reused_suffix;
+          } else if (t2 >= first.end_step) {
+            outcomes[n] = first.outcome;
+            tags[n] = kFromPrefix;
+            ++level.reused_prefix;
+          }
+        }
+      }
+    }
+
+    // Simulate only what reuse could not prove.
+    std::vector<std::size_t> sim_indices;
+    for (std::size_t n = 0; n < count; ++n) {
+      if (tags[n] == kSimulate) sim_indices.push_back(n);
+    }
+    // Hit slots pre-filled with golden addresses: legs the simulator never
+    // reaches (early termination) keep them, mirroring the reuse rules.
+    std::vector<std::uint64_t> sim_hits(sim_indices.size() * (m - 1), 0);
+    for (std::size_t s = 0; s < sim_indices.size(); ++s) {
+      const std::uint32_t* tuple = &flat[sim_indices[s] * m];
+      for (std::size_t l = 1; l < m; ++l) {
+        sim_hits[s * (m - 1) + (l - 1)] = plan[tuple[l]].address;
+      }
+    }
+    std::atomic<std::uint64_t> converged_total{0};
+    if (!sim_indices.empty()) {
+      obs::Span span("sim.tuples_simulate",
+                     obs::args_u64({{"order", m}, {"tuples", sim_indices.size()}}));
+      obs::Progress progress("order-" + std::to_string(order) + " tuple sweep (level " +
+                                 std::to_string(m) + ")",
+                             sim_indices.size());
+      const unsigned threads = run_sharded(
+          image_, bad_input_, config_.block_cache, config_.threads, sim_indices.size(),
+          "sim.tuple_worker", &progress, [&](emu::Machine& machine, std::size_t s) {
+            const std::size_t n = sim_indices[s];
+            outcomes[n] = simulate_tuple(machine, &flat[n * m], m, plan,
+                                         &sim_hits[s * (m - 1)], converged_total);
+          });
+      threads_used = std::max(threads_used, threads);
+    }
+    level.simulated = sim_indices.size();
+    level.converged = converged_total.load();
+
+    // Aggregation: top level feeds the result, lower levels feed the next
+    // level's outcome/hit lookups. Exhaustive levels are enumerated in rank
+    // order, so slot n *is* rank n.
+    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> cur_hits;
+    std::size_t sim_cursor = 0;
+    for (std::size_t n = 0; n < count; ++n) {
+      const std::uint32_t* tuple = &flat[n * m];
+      const bool simulated =
+          sim_cursor < sim_indices.size() && sim_indices[sim_cursor] == n;
+      const std::size_t sim_slot = sim_cursor;
+      if (simulated) ++sim_cursor;
+      if (top) ++result.outcome_counts[outcomes[n]];
+      if (outcomes[n] != Outcome::kSuccess) continue;
+      ++level.successful;
+
+      // Addresses faults 2..m actually struck (fault 1 always hits golden).
+      std::vector<std::uint64_t> hits(m - 1);
+      if (simulated) {
+        for (std::size_t l = 0; l + 1 < m; ++l) {
+          hits[l] = sim_hits[sim_slot * (m - 1) + l];
+        }
+      } else {
+        for (std::size_t l = 1; l < m; ++l) hits[l - 1] = plan[tuple[l]].address;
+        if (tags[n] == kFromSuffix && m > 2) {
+          // The tail replays on golden: its own tail's recorded hits apply.
+          const std::uint64_t tail_rank =
+              tuple_rank(space, plan, ranges, tuple + 1, m - 1);
+          const std::vector<std::uint64_t>& tail_hits = prev_hits.at(tail_rank);
+          for (std::size_t l = 0; l < tail_hits.size(); ++l) hits[l + 1] = tail_hits[l];
+        }
+      }
+
+      if (top) {
+        TupleVulnerability v;
+        v.faults.reserve(m);
+        v.addresses.reserve(m);
+        v.hit_addresses.reserve(m);
+        v.faults.push_back(plan[tuple[0]].spec);
+        v.addresses.push_back(plan[tuple[0]].address);
+        v.hit_addresses.push_back(plan[tuple[0]].address);
+        for (std::size_t l = 1; l < m; ++l) {
+          v.faults.push_back(plan[tuple[l]].spec);
+          v.addresses.push_back(plan[tuple[l]].address);
+          v.hit_addresses.push_back(hits[l - 1]);
+        }
+        result.vulnerabilities.push_back(std::move(v));
+      } else {
+        cur_hits.emplace(n, std::move(hits));
+      }
+    }
+    if (!top) {
+      prev_outcomes = std::move(outcomes);
+      prev_hits = std::move(cur_hits);
+    }
+    result.levels.push_back(level);
+  }
+
+  const TupleLevelSummary& summit = result.levels.back();
+  result.total_tuples = summit.classified;
+  result.enumerated_tuples = summit.enumerated;
+  result.sampled = summit.sampled;
+  result.threads_used = threads_used;
+
+  auto& metrics = obs::Metrics::instance();
+  metrics.counter("sim.sweeps_orderk").add(1);
+  metrics.counter("sim.tuples_planned").add(result.total_tuples);
+  metrics.counter("sim.tuples_reused_suffix").add(summit.reused_suffix);
+  metrics.counter("sim.tuples_reused_prefix").add(summit.reused_prefix);
+  metrics.counter("sim.tuples_simulated").add(summit.simulated);
+  metrics.counter("sim.tuples_converged").add(summit.converged);
+  for (const auto& [outcome, outcome_count] : result.outcome_counts) {
+    metrics.counter("sim.tuple_outcome." + std::string(to_string(outcome)))
+        .add(outcome_count);
+  }
+  const std::uint64_t tuples_ns = obs::now_ns() - tuples_begin;
+  if (tuples_ns > 0) {
+    metrics.gauge("sim.tuples_per_second")
+        .set(static_cast<std::int64_t>(result.total_tuples * 1'000'000'000ull /
+                                       tuples_ns));
+  }
+  return result;
+}
+
+std::uint64_t count_fault_tuples(const FaultModels& models,
+                                 const std::vector<emu::TraceEntry>& trace) {
+  const std::vector<PlannedFault> plan = enumerate_faults(models, trace);
+  const auto ranges = index_ranges(plan, trace.size());
+  const unsigned order = std::max(1u, models.order);
+  return make_tuple_space(plan, ranges, models.pair_window, order).level_count(order);
+}
+
 std::vector<std::uint64_t> CampaignResult::vulnerable_addresses() const {
   std::vector<std::uint64_t> addresses;
   for (const Vulnerability& v : vulnerabilities) addresses.push_back(v.address);
@@ -944,6 +1423,127 @@ std::vector<PairVulnerability> strictly_higher_order(
 
 std::vector<PairVulnerability> PairCampaignResult::strictly_higher_order() const {
   return sim::strictly_higher_order(order1.vulnerabilities, vulnerabilities);
+}
+
+std::vector<std::uint64_t> tuple_patch_sites(const std::vector<TupleVulnerability>& tuples) {
+  std::vector<std::uint64_t> sites;
+  for (const TupleVulnerability& v : tuples) {
+    sites.insert(sites.end(), v.hit_addresses.begin(), v.hit_addresses.end());
+  }
+  std::sort(sites.begin(), sites.end());
+  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+  return sites;
+}
+
+std::vector<TupleVulnerability> strictly_order_k(
+    const std::vector<Vulnerability>& singles,
+    const std::vector<TupleVulnerability>& tuples) {
+  const auto key = [](const emu::FaultSpec& spec) {
+    return std::tuple(static_cast<unsigned>(spec.kind), spec.trace_index, spec.bit_offset);
+  };
+  std::set<std::tuple<unsigned, std::uint64_t, std::uint32_t>> single;
+  for (const Vulnerability& v : singles) single.insert(key(v.spec));
+
+  std::vector<TupleVulnerability> out;
+  for (const TupleVulnerability& tuple : tuples) {
+    const bool any_single =
+        std::any_of(tuple.faults.begin(), tuple.faults.end(),
+                    [&](const emu::FaultSpec& spec) { return single.contains(key(spec)); });
+    if (!any_single) out.push_back(tuple);
+  }
+  return out;
+}
+
+std::uint64_t TupleCampaignResult::successful_below_top() const noexcept {
+  std::uint64_t successful = 0;
+  for (std::size_t i = 0; i + 1 < levels.size(); ++i) successful += levels[i].successful;
+  return successful;
+}
+
+std::vector<TupleVulnerability> TupleCampaignResult::strictly_higher_order() const {
+  return strictly_order_k(order1.vulnerabilities, vulnerabilities);
+}
+
+std::vector<std::uint64_t> TupleCampaignResult::patch_sites() const {
+  return tuple_patch_sites(strictly_higher_order());
+}
+
+std::map<std::vector<std::uint64_t>, std::uint64_t>
+TupleCampaignResult::merged_vulnerable_tuples() const {
+  std::map<std::vector<std::uint64_t>, std::uint64_t> merged;
+  for (const TupleVulnerability& v : vulnerabilities) ++merged[v.addresses];
+  return merged;
+}
+
+std::string TupleCampaignResult::to_json() const {
+  const TupleLevelSummary empty;
+  const TupleLevelSummary& top = levels.empty() ? empty : levels.back();
+  std::string json = "{\n";
+  json += "  \"order\": " + std::to_string(order) + ",\n";
+  json += "  \"trace_length\": " + std::to_string(trace_length) + ",\n";
+  json += "  \"pair_window\": " + std::to_string(pair_window) + ",\n";
+  json += "  \"total_tuples\": " + std::to_string(total_tuples) + ",\n";
+  json += "  \"enumerated_tuples\": " + std::to_string(enumerated_tuples) + ",\n";
+  json += std::string("  \"sampled\": ") + (sampled ? "true" : "false") + ",\n";
+  json += "  \"max_tuples\": " + std::to_string(max_tuples) + ",\n";
+  json += "  \"sample_seed\": " + std::to_string(sample_seed) + ",\n";
+  json += "  \"reused_suffix\": " + std::to_string(top.reused_suffix) + ",\n";
+  json += "  \"reused_prefix\": " + std::to_string(top.reused_prefix) + ",\n";
+  json += "  \"simulated_tuples\": " + std::to_string(top.simulated) + ",\n";
+  json += "  \"converged_tuples\": " + std::to_string(top.converged) + ",\n";
+  json += "  \"threads\": " + std::to_string(threads_used) + ",\n";
+  json += "  \"order1_total_faults\": " + std::to_string(order1.total_faults) + ",\n";
+  json += "  \"order1_successful\": " + std::to_string(order1.count(Outcome::kSuccess)) +
+          ",\n";
+  json += "  \"levels\": [";
+  bool first = true;
+  for (const TupleLevelSummary& level : levels) {
+    if (!first) json += ", ";
+    first = false;
+    json += "{\"order\": " + std::to_string(level.order) +
+            ", \"enumerated\": " + std::to_string(level.enumerated) +
+            ", \"classified\": " + std::to_string(level.classified) +
+            ", \"successful\": " + std::to_string(level.successful) +
+            ", \"reused_suffix\": " + std::to_string(level.reused_suffix) +
+            ", \"reused_prefix\": " + std::to_string(level.reused_prefix) +
+            ", \"simulated\": " + std::to_string(level.simulated) +
+            ", \"converged\": " + std::to_string(level.converged) + ", \"sampled\": " +
+            (level.sampled ? "true" : "false") + "}";
+  }
+  json += "],\n";
+  json += "  \"outcomes\": {";
+  first = true;
+  for (const auto& [outcome, outcome_count] : outcome_counts) {
+    if (!first) json += ", ";
+    first = false;
+    json += "\"" + std::string(to_string(outcome)) +
+            "\": " + std::to_string(outcome_count);
+  }
+  json += "},\n";
+  json += "  \"vulnerable_tuples\": [";
+  first = true;
+  for (const auto& [addresses, hits] : merged_vulnerable_tuples()) {
+    if (!first) json += ", ";
+    first = false;
+    json += "{\"addresses\": [";
+    bool first_address = true;
+    for (const std::uint64_t address : addresses) {
+      if (!first_address) json += ", ";
+      first_address = false;
+      json += "\"" + support::hex_string(address) + "\"";
+    }
+    json += "], \"hits\": " + std::to_string(hits) + "}";
+  }
+  json += "],\n";
+  json += "  \"patch_sites\": [";
+  first = true;
+  for (const std::uint64_t site : patch_sites()) {
+    if (!first) json += ", ";
+    first = false;
+    json += "\"" + support::hex_string(site) + "\"";
+  }
+  json += "]\n}\n";
+  return json;
 }
 
 std::string PairCampaignResult::to_json() const {

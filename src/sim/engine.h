@@ -80,11 +80,24 @@ struct FaultModels {
 
   /// Campaign order: 1 sweeps single faults (Engine::run), 2 sweeps fault
   /// *pairs* (f1 at t1, f2 at t2) with 0 < t2 - t1 <= pair_window
-  /// (Engine::run_pairs). Both faults of a pair draw from the same model
-  /// set above. Each entry point rejects models of the other order, so an
-  /// order-2 request can never silently degrade to an order-1 sweep.
+  /// (Engine::run_pairs), k >= 3 sweeps fault k-tuples (f1 at t1, ..., fk
+  /// at tk) with every consecutive gap 0 < t(i+1) - t(i) <= pair_window
+  /// (Engine::run_tuples). All faults of a set draw from the same model
+  /// set above. Each entry point rejects models of the other orders, so an
+  /// order-k request can never silently degrade to a lower-order sweep.
   unsigned order = 1;
   std::uint64_t pair_window = 8;
+
+  /// Order-k (>= 3) sweeps: budget on the number of k-tuples classified at
+  /// the top level. 0 sweeps the whole space. A non-zero budget smaller
+  /// than the space switches the top level to seeded sampling: a
+  /// rank-uniform subset of exactly `max_tuples` tuples, drawn with
+  /// support::Rng::for_stream(sample_seed, shard) keyed on the tuple plan
+  /// (never on threads), so the sampled set is identical at every thread
+  /// count. Intermediate levels (the recursive pruning base) are always
+  /// exhaustive.
+  std::uint64_t max_tuples = 0;
+  std::uint64_t sample_seed = 0x5eed;
 };
 
 /// The CLI-facing names of the model knobs above, in enumeration order
@@ -126,6 +139,12 @@ std::vector<PlannedFault> enumerate_faults(const FaultModels& models,
 /// models/windows; the count is |plan|·window·faults-per-index.
 std::vector<PlannedPair> enumerate_fault_pairs(const FaultModels& models,
                                                const std::vector<emu::TraceEntry>& trace);
+
+/// Number of order-`models.order` fault tuples under the consecutive-gap
+/// window rule — the saturating dynamic-programming pre-count run_tuples
+/// plans with. Saturates at 2^63 (the sweep refuses such spaces anyway).
+std::uint64_t count_fault_tuples(const FaultModels& models,
+                                 const std::vector<emu::TraceEntry>& trace);
 
 /// Checkpoint-interval policy. The default tunes the interval to roughly
 /// sqrt(trace length): checkpoint memory grows with the square root of the
@@ -192,6 +211,11 @@ struct EngineConfig {
   /// bookkeeping); run_pairs pre-counts the fan-out and throws a clear
   /// Error{kExecution} instead of exhausting memory when it exceeds this.
   std::uint64_t max_pairs = 1ULL << 27;
+  /// Order-k (>= 3) sweeps materialise one level's tuple plan at a time
+  /// (4·level bytes per tuple). A level that would exceed this cap throws
+  /// Error{kExecution} — except the top level, which falls back to seeded
+  /// sampling when FaultModels::max_tuples allows it.
+  std::uint64_t max_planned_tuples = 1ULL << 24;
   /// Execute every engine machine (references, checkpoint recorder, sweep
   /// workers) through the emu decoded-block cache. Off reverts to per-step
   /// fetch+decode — the bench baseline. Classification is bit-identical
@@ -327,6 +351,102 @@ struct PairCampaignResult {
   [[nodiscard]] std::string to_json() const;
 };
 
+/// One successful fault k-tuple: an order-k breach of the binary. The
+/// faults are in ascending trace-index order; `addresses` are the golden
+/// static addresses of the faulted trace entries, `hit_addresses` the
+/// addresses each fault *actually* struck (they diverge once an earlier
+/// fault of the tuple redirects control — the order-k generalisation of
+/// PairVulnerability::second_hit_address, with the same determinism
+/// contract: identical across thread counts and pruned/exhaustive sweeps).
+struct TupleVulnerability {
+  std::vector<emu::FaultSpec> faults;
+  std::vector<std::uint64_t> addresses;
+  std::vector<std::uint64_t> hit_addresses;
+
+  friend bool operator==(const TupleVulnerability&, const TupleVulnerability&) = default;
+};
+
+/// Tuple → static-site attribution: the distinct addresses the faults of
+/// `tuples` actually struck — sorted, deduplicated. The order-k analogue of
+/// pair_patch_sites (for pairs the two rules coincide: the first fault of a
+/// set always strikes its golden address).
+std::vector<std::uint64_t> tuple_patch_sites(const std::vector<TupleVulnerability>& tuples);
+
+/// The tuples of `tuples` none of whose component faults appears in
+/// `singles` — the order-k analogue of strictly_higher_order for pairs.
+std::vector<TupleVulnerability> strictly_order_k(
+    const std::vector<Vulnerability>& singles,
+    const std::vector<TupleVulnerability>& tuples);
+
+/// Per-level telemetry of an order-k sweep. run_tuples computes every level
+/// m = 2..k bottom-up (a reconverged or terminated prefix reduces an
+/// m-tuple to the (m-1)-tuple of its tail, so level m prunes against level
+/// m-1); the summaries expose how much of each level the recursion proved
+/// without simulating, and how much order-m residue is left.
+struct TupleLevelSummary {
+  unsigned order = 0;
+  std::uint64_t enumerated = 0;     ///< full combinatorial level size
+  std::uint64_t classified = 0;     ///< == enumerated unless this level sampled
+  std::uint64_t successful = 0;     ///< classified tuples with Outcome::kSuccess
+  std::uint64_t reused_suffix = 0;  ///< prefix reconverged: tuple ≡ its (m-1)-tail
+  std::uint64_t reused_prefix = 0;  ///< prefix terminated: tuple ≡ its first fault
+  std::uint64_t simulated = 0;      ///< tuples that went through the simulator
+  std::uint64_t converged = 0;      ///< simulated runs cut at a checkpoint
+  bool sampled = false;             ///< top level only, when max_tuples binds
+};
+
+/// Order-k (k >= 2) sweep aggregation, deterministic across thread counts.
+/// Carries the order-1 sweep it was pruned against plus one TupleLevelSummary
+/// per recursion level; `vulnerabilities` and `outcome_counts` describe the
+/// top level only.
+struct TupleCampaignResult {
+  unsigned order = 0;
+  std::vector<TupleVulnerability> vulnerabilities;
+  std::map<Outcome, std::uint64_t> outcome_counts;  ///< per classified k-tuple
+  std::uint64_t total_tuples = 0;       ///< classified at the top level
+  std::uint64_t enumerated_tuples = 0;  ///< full top-level space
+  std::uint64_t trace_length = 0;
+  std::uint64_t pair_window = 0;
+  /// True when FaultModels::max_tuples bound the top level; the classified
+  /// set is then the seeded rank-uniform sample drawn with `sample_seed`.
+  bool sampled = false;
+  std::uint64_t max_tuples = 0;
+  std::uint64_t sample_seed = 0;
+
+  /// The order-1 sweep over the same models (phase A); bit-identical to
+  /// Engine::run(models).
+  CampaignResult order1;
+  std::vector<TupleLevelSummary> levels;  ///< orders 2..k, ascending
+  unsigned threads_used = 0;
+
+  [[nodiscard]] std::uint64_t count(Outcome outcome) const {
+    const auto it = outcome_counts.find(outcome);
+    return it == outcome_counts.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::uint64_t reused_tuples() const noexcept {
+    return levels.empty() ? 0 : levels.back().reused_suffix + levels.back().reused_prefix;
+  }
+  [[nodiscard]] std::uint64_t simulated_tuples() const noexcept {
+    return levels.empty() ? 0 : levels.back().simulated;
+  }
+  /// Successful tuples at any level m in 2..k — zero means the recursion
+  /// found no order-m residue anywhere under the requested order (the
+  /// order-k fix-point condition, together with zero order-1 successes).
+  [[nodiscard]] std::uint64_t successful_below_top() const noexcept;
+  /// Successful top-level tuples none of whose faults succeeds alone.
+  [[nodiscard]] std::vector<TupleVulnerability> strictly_higher_order() const;
+  /// Distinct static addresses an order-k patcher must strengthen beyond
+  /// order-1 patching: every address a strictly-order-k tuple's faults
+  /// actually struck. Sorted, deduplicated.
+  [[nodiscard]] std::vector<std::uint64_t> patch_sites() const;
+  /// Successful tuples merged by their golden address vector.
+  [[nodiscard]] std::map<std::vector<std::uint64_t>, std::uint64_t>
+  merged_vulnerable_tuples() const;
+
+  /// JSON document for downstream tooling, mirroring PairCampaignResult.
+  [[nodiscard]] std::string to_json() const;
+};
+
 /// The reusable engine: build once per (image, input pair), sweep many
 /// fault models against the same snapshot chain.
 class Engine {
@@ -346,6 +466,18 @@ class Engine {
   /// answer, through the simulator otherwise. Bit-identical across thread
   /// counts and across pair_outcome_reuse on/off.
   PairCampaignResult run_pairs(const FaultModels& models) const;
+
+  /// Runs the order-k sweep for `models.order >= 2`: phase A profiles every
+  /// single fault, then every level m = 2..k is classified bottom-up — by
+  /// recursive outcome reuse where a profile proves the answer (a first
+  /// fault that reconverged before the second strikes reduces the m-tuple
+  /// to its (m-1)-tail; one that terminated reduces it to the first fault
+  /// alone), through the multi-leg simulator otherwise. Intermediate levels
+  /// are exhaustive; the top level honours FaultModels::max_tuples via
+  /// seeded sampling. Bit-identical across thread counts and across
+  /// pair_outcome_reuse / convergence_pruning on/off (restricted to the
+  /// same classified set).
+  TupleCampaignResult run_tuples(const FaultModels& models) const;
 
   [[nodiscard]] const References& references() const noexcept { return refs_; }
   [[nodiscard]] std::uint64_t checkpoint_interval() const noexcept { return interval_; }
@@ -404,6 +536,20 @@ class Engine {
                         const emu::FaultSpec& second,
                         std::uint64_t golden_second_address,
                         std::atomic<std::uint64_t>& converged) const;
+
+  /// Simulates one k-tuple: rehydrate before the first fault, then one leg
+  /// per fault — fault i armed, paused just before fault i+1's injection
+  /// point — with the final leg finished under convergence pruning. A leg
+  /// that terminates early classifies immediately (the remaining faults
+  /// never fire). `hits[i]` receives the address fault i+2 actually strikes
+  /// (the machine's rip at each pause); the caller pre-fills it with the
+  /// golden addresses, which stay in place for legs never reached — keeping
+  /// the record identical to what the reuse rules report for the same
+  /// tuple. `tuple` holds `arity` order-1 plan indices.
+  Outcome simulate_tuple(emu::Machine& machine, const std::uint32_t* tuple,
+                         std::size_t arity, const std::vector<PlannedFault>& plan,
+                         std::uint64_t* hits,
+                         std::atomic<std::uint64_t>& converged) const;
 
   /// The one order-1 aggregation shared by run() and run_pairs() phase A —
   /// what keeps the two sweeps bit-identical by construction.

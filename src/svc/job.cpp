@@ -100,6 +100,8 @@ void append_identity_fields(const JobSpec& spec, Message& message) {
   message.set_u64("register_flip_bit_stride", models.register_flip_bit_stride);
   message.set_u64("order", models.order);
   message.set_u64("pair_window", models.pair_window);
+  message.set_u64("model_max_tuples", models.max_tuples);
+  message.set_u64("model_sample_seed", models.sample_seed);
   message.set("detected_exit", std::to_string(spec.campaign.detected_exit_code));
   message.set_u64("fuel_multiplier", spec.campaign.fuel_multiplier);
   message.set_u64("fuel_slack", spec.campaign.fuel_slack);
@@ -113,7 +115,10 @@ void append_identity_fields(const JobSpec& spec, Message& message) {
 
 std::string JobSpec::cache_key() const {
   Message canonical;
-  canonical.set("r2rd_cache_key_schema", "1");
+  // Schema 2: order-k fields (model_max_tuples, model_sample_seed) joined
+  // the identity set — an order-3 budgeted sweep must never resolve to a
+  // cached order-3 exhaustive (or differently-seeded) answer.
+  canonical.set("r2rd_cache_key_schema", "2");
   append_identity_fields(*this, canonical);
   return support::sha256_hex(encode_message(canonical));
 }
@@ -154,6 +159,8 @@ JobSpec JobSpec::from_message(const Message& message) {
       message.get_u64_or("register_flip_bit_stride", models.register_flip_bit_stride));
   models.order = static_cast<unsigned>(message.get_u64_or("order", 1));
   models.pair_window = message.get_u64_or("pair_window", models.pair_window);
+  models.max_tuples = message.get_u64_or("model_max_tuples", models.max_tuples);
+  models.sample_seed = message.get_u64_or("model_sample_seed", models.sample_seed);
   spec.campaign.detected_exit_code = static_cast<int>(
       get_i64_or(message, "detected_exit", spec.campaign.detected_exit_code));
   spec.campaign.fuel_multiplier =
@@ -209,7 +216,16 @@ JobResult run_campaign_job(const JobSpec& spec) {
                            engine_config);
 
   JobResult result;
-  if (spec.campaign.models.order >= 2) {
+  if (spec.campaign.models.order >= 3) {
+    const sim::TupleCampaignResult campaign = engine.run_tuples(spec.campaign.models);
+    if (spec.format == "json") {
+      result.report = campaign.to_json();
+    } else if (spec.format == "markdown") {
+      result.report = harden::tuple_campaign_markdown_section(spec.guest.name, campaign);
+    } else {
+      result.report = harden::residual_tuple_fault_section(spec.guest.name, campaign);
+    }
+  } else if (spec.campaign.models.order >= 2) {
     const sim::PairCampaignResult campaign = engine.run_pairs(spec.campaign.models);
     if (spec.format == "json") {
       result.report = campaign.to_json();
@@ -249,7 +265,7 @@ JobResult run_fixpoint_job(const JobSpec& spec) {
   }
   job.elf = elf_bytes(result.hardened);
   const bool clean =
-      spec.campaign.models.order >= 2 ? result.order2_fixpoint : result.fixpoint;
+      spec.campaign.models.order >= 2 ? result.orderk_fixpoint : result.fixpoint;
   job.exit_code = clean ? 0 : 1;
   return job;
 }

@@ -75,7 +75,11 @@ TEST(Cli, UnknownCommandAndFlagAreUsageErrors) {
 }
 
 TEST(Cli, MalformedCampaignFlagsAreUsageErrors) {
-  EXPECT_EQ(run_cli({"campaign", "toymov", "--order", "3"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"campaign", "toymov", "--order", "0"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"campaign", "toymov", "--order",
+                     std::to_string(fault::kMaxCampaignOrder + 1)})
+                .exit_code,
+            2);
   EXPECT_EQ(run_cli({"campaign", "toymov", "--model", "quantum"}).exit_code, 2);
   EXPECT_EQ(run_cli({"campaign", "toymov", "--threads", "-4"}).exit_code, 2);
   EXPECT_EQ(run_cli({"campaign", "nosuchguest"}).exit_code, 2);

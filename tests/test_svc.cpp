@@ -211,11 +211,20 @@ TEST(SvcCacheKey, ChangesWithEveryBehaviourRelevantField) {
   EXPECT_NE(mutated([](svc::JobSpec& s) { s.campaign.models.skip = false; }), base);
   EXPECT_NE(mutated([](svc::JobSpec& s) { s.campaign.models.flag_flip = true; }), base);
   EXPECT_NE(mutated([](svc::JobSpec& s) { s.campaign.models.order = 2; }), base);
+  EXPECT_NE(mutated([](svc::JobSpec& s) { s.campaign.models.order = 3; }), base);
   EXPECT_NE(mutated([](svc::JobSpec& s) { s.campaign.models.pair_window = 4; }), base);
+  // An order-3 budgeted sweep must never resolve to a cached exhaustive
+  // (or differently-seeded) order-3 answer: the sampling knobs are
+  // behaviour-relevant identity, not execution detail.
+  EXPECT_NE(mutated([](svc::JobSpec& s) { s.campaign.models.max_tuples = 500; }), base);
+  EXPECT_NE(mutated([](svc::JobSpec& s) { s.campaign.models.sample_seed += 1; }), base);
   EXPECT_NE(mutated([](svc::JobSpec& s) { s.campaign.fuel_multiplier = 9; }), base);
   EXPECT_NE(mutated([](svc::JobSpec& s) { s.max_iterations = 3; }), base);
   EXPECT_NE(mutated([](svc::JobSpec& s) { s.patterns = true; }), base);
   EXPECT_NE(mutated([](svc::JobSpec& s) { s.format = "json"; }), base);
+  // The orders must also be distinct from each other, not just from order 1.
+  EXPECT_NE(mutated([](svc::JobSpec& s) { s.campaign.models.order = 2; }),
+            mutated([](svc::JobSpec& s) { s.campaign.models.order = 3; }));
 }
 
 TEST(SvcCacheKey, IgnoresExecutionOnlyKnobs) {
@@ -236,15 +245,19 @@ TEST(SvcCacheKey, SleepJobsBypassTheCache) {
 
 TEST(SvcJob, SpecSurvivesWireRoundTrip) {
   svc::JobSpec spec = campaign_spec();
-  spec.campaign.models.order = 2;
+  spec.campaign.models.order = 3;
   spec.campaign.models.pair_window = 5;
+  spec.campaign.models.max_tuples = 2048;
+  spec.campaign.models.sample_seed = 99;
   spec.campaign.threads = 3;
   spec.format = "markdown";
   const svc::JobSpec back = svc::JobSpec::from_message(spec.to_message());
   EXPECT_EQ(back.guest.assembly, spec.guest.assembly);
   EXPECT_EQ(back.guest.arch, spec.guest.arch);
-  EXPECT_EQ(back.campaign.models.order, 2u);
+  EXPECT_EQ(back.campaign.models.order, 3u);
   EXPECT_EQ(back.campaign.models.pair_window, 5u);
+  EXPECT_EQ(back.campaign.models.max_tuples, 2048u);
+  EXPECT_EQ(back.campaign.models.sample_seed, 99u);
   EXPECT_EQ(back.campaign.threads, 3u);
   EXPECT_EQ(back.format, "markdown");
   EXPECT_EQ(back.cache_key(), spec.cache_key());

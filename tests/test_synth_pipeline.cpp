@@ -13,7 +13,9 @@
 //   * order-1 campaign vulnerabilities never increase under hardening;
 //   * the Faulter+Patcher loop reaches an order-1 fix-point;
 //   * (seed subset) the order-2 fix-point is reached and the hardened
-//     binary is byte-identical at 1 vs 8 worker threads.
+//     binary is byte-identical at 1 vs 8 worker threads;
+//   * (same subset) the order-3 ladder reaches its fix-point and the
+//     hardened ELF round-trip never reintroduces tuple vulnerabilities.
 //
 // A failing seed prints a one-line repro (`--seed=K`) and is appended to
 // R2R_SYNTH_FAIL_FILE (default synth_failing_seeds.txt) so CI can upload
@@ -344,12 +346,72 @@ TEST_P(SynthOrder2, Order2FixpointAndThreadInvariantBinary) {
   EXPECT_EQ(one.final_campaign.outcome_counts, eight.final_campaign.outcome_counts);
 }
 
+using SynthOrder3 = SynthSeedTest;
+
+TEST_P(SynthOrder3, Order3FixpointNeverAddsTupleVulnsThroughElfRoundTrip) {
+  const SeedCase& param = GetParam();
+  if (!param.corpus && sweep_budget_exhausted()) {
+    GTEST_SKIP() << "R2R_SYNTH_TIME_BUDGET_S exhausted";
+  }
+  SCOPED_TRACE("seed " + std::to_string(param.seed));
+
+  const Guest guest = guests::synth::generate(param.seed, synth_arch());
+  const elf::Image input = guests::build_image(guest);
+
+  fault::CampaignConfig campaign = skip_campaign();
+  campaign.models.order = 3;
+  campaign.models.pair_window = 8;
+
+  const fault::CampaignResult original =
+      fault::run_campaign(input, guest.good_input, guest.bad_input, campaign);
+
+  patch::PipelineConfig config;
+  config.campaign = campaign;
+  config.max_iterations = 32;  // the order ladder climbs one rung per clean sweep
+  const patch::PipelineResult result =
+      patch::faulter_patcher(input, guest.good_input, guest.bad_input, config);
+  // Some guests carry triples none of the local patterns can break (the
+  // residual-risk fix-point); `orderk_fixpoint` asserts cleanliness only
+  // when the pipeline claims it.
+  EXPECT_TRUE(result.fixpoint) << "no fix-point reached (iteration cap hit)";
+  if (result.orderk_fixpoint) {
+    EXPECT_EQ(result.final_campaign.vulnerabilities.size(), 0u);
+    EXPECT_EQ(result.final_campaign.tuple_vulnerabilities.size(), 0u);
+  }
+  expect_contract(result.hardened, guest, "order-3 hardened image");
+
+  // Through a real ELF file and back: byte-stable, behaviour-preserving,
+  // and the order-3 campaign on the re-read bytes must reproduce the
+  // pipeline's final campaign exactly — hardening plus the round-trip must
+  // never add a single or tuple vulnerability.
+  const std::vector<std::uint8_t> bytes = elf::write_elf(result.hardened);
+  const elf::Image reloaded = elf::read_elf(bytes);
+  EXPECT_EQ(elf::write_elf(reloaded), bytes) << "ELF round-trip not byte-stable";
+  expect_contract(reloaded, guest, "reloaded order-3 image");
+
+  const fault::CampaignResult after =
+      fault::run_campaign(reloaded, guest.good_input, guest.bad_input, campaign);
+  EXPECT_EQ(after.vulnerabilities, result.final_campaign.vulnerabilities)
+      << "order-1 result changed through the ELF round-trip";
+  EXPECT_EQ(after.tuple_vulnerabilities, result.final_campaign.tuple_vulnerabilities)
+      << "tuple result changed through the ELF round-trip";
+  EXPECT_LE(after.vulnerabilities.size(), original.vulnerabilities.size())
+      << "hardening added order-1 vulnerabilities";
+  EXPECT_LE(after.tuple_vulnerabilities.size(), original.tuple_vulnerabilities.size())
+      << "hardening added tuple vulnerabilities";
+}
+
 std::string case_name(const testing::TestParamInfo<SeedCase>& info) {
   return "seed_" + std::to_string(info.param.seed);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SynthPipeline, testing::ValuesIn(plan()), case_name);
 INSTANTIATE_TEST_SUITE_P(Seeds, SynthOrder2, testing::ValuesIn(order2_plan()),
+                         case_name);
+// The order-3 subset rides the same higher-order seed plan: the frozen
+// corpus seeds flagged for order 2 plus every R2R_SYNTH_ORDER2_STRIDE-th
+// sweep seed.
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthOrder3, testing::ValuesIn(order2_plan()),
                          case_name);
 
 }  // namespace
